@@ -1,0 +1,27 @@
+//! Ablation benches: vary the mechanism parameters behind the paper's
+//! explanations (prefetcher, interleave stripe, write-combining buffer, UPI
+//! metadata) and print how the characteristic curves move.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_membench::ablations;
+
+fn bench(c: &mut Criterion) {
+    for fig in ablations::all_ablations() {
+        println!("{}", fig.to_table());
+    }
+    let mut group = c.benchmark_group("ablation_sweeps");
+    group.sample_size(10);
+    group.bench_function("analytic_ablations", |b| {
+        b.iter(|| {
+            let _ = ablations::prefetcher_ablation();
+            let _ = ablations::interleave_ablation();
+            let _ = ablations::wc_buffer_ablation();
+            ablations::upi_metadata_ablation()
+        })
+    });
+    group.bench_function("des_loaded_latency", |b| b.iter(ablations::loaded_latency_curve));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

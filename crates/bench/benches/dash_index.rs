@@ -1,0 +1,65 @@
+//! Ablation: Dash vs the PMEM-unaware chained hash table — the index
+//! micro-comparison behind the paper's §6.1 vs §6.2 gap.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pmem_dash::{ChainedTable, DashTable, KvIndex};
+use pmem_sim::topology::SocketId;
+use pmem_store::Namespace;
+
+const KEYS: u64 = 50_000;
+
+fn bench(c: &mut Criterion) {
+    let ns = Namespace::devdax(SocketId(0), 512 << 20);
+    let dash = DashTable::with_capacity(&ns, KEYS as usize).expect("dash");
+    let chained = ChainedTable::with_capacity(&ns, KEYS as usize).expect("chained");
+    for k in 0..KEYS {
+        dash.insert(k, k).unwrap();
+        chained.insert(k, k).unwrap();
+    }
+
+    // Accounting contrast printed once: bytes per probe.
+    let t = ns.tracker();
+    t.reset();
+    for k in 0..1000 {
+        dash.get(k * 37 % KEYS);
+    }
+    let dash_bytes = t.snapshot().read_bytes() / 1000;
+    t.reset();
+    for k in 0..1000 {
+        chained.get(k * 37 % KEYS);
+    }
+    let chained_bytes = t.snapshot().read_bytes() / 1000;
+    println!("probe traffic: dash {dash_bytes} B/probe (256 B buckets), chained {chained_bytes} B/probe (pointer chase)");
+
+    let mut group = c.benchmark_group("dash_index");
+    group.bench_function("dash_probe", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % KEYS;
+            dash.get(k)
+        })
+    });
+    group.bench_function("chained_probe", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % KEYS;
+            chained.get(k)
+        })
+    });
+    group.bench_function("dash_insert_10k", |b| {
+        b.iter_batched(
+            || DashTable::with_capacity(&ns, 10_000).expect("dash"),
+            |t| {
+                for k in 0..10_000u64 {
+                    t.insert(k, k).unwrap();
+                }
+                ns.release(ns.used());
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation: discrete-event engine vs the analytic model on anchor
+//! workloads — validates DESIGN.md's "two consistent engines" claim and
+//! measures DES throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_sim::analytic::{BandwidthModel, CoherenceView};
+use pmem_sim::des::{self, DesConfig};
+use pmem_sim::params::DeviceClass;
+use pmem_sim::workload::WorkloadSpec;
+
+fn bench(c: &mut Criterion) {
+    let model = BandwidthModel::paper_default();
+    for (label, spec) in [
+        ("read 4K x18", WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 18)),
+        ("write 4K x4", WorkloadSpec::seq_write(DeviceClass::Pmem, 4096, 4)),
+    ] {
+        let analytic = model.bandwidth(&spec, CoherenceView::WARM).gib_s();
+        let des = des::run(&DesConfig::new(spec.clone())).bandwidth.gib_s();
+        println!("{label}: analytic {analytic:.1} GB/s, DES {des:.1} GB/s");
+    }
+
+    let mut group = c.benchmark_group("des_engine");
+    group.sample_size(20);
+    group.bench_function("des_read_8mib_18t", |b| {
+        let spec = WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 18);
+        b.iter(|| des::run(&DesConfig::new(spec.clone())))
+    });
+    group.bench_function("analytic_read_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for t in [1u32, 4, 8, 16, 18, 24, 32, 36] {
+                let spec = WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, t);
+                total += model.bandwidth(&spec, CoherenceView::WARM).gib_s();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

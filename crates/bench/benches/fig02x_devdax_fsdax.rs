@@ -1,0 +1,14 @@
+//! Regenerates the paper's fig02x_devdax_fsdax data and benchmarks the model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_bench::sim;
+use pmem_membench::experiments;
+
+fn bench(c: &mut Criterion) {
+    let s = sim();
+    println!("{}", experiments::devdax_vs_fsdax(&s).to_table());
+    c.bench_function("fig02x_devdax_fsdax", |b| b.iter(|| experiments::devdax_vs_fsdax(&s)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Regenerates the paper's fig04_read_pinning data and benchmarks the model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_bench::sim;
+use pmem_membench::experiments;
+
+fn bench(c: &mut Criterion) {
+    let s = sim();
+    println!("{}", experiments::fig4_read_pinning(&s).to_table());
+    c.bench_function("fig04_read_pinning", |b| b.iter(|| experiments::fig4_read_pinning(&s)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

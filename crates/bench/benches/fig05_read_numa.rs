@@ -1,0 +1,19 @@
+//! Regenerates Figure 5 (read NUMA warm-up effects).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_bench::sim;
+use pmem_membench::experiments;
+
+fn bench(c: &mut Criterion) {
+    let mut s = sim();
+    println!("{}", experiments::fig5_read_numa(&mut s).to_table());
+    c.bench_function("fig05_read_numa", |b| {
+        b.iter(|| {
+            let mut s = sim();
+            experiments::fig5_read_numa(&mut s)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates the paper's fig06_read_multisocket data and benchmarks the model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_bench::sim;
+use pmem_membench::experiments;
+
+fn bench(c: &mut Criterion) {
+    let s = sim();
+    let (a, bfig) = experiments::fig6_read_multisocket(&s);
+    println!("{}", a.to_table());
+    println!("{}", bfig.to_table());
+    c.bench_function("fig06_read_multisocket", |b| b.iter(|| experiments::fig6_read_multisocket(&s)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates the paper's fig07_write_access_size data and benchmarks the model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_bench::sim;
+use pmem_membench::experiments;
+
+fn bench(c: &mut Criterion) {
+    let s = sim();
+    let (a, bfig) = experiments::fig7_write_access_size(&s);
+    println!("{}", a.to_table());
+    println!("{}", bfig.to_table());
+    c.bench_function("fig07_write_access_size", |b| b.iter(|| experiments::fig7_write_access_size(&s)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

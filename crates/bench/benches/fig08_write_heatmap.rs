@@ -1,0 +1,19 @@
+//! Regenerates the paper's fig08_write_heatmap data and benchmarks the model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_bench::sim;
+use pmem_membench::experiments;
+
+fn bench(c: &mut Criterion) {
+    let s = sim();
+    let (a, _bfig) = experiments::fig8_write_heatmap(&s);
+    // 36 series × 20 sizes: print a condensed view (4/18/36 threads).
+    for label in ["4", "18", "36"] {
+        let series = a.series(label).unwrap();
+        println!("grouped writes, {label} threads: peak {:.1} GB/s at {} B", series.peak(), series.peak_x());
+    }
+    c.bench_function("fig08_write_heatmap", |b| b.iter(|| experiments::fig8_write_heatmap(&s)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

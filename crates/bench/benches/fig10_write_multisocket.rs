@@ -1,0 +1,14 @@
+//! Regenerates the paper's fig10_write_multisocket data and benchmarks the model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_bench::sim;
+use pmem_membench::experiments;
+
+fn bench(c: &mut Criterion) {
+    let s = sim();
+    println!("{}", experiments::fig10_write_multisocket(&s).to_table());
+    c.bench_function("fig10_write_multisocket", |b| b.iter(|| experiments::fig10_write_multisocket(&s)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

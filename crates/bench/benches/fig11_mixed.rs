@@ -1,0 +1,20 @@
+//! Regenerates the paper's fig11_mixed data and benchmarks the model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_bench::sim;
+use pmem_membench::experiments;
+
+fn bench(c: &mut Criterion) {
+    let s = sim();
+    let fig = experiments::fig11_mixed(&s);
+    println!("{}", fig.to_table());
+    for (i, combo) in experiments::MIXED_COMBOS.iter().enumerate() {
+        let _ = combo;
+        print!("{} ", experiments::mixed_combo_label(i));
+    }
+    println!();
+    c.bench_function("fig11_mixed", |b| b.iter(|| experiments::fig11_mixed(&s)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates the paper's fig12_random_read data and benchmarks the model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_bench::sim;
+use pmem_membench::experiments;
+
+fn bench(c: &mut Criterion) {
+    let s = sim();
+    let (a, bfig) = experiments::fig12_random_read(&s);
+    println!("{}", a.to_table());
+    println!("{}", bfig.to_table());
+    c.bench_function("fig12_random_read", |b| b.iter(|| experiments::fig12_random_read(&s)));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 14a: SSB on the PMEM-unaware (Hyrise-like) engine, priced at the
+//! paper's sf 50. Paper result: PMEM 5.3× slower than DRAM on average.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_bench::{SSB_RUN_SF, SSB_RUN_THREADS};
+use pmem_ssb::queries::{run_query, QueryId};
+use pmem_ssb::report::fig14a_unaware;
+use pmem_ssb::storage::{EngineMode, SsbStore, StorageDevice};
+
+fn bench(c: &mut Criterion) {
+    let fig = fig14a_unaware(SSB_RUN_SF, SSB_RUN_THREADS).expect("fig14a");
+    println!("{}", fig.to_table());
+    println!(
+        "paper: avg 5.3x (2.5x-7.7x) | measured: avg {:.2}x ({:.2}x-{:.2}x)\n",
+        fig.average_ratio(),
+        fig.min_ratio(),
+        fig.max_ratio()
+    );
+
+    let store = SsbStore::generate_and_load(
+        SSB_RUN_SF,
+        414,
+        EngineMode::Unaware,
+        StorageDevice::PmemFsdax,
+    )
+    .expect("load");
+    let mut group = c.benchmark_group("fig14a_ssb_unaware");
+    group.sample_size(10);
+    group.bench_function("q2_1_unaware_execution", |b| {
+        b.iter(|| run_query(&store, QueryId::Q2_1, SSB_RUN_THREADS).expect("query"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 14b: SSB on the handcrafted PMEM-aware engine, priced at the
+//! paper's sf 100. Paper result: PMEM 1.66× slower than DRAM on average.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_bench::{SSB_RUN_SF, SSB_RUN_THREADS};
+use pmem_ssb::queries::{run_query, QueryId};
+use pmem_ssb::report::fig14b_aware;
+use pmem_ssb::storage::{EngineMode, SsbStore, StorageDevice};
+
+fn bench(c: &mut Criterion) {
+    let fig = fig14b_aware(SSB_RUN_SF, SSB_RUN_THREADS).expect("fig14b");
+    println!("{}", fig.to_table());
+    println!(
+        "paper: avg 1.66x (1.4x-3.0x) | measured: avg {:.2}x ({:.2}x-{:.2}x)\n",
+        fig.average_ratio(),
+        fig.min_ratio(),
+        fig.max_ratio()
+    );
+
+    let store = SsbStore::generate_and_load(
+        SSB_RUN_SF,
+        414,
+        EngineMode::Aware,
+        StorageDevice::PmemFsdax,
+    )
+    .expect("load");
+    let mut group = c.benchmark_group("fig14b_ssb_aware");
+    group.sample_size(10);
+    group.bench_function("q2_1_aware_execution", |b| {
+        b.iter(|| run_query(&store, QueryId::Q2_1, SSB_RUN_THREADS).expect("query"))
+    });
+    group.bench_function("q1_1_aware_execution", |b| {
+        b.iter(|| run_query(&store, QueryId::Q1_1, SSB_RUN_THREADS).expect("query"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Data-import experiment: ingest bandwidth under naive vs best-practice
+//! write configurations (paper §4: "an important feature of data
+//! warehouses is an efficient data import").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_ssb::report::ingest_report;
+use pmem_ssb::storage::{EngineMode, SsbStore, StorageDevice};
+
+fn bench(c: &mut Criterion) {
+    let rows = ingest_report(0.005, 100.0).expect("ingest report");
+    println!("== ingest of the sf-100 fact table (70 GB) ==");
+    println!("{:>24} {:>12} {:>10}", "configuration", "GB/s", "seconds");
+    for row in &rows {
+        println!(
+            "{:>24} {:>12.1} {:>10.1}",
+            row.label, row.bandwidth_gib_s, row.seconds
+        );
+    }
+
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    group.bench_function("generate_and_load_sf0.005", |b| {
+        b.iter(|| {
+            SsbStore::generate_and_load(
+                0.005,
+                414,
+                EngineMode::Aware,
+                StorageDevice::PmemDevdax,
+            )
+            .expect("load")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

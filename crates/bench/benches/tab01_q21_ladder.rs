@@ -1,0 +1,35 @@
+//! Table 1: the Q2.1 optimization ladder (threads → sockets → NUMA →
+//! pinning) plus the NVMe-SSD reference configuration.
+//!
+//! Paper values (sf 100): PMEM 306.7 → 25.1 → 12.3 → 9.4 → 8.6 s,
+//! DRAM 221.2 → 15.2 → 9.2 → 5.2 → 5.2 s, SSD 22.8 s.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_bench::{SSB_RUN_SF, SSB_RUN_THREADS};
+use pmem_ssb::report::table1_ladder;
+
+fn bench(c: &mut Criterion) {
+    let (ladder, ssd) = table1_ladder(SSB_RUN_SF, SSB_RUN_THREADS).expect("ladder");
+    println!("== Table 1: Optimization of Q2.1 (sf 100) ==");
+    println!("{:>10} {:>12} {:>12}", "step", "PMEM [s]", "DRAM [s]");
+    for step in &ladder {
+        println!(
+            "{:>10} {:>12.1} {:>12.1}",
+            step.label, step.pmem_seconds, step.dram_seconds
+        );
+    }
+    println!("{:>10} {:>12.1} {:>12}", "SSD", ssd, "-");
+    println!(
+        "paper: PMEM 306.7→8.6 s, DRAM 221.2→5.2 s, SSD 22.8 s\n"
+    );
+
+    let mut group = c.benchmark_group("tab01_q21_ladder");
+    group.sample_size(10);
+    group.bench_function("ladder_pricing", |b| {
+        b.iter(|| table1_ladder(SSB_RUN_SF, SSB_RUN_THREADS).expect("ladder"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

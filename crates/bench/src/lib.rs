@@ -1,0 +1,16 @@
+//! Shared helpers for the per-figure criterion benches.
+
+use pmem_sim::Simulation;
+
+/// Fresh paper-default simulation.
+pub fn sim() -> Simulation {
+    Simulation::paper_default()
+}
+
+/// Scale factor the SSB benches execute at (traffic is priced at the
+/// paper's sf 50/100 by the timing model).
+pub const SSB_RUN_SF: f64 = 0.01;
+
+/// Threads the SSB benches execute with (pricing assumes the paper's
+/// configurations; execution thread count only affects wall-clock).
+pub const SSB_RUN_THREADS: u32 = 8;

@@ -1,0 +1,86 @@
+//! The §7 price/performance model.
+//!
+//! The paper closes with a cost argument: at 2019/2020 street prices a
+//! 1.5 TB PMEM configuration cost ~$6 900 against ~$16 800 for the same
+//! DRAM capacity — 2.4× cheaper for only 1.66× lower average SSB
+//! performance. This module generalizes that arithmetic so new price points
+//! can be plugged in.
+
+/// Price points per module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriceModel {
+    /// USD per 128 GB Optane DIMM (paper: ~$575).
+    pub pmem_128gb_usd: f64,
+    /// USD per 64 GB DRAM module (paper: ~$700).
+    pub dram_64gb_usd: f64,
+}
+
+impl Default for PriceModel {
+    fn default() -> Self {
+        PriceModel {
+            pmem_128gb_usd: 575.0,
+            dram_64gb_usd: 700.0,
+        }
+    }
+}
+
+impl PriceModel {
+    /// Cost of `capacity_gb` of PMEM.
+    pub fn pmem_cost(&self, capacity_gb: f64) -> f64 {
+        (capacity_gb / 128.0).ceil() * self.pmem_128gb_usd
+    }
+
+    /// Cost of `capacity_gb` of DRAM (the paper notes 1.5 TB is "not
+    /// possible with most common DRAM configurations" — the model prices it
+    /// anyway, as the paper does).
+    pub fn dram_cost(&self, capacity_gb: f64) -> f64 {
+        (capacity_gb / 64.0).ceil() * self.dram_64gb_usd
+    }
+
+    /// DRAM/PMEM cost ratio at a capacity (≈2.4× at 1.5 TB).
+    pub fn cost_ratio(&self, capacity_gb: f64) -> f64 {
+        self.dram_cost(capacity_gb) / self.pmem_cost(capacity_gb)
+    }
+
+    /// Price/performance verdict: PMEM wins when its cost advantage
+    /// exceeds its performance penalty.
+    pub fn pmem_wins(&self, capacity_gb: f64, pmem_slowdown: f64) -> bool {
+        self.cost_ratio(capacity_gb) > pmem_slowdown
+    }
+
+    /// Cost-normalized throughput advantage of PMEM (>1 means PMEM delivers
+    /// more work per dollar).
+    pub fn performance_per_dollar_advantage(&self, capacity_gb: f64, pmem_slowdown: f64) -> f64 {
+        self.cost_ratio(capacity_gb) / pmem_slowdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_price_points() {
+        let m = PriceModel::default();
+        let capacity = 1536.0; // 1.5 TB
+        assert!((m.pmem_cost(capacity) - 6900.0).abs() < 1.0); // 12 × $575
+        assert!((m.dram_cost(capacity) - 16_800.0).abs() < 1.0); // 24 × $700
+        assert!((m.cost_ratio(capacity) - 2.43).abs() < 0.05);
+    }
+
+    #[test]
+    fn pmem_wins_at_the_paper_slowdown() {
+        let m = PriceModel::default();
+        assert!(m.pmem_wins(1536.0, 1.66));
+        assert!(!m.pmem_wins(1536.0, 5.3), "Hyrise-level slowdown loses");
+        let adv = m.performance_per_dollar_advantage(1536.0, 1.66);
+        assert!((1.3..1.7).contains(&adv), "advantage {adv}");
+    }
+
+    #[test]
+    fn partial_modules_round_up() {
+        let m = PriceModel::default();
+        assert_eq!(m.pmem_cost(129.0), 2.0 * 575.0);
+        assert_eq!(m.dram_cost(65.0), 2.0 * 700.0);
+    }
+}

@@ -1,0 +1,358 @@
+//! Hybrid PMEM–DRAM placement advisor — the paper's future work, built on
+//! its measurements.
+//!
+//! The paper closes with: "In future work, we plan to transfer our insights
+//! to hybrid PMEM-DRAM setups", having observed that DRAM's random-access
+//! advantage (≈4× at small accesses, §5.2) makes "hybrid designs essential
+//! in future OLAP designs". This module implements the natural consequence:
+//! given a DRAM budget and a set of data objects with access profiles,
+//! place each object on the device where it saves the most time per byte
+//! of precious DRAM.
+//!
+//! The resulting plans match the intuition the paper builds: huge
+//! scan-only fact tables belong on PMEM (sequential reads lose only ~2.3×),
+//! while small random-access hash indexes belong in DRAM (random probes
+//! lose 4×+ on PMEM and the index is tiny).
+
+use pmem_sim::params::DeviceClass;
+use pmem_sim::workload::{AccessKind, Placement, WorkloadSpec};
+use pmem_sim::Simulation;
+
+/// How an object is accessed per unit of work (e.g. per query).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessProfile {
+    /// Streamed start-to-end `scans_per_query` times.
+    SequentialScan {
+        /// Full passes per query.
+        scans_per_query: f64,
+    },
+    /// Probed at random offsets.
+    RandomProbe {
+        /// Probes per query.
+        probes_per_query: f64,
+        /// Bytes per probe.
+        access_bytes: u64,
+    },
+    /// Written sequentially (intermediates, ingest buffers).
+    SequentialWrite {
+        /// Bytes written per query.
+        bytes_per_query: u64,
+    },
+}
+
+/// A placeable data object.
+#[derive(Debug, Clone)]
+pub struct DataObject {
+    /// Human-readable name.
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Access profile per unit of work.
+    pub profile: AccessProfile,
+}
+
+impl DataObject {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, bytes: u64, profile: AccessProfile) -> Self {
+        DataObject {
+            name: name.into(),
+            bytes,
+            profile,
+        }
+    }
+}
+
+/// Where the advisor put an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Keep on PMEM (App Direct).
+    Pmem,
+    /// Promote to DRAM.
+    Dram,
+}
+
+/// One placement decision.
+#[derive(Debug, Clone)]
+pub struct PlacementDecision {
+    /// Object name.
+    pub name: String,
+    /// Chosen tier.
+    pub tier: Tier,
+    /// Seconds per query this object costs on its chosen tier.
+    pub seconds: f64,
+    /// Seconds it would cost on the other tier.
+    pub alternative_seconds: f64,
+}
+
+/// The advisor's output.
+#[derive(Debug, Clone)]
+pub struct HybridPlan {
+    /// Per-object decisions.
+    pub decisions: Vec<PlacementDecision>,
+    /// DRAM bytes consumed.
+    pub dram_used: u64,
+    /// Total per-query seconds of the hybrid plan.
+    pub hybrid_seconds: f64,
+    /// Total per-query seconds of the PMEM-only baseline.
+    pub pmem_only_seconds: f64,
+}
+
+impl HybridPlan {
+    /// Speed-up of the hybrid plan over PMEM-only.
+    pub fn speedup(&self) -> f64 {
+        self.pmem_only_seconds / self.hybrid_seconds
+    }
+
+    /// The tier of a named object.
+    pub fn tier_of(&self, name: &str) -> Option<Tier> {
+        self.decisions.iter().find(|d| d.name == name).map(|d| d.tier)
+    }
+}
+
+/// Greedy hybrid placement: promote the objects with the highest saved
+/// seconds per DRAM byte until the budget is exhausted.
+#[derive(Debug, Clone)]
+pub struct HybridAdvisor {
+    sim: Simulation,
+    /// Threads per socket assumed for the bandwidth queries.
+    pub threads_per_socket: u32,
+    /// Sockets in use.
+    pub sockets: u8,
+}
+
+impl HybridAdvisor {
+    /// Advisor for the paper's dual-socket server with 18 threads/socket.
+    pub fn paper_default() -> Self {
+        HybridAdvisor {
+            sim: Simulation::paper_default(),
+            threads_per_socket: 18,
+            sockets: 2,
+        }
+    }
+
+    fn placement(&self) -> Placement {
+        if self.sockets >= 2 {
+            Placement::BothNear
+        } else {
+            Placement::NEAR
+        }
+    }
+
+    /// Per-query seconds an object costs on a device.
+    pub fn object_seconds(&self, object: &DataObject, device: DeviceClass) -> f64 {
+        match object.profile {
+            AccessProfile::SequentialScan { scans_per_query } => {
+                let spec = WorkloadSpec::seq_read(device, 4096, self.threads_per_socket)
+                    .placement(self.placement());
+                let bw = self.sim.evaluate_steady(&spec).total_bandwidth.bytes_per_sec();
+                scans_per_query * object.bytes as f64 / bw
+            }
+            AccessProfile::RandomProbe {
+                probes_per_query,
+                access_bytes,
+            } => {
+                let spec = WorkloadSpec::random(
+                    device,
+                    AccessKind::Read,
+                    access_bytes,
+                    self.threads_per_socket,
+                    object.bytes.max(1 << 20),
+                )
+                .placement(self.placement());
+                let bw = self.sim.evaluate_steady(&spec).total_bandwidth.bytes_per_sec();
+                probes_per_query * access_bytes as f64 / bw
+            }
+            AccessProfile::SequentialWrite { bytes_per_query } => {
+                let spec = WorkloadSpec::seq_write(device, 4096, 6).placement(self.placement());
+                let bw = self.sim.evaluate_steady(&spec).total_bandwidth.bytes_per_sec();
+                bytes_per_query as f64 / bw
+            }
+        }
+    }
+
+    /// Produce a placement plan under `dram_budget` bytes of DRAM.
+    pub fn place(&self, objects: &[DataObject], dram_budget: u64) -> HybridPlan {
+        // Benefit per DRAM byte for every object.
+        let mut scored: Vec<(usize, f64, f64, f64)> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                let pmem = self.object_seconds(o, DeviceClass::Pmem);
+                let dram = self.object_seconds(o, DeviceClass::Dram);
+                let density = (pmem - dram).max(0.0) / o.bytes.max(1) as f64;
+                (i, pmem, dram, density)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.3.total_cmp(&a.3));
+
+        let mut dram_used = 0u64;
+        let mut tiers = vec![Tier::Pmem; objects.len()];
+        for (i, _pmem, dram_secs, density) in &scored {
+            let o = &objects[*i];
+            if *density > 0.0 && dram_used + o.bytes <= dram_budget {
+                // Promoting must actually help (dram strictly cheaper).
+                if *dram_secs < self.object_seconds(o, DeviceClass::Pmem) {
+                    tiers[*i] = Tier::Dram;
+                    dram_used += o.bytes;
+                }
+            }
+        }
+
+        let mut hybrid_seconds = 0.0;
+        let mut pmem_only_seconds = 0.0;
+        let decisions = objects
+            .iter()
+            .zip(&tiers)
+            .map(|(o, tier)| {
+                let pmem = self.object_seconds(o, DeviceClass::Pmem);
+                let dram = self.object_seconds(o, DeviceClass::Dram);
+                pmem_only_seconds += pmem;
+                let (seconds, alternative_seconds) = match tier {
+                    Tier::Dram => (dram, pmem),
+                    Tier::Pmem => (pmem, dram),
+                };
+                hybrid_seconds += seconds;
+                PlacementDecision {
+                    name: o.name.clone(),
+                    tier: *tier,
+                    seconds,
+                    alternative_seconds,
+                }
+            })
+            .collect();
+
+        HybridPlan {
+            decisions,
+            dram_used,
+            hybrid_seconds,
+            pmem_only_seconds,
+        }
+    }
+
+    /// The SSB-shaped example: sf-100 fact table, join indexes, and an
+    /// intermediate buffer, under the paper machine's 186 GB of DRAM.
+    pub fn ssb_example(&self) -> HybridPlan {
+        let objects = [
+            DataObject::new(
+                "lineorder (fact, row format)",
+                70 << 30,
+                AccessProfile::SequentialScan { scans_per_query: 1.0 },
+            ),
+            DataObject::new(
+                "part hash index",
+                96 << 20,
+                AccessProfile::RandomProbe {
+                    probes_per_query: 600e6,
+                    access_bytes: 256,
+                },
+            ),
+            DataObject::new(
+                "customer hash index",
+                192 << 20,
+                AccessProfile::RandomProbe {
+                    probes_per_query: 600e6,
+                    access_bytes: 256,
+                },
+            ),
+            DataObject::new(
+                "intermediates",
+                8 << 30,
+                AccessProfile::SequentialWrite {
+                    bytes_per_query: 2 << 30,
+                },
+            ),
+        ];
+        self.place(&objects, 186 << 30)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn advisor() -> HybridAdvisor {
+        HybridAdvisor::paper_default()
+    }
+
+    #[test]
+    fn ssb_example_promotes_indexes_keeps_fact_on_pmem_given_tight_dram() {
+        let a = advisor();
+        // With only 4 GB of DRAM, the indexes and intermediates win the
+        // budget; the 70 GB fact table cannot fit anyway.
+        let objects = [
+            DataObject::new("fact", 70 << 30, AccessProfile::SequentialScan { scans_per_query: 1.0 }),
+            DataObject::new(
+                "index",
+                96 << 20,
+                AccessProfile::RandomProbe { probes_per_query: 600e6, access_bytes: 256 },
+            ),
+        ];
+        let plan = a.place(&objects, 4 << 30);
+        assert_eq!(plan.tier_of("fact"), Some(Tier::Pmem));
+        assert_eq!(plan.tier_of("index"), Some(Tier::Dram));
+        assert!(plan.speedup() > 1.2, "speedup {}", plan.speedup());
+        assert!(plan.dram_used <= 4 << 30);
+    }
+
+    #[test]
+    fn random_probes_have_the_highest_promotion_density() {
+        let a = advisor();
+        let scan = DataObject::new(
+            "scan",
+            1 << 30,
+            AccessProfile::SequentialScan { scans_per_query: 1.0 },
+        );
+        let probe = DataObject::new(
+            "probe",
+            1 << 30,
+            AccessProfile::RandomProbe { probes_per_query: 100e6, access_bytes: 256 },
+        );
+        // Equal sizes, one DRAM slot: the probe-heavy object wins it.
+        let plan = a.place(&[scan, probe], 1 << 30);
+        assert_eq!(plan.tier_of("probe"), Some(Tier::Dram));
+        assert_eq!(plan.tier_of("scan"), Some(Tier::Pmem));
+    }
+
+    #[test]
+    fn zero_budget_is_pmem_only() {
+        let a = advisor();
+        let plan = a.place(
+            &[DataObject::new(
+                "x",
+                1 << 20,
+                AccessProfile::SequentialScan { scans_per_query: 1.0 },
+            )],
+            0,
+        );
+        assert_eq!(plan.tier_of("x"), Some(Tier::Pmem));
+        assert!((plan.speedup() - 1.0).abs() < 1e-12);
+        assert_eq!(plan.dram_used, 0);
+    }
+
+    #[test]
+    fn unlimited_budget_promotes_everything_useful() {
+        let a = advisor();
+        let plan = a.ssb_example();
+        // 186 GB of DRAM fits everything but the paper notes 1.5 TB does
+        // not; here all four objects fit and all benefit.
+        for d in &plan.decisions {
+            assert_eq!(d.tier, Tier::Dram, "{} should be promoted", d.name);
+        }
+        assert!(plan.speedup() > 1.5);
+    }
+
+    #[test]
+    fn seconds_are_consistent_with_the_device_hierarchy() {
+        let a = advisor();
+        let o = DataObject::new(
+            "probe",
+            1 << 30,
+            AccessProfile::RandomProbe { probes_per_query: 1e6, access_bytes: 256 },
+        );
+        let pmem = a.object_seconds(&o, DeviceClass::Pmem);
+        let dram = a.object_seconds(&o, DeviceClass::Dram);
+        assert!(pmem > dram, "PMEM probes slower: {pmem} vs {dram}");
+        // §5.2: DRAM's random advantage is severalfold.
+        assert!((1.5..8.0).contains(&(pmem / dram)), "ratio {}", pmem / dram);
+    }
+}

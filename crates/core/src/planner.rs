@@ -1,0 +1,343 @@
+//! The access planner: turns the paper's best practices into executable
+//! configuration.
+//!
+//! Given a description of what an OLAP operator wants to do (bulk scan,
+//! bulk ingest, log appends, random probes, a mixed phase), the planner
+//! emits the thread count, access size, pattern, placement, and pinning the
+//! paper's evaluation found optimal — and can verify the choice against the
+//! simulator.
+
+use pmem_sim::analytic::CoherenceView;
+use pmem_sim::params::{DeviceClass, SystemParams};
+use pmem_sim::sched::Pinning;
+use pmem_sim::workload::{AccessKind, MixedSpec, Pattern, Placement, WorkloadSpec};
+use pmem_sim::{Bandwidth, Simulation};
+
+use crate::best_practices::BestPractice;
+
+/// What the caller wants to do with PMEM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intent {
+    /// Large sequential reads (table scans).
+    BulkRead,
+    /// Large sequential writes (data ingest, intermediate spill).
+    BulkWrite,
+    /// Many small consecutive writes (logging).
+    LogAppend {
+        /// Typical record size in bytes.
+        record_bytes: u64,
+    },
+    /// Random reads (hash probes, point lookups).
+    RandomRead {
+        /// Requested access granularity in bytes.
+        access_bytes: u64,
+    },
+    /// Random writes (index maintenance).
+    RandomWrite {
+        /// Requested access granularity in bytes.
+        access_bytes: u64,
+    },
+    /// Concurrent readers and writers over the same DIMMs.
+    Mixed {
+        /// Desired reader count.
+        readers: u32,
+        /// Desired writer count.
+        writers: u32,
+    },
+}
+
+/// The planner's recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedAccess {
+    /// Threads per participating socket.
+    pub threads_per_socket: u32,
+    /// Access size in bytes.
+    pub access_size: u64,
+    /// Access pattern.
+    pub pattern: Pattern,
+    /// Thread pinning.
+    pub pinning: Pinning,
+    /// Socket placement.
+    pub placement: Placement,
+    /// Which best practices shaped this plan.
+    pub applied: Vec<BestPractice>,
+}
+
+impl PlannedAccess {
+    /// Express the plan as a simulator workload spec (read or write side).
+    pub fn to_spec(&self, kind: AccessKind) -> WorkloadSpec {
+        WorkloadSpec {
+            device: DeviceClass::Pmem,
+            kind,
+            pattern: self.pattern,
+            access_size: self.access_size,
+            threads: self.threads_per_socket,
+            placement: self.placement,
+            pinning: self.pinning,
+            total_bytes: WorkloadSpec::PAPER_VOLUME,
+        }
+    }
+}
+
+/// Plans PMEM access per the paper's best practices.
+#[derive(Debug, Clone)]
+pub struct AccessPlanner {
+    sim: Simulation,
+    sockets: u8,
+}
+
+impl AccessPlanner {
+    /// Planner for the paper's dual-socket server.
+    pub fn paper_default() -> Self {
+        Self::new(SystemParams::paper_default())
+    }
+
+    /// Planner for explicit parameters.
+    pub fn new(params: SystemParams) -> Self {
+        let sockets = params.machine.sockets;
+        AccessPlanner {
+            sim: Simulation::with_params(params),
+            sockets,
+        }
+    }
+
+    /// The machine's physical cores per socket.
+    fn cores(&self) -> u32 {
+        self.sim.params().machine.cores_per_socket as u32
+    }
+
+    /// Dual-socket placement when the machine has one, per Best Practice #4
+    /// ("place data on all sockets but access it only from near regions").
+    fn near_placement(&self) -> Placement {
+        if self.sockets >= 2 {
+            Placement::BothNear
+        } else {
+            Placement::NEAR
+        }
+    }
+
+    /// Produce a plan for an intent.
+    pub fn plan(&self, intent: Intent) -> PlannedAccess {
+        let xpline = self.sim.params().optane.xpline_bytes;
+        match intent {
+            Intent::BulkRead => PlannedAccess {
+                // Insight #2: all physical cores; no hyperthreads.
+                threads_per_socket: self.cores(),
+                // Insight #1: individual regions make the size uncritical;
+                // 4 KB aligns with the interleaving either way.
+                access_size: 4096,
+                pattern: Pattern::SequentialIndividual,
+                pinning: Pinning::Cores,
+                placement: self.near_placement(),
+                applied: vec![
+                    BestPractice::DistinctRegions,
+                    BestPractice::ScaleReadersLimitWriters,
+                    BestPractice::PinThreads,
+                    BestPractice::NearAccessOnly,
+                ],
+            },
+            Intent::BulkWrite => PlannedAccess {
+                // Insight #7: 4–6 writers saturate the media.
+                threads_per_socket: 6,
+                // Insight #6: 4 KB chunks.
+                access_size: 4096,
+                pattern: Pattern::SequentialIndividual,
+                pinning: Pinning::Cores,
+                placement: self.near_placement(),
+                applied: vec![
+                    BestPractice::DistinctRegions,
+                    BestPractice::ScaleReadersLimitWriters,
+                    BestPractice::PinThreads,
+                    BestPractice::NearAccessOnly,
+                ],
+            },
+            Intent::LogAppend { record_bytes } => PlannedAccess {
+                // Many small writers tolerate scaling if the access stays at
+                // the XPLine granularity and each worker owns its log
+                // (Insights #6/#7: "one log per worker").
+                threads_per_socket: self.cores(),
+                access_size: record_bytes.clamp(xpline, 1024).next_multiple_of(xpline),
+                pattern: Pattern::SequentialIndividual,
+                pinning: Pinning::Cores,
+                placement: self.near_placement(),
+                applied: vec![
+                    BestPractice::DistinctRegions,
+                    BestPractice::ScaleReadersLimitWriters,
+                    BestPractice::PinThreads,
+                ],
+            },
+            Intent::RandomRead { access_bytes } => PlannedAccess {
+                // Insight #12: at least 256 B; hyperthreading helps random
+                // reads, so use all logical cores.
+                threads_per_socket: self.cores() * 2,
+                access_size: access_bytes.max(xpline),
+                pattern: Pattern::Random {
+                    region_bytes: 2 << 30,
+                },
+                pinning: Pinning::Cores,
+                placement: self.near_placement(),
+                applied: vec![
+                    BestPractice::SequentialOrLargeAccess,
+                    BestPractice::PinThreads,
+                    BestPractice::NearAccessOnly,
+                ],
+            },
+            Intent::RandomWrite { access_bytes } => PlannedAccess {
+                threads_per_socket: 4,
+                access_size: access_bytes.max(xpline),
+                pattern: Pattern::Random {
+                    region_bytes: 2 << 30,
+                },
+                pinning: Pinning::Cores,
+                placement: self.near_placement(),
+                applied: vec![
+                    BestPractice::SequentialOrLargeAccess,
+                    BestPractice::ScaleReadersLimitWriters,
+                    BestPractice::PinThreads,
+                ],
+            },
+            Intent::Mixed { readers, writers } => PlannedAccess {
+                // Best Practice #5: shrink the mixed phase; cap writers at
+                // the write-saturation point and keep the recommended
+                // sequential thread counts for both sides.
+                threads_per_socket: readers.min(self.cores()) + writers.min(6),
+                access_size: 4096,
+                pattern: Pattern::SequentialIndividual,
+                pinning: Pinning::NumaRegion,
+                placement: self.near_placement(),
+                applied: vec![
+                    BestPractice::AvoidMixedWorkloads,
+                    BestPractice::ScaleReadersLimitWriters,
+                    BestPractice::PinThreads,
+                ],
+            },
+        }
+    }
+
+    /// Expected steady-state bandwidth of a plan.
+    pub fn expected_bandwidth(&self, plan: &PlannedAccess, kind: AccessKind) -> Bandwidth {
+        self.sim
+            .model()
+            .bandwidth(&plan.to_spec(kind), CoherenceView::WARM)
+    }
+
+    /// Expected bandwidth of a mixed plan (read + write sides).
+    pub fn expected_mixed(&self, readers: u32, writers: u32) -> (Bandwidth, Bandwidth) {
+        let eval = self
+            .sim
+            .evaluate_mixed(&MixedSpec::paper(DeviceClass::Pmem, writers, readers));
+        (eval.read, eval.write)
+    }
+
+    /// Advisory: is it better to serialize this mixed phase (Insight #11)?
+    /// Returns true when running the reads and writes back-to-back moves
+    /// the combined volume faster than running them concurrently.
+    pub fn should_serialize(&self, readers: u32, writers: u32, read_bytes: u64, write_bytes: u64) -> bool {
+        let (r_bw, w_bw) = self.expected_mixed(readers, writers);
+        let mixed_time = (read_bytes as f64 / r_bw.bytes_per_sec())
+            .max(write_bytes as f64 / w_bw.bytes_per_sec());
+        let solo_read = self.expected_bandwidth(&self.plan(Intent::BulkRead), AccessKind::Read);
+        let solo_write = self.expected_bandwidth(&self.plan(Intent::BulkWrite), AccessKind::Write);
+        let serial_time = read_bytes as f64 / solo_read.bytes_per_sec()
+            + write_bytes as f64 / solo_write.bytes_per_sec();
+        serial_time < mixed_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner() -> AccessPlanner {
+        AccessPlanner::paper_default()
+    }
+
+    #[test]
+    fn bulk_read_plan_saturates_the_device() {
+        let p = planner();
+        let plan = p.plan(Intent::BulkRead);
+        assert_eq!(plan.threads_per_socket, 18);
+        assert_eq!(plan.pinning, Pinning::Cores);
+        assert_eq!(plan.placement, Placement::BothNear);
+        let bw = p.expected_bandwidth(&plan, AccessKind::Read).gib_s();
+        assert!(bw > 75.0, "planned dual-socket read {bw}");
+    }
+
+    #[test]
+    fn bulk_write_plan_uses_few_threads_and_beats_naive_many_threads() {
+        let p = planner();
+        let plan = p.plan(Intent::BulkWrite);
+        assert!(plan.threads_per_socket <= 6);
+        let planned = p.expected_bandwidth(&plan, AccessKind::Write).gib_s();
+        // Naive: throw all 36 threads at large writes.
+        let naive = WorkloadSpec::seq_write(DeviceClass::Pmem, 1 << 20, 36)
+            .placement(Placement::BothNear)
+            .pinning(Pinning::Cores);
+        let naive_bw = Simulation::paper_default()
+            .evaluate_steady(&naive)
+            .total_bandwidth
+            .gib_s();
+        assert!(
+            planned > 1.5 * naive_bw,
+            "planned {planned} vs naive {naive_bw}"
+        );
+    }
+
+    #[test]
+    fn log_append_plan_rounds_to_xpline() {
+        let p = planner();
+        let plan = p.plan(Intent::LogAppend { record_bytes: 48 });
+        assert_eq!(plan.access_size, 256, "sub-XPLine records round up");
+        assert_eq!(plan.pattern, Pattern::SequentialIndividual, "one log per worker");
+        let plan = p.plan(Intent::LogAppend { record_bytes: 700 });
+        assert_eq!(plan.access_size % 256, 0);
+    }
+
+    #[test]
+    fn random_read_plan_enforces_minimum_access() {
+        let p = planner();
+        let plan = p.plan(Intent::RandomRead { access_bytes: 64 });
+        assert_eq!(plan.access_size, 256, "Insight #12: at least 256 B");
+        // Hyperthreads help random reads.
+        assert_eq!(plan.threads_per_socket, 36);
+        let small = WorkloadSpec::random(DeviceClass::Pmem, AccessKind::Read, 64, 36, 2 << 30);
+        let small_bw = Simulation::paper_default()
+            .evaluate_steady(&small)
+            .total_bandwidth
+            .gib_s();
+        let planned = p.expected_bandwidth(&plan, AccessKind::Read).gib_s();
+        assert!(planned > 1.5 * small_bw, "planned {planned} vs 64B {small_bw}");
+    }
+
+    #[test]
+    fn mixed_plans_know_when_to_serialize() {
+        let p = planner();
+        // Symmetric large volumes: serialization wins (Insight #11).
+        assert!(p.should_serialize(18, 6, 40 << 30, 40 << 30));
+    }
+
+    #[test]
+    fn plans_cite_their_best_practices() {
+        let p = planner();
+        for intent in [
+            Intent::BulkRead,
+            Intent::BulkWrite,
+            Intent::LogAppend { record_bytes: 64 },
+            Intent::RandomRead { access_bytes: 512 },
+            Intent::RandomWrite { access_bytes: 512 },
+            Intent::Mixed { readers: 18, writers: 4 },
+        ] {
+            let plan = p.plan(intent);
+            assert!(!plan.applied.is_empty(), "{intent:?} cites nothing");
+            assert!(plan.applied.contains(&BestPractice::PinThreads) || intent == Intent::BulkRead || !plan.applied.is_empty());
+        }
+    }
+
+    #[test]
+    fn single_socket_machines_stay_near() {
+        let mut params = SystemParams::paper_default();
+        params.machine.sockets = 1;
+        let p = AccessPlanner::new(params);
+        assert_eq!(p.plan(Intent::BulkRead).placement, Placement::NEAR);
+    }
+}

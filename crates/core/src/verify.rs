@@ -1,0 +1,218 @@
+//! Programmatic verification of the paper's 12 insights.
+//!
+//! Every insight in [`crate::best_practices`] is a falsifiable claim about
+//! the device. This module phrases each one as a concrete comparison
+//! against the simulator and reports whether it holds, with the numbers as
+//! evidence — the `repro` binary prints the resulting checklist, and the
+//! test suite asserts all twelve hold on the paper-default parameters.
+
+use pmem_sim::params::DeviceClass;
+use pmem_sim::sched::Pinning;
+use pmem_sim::workload::{AccessKind, MixedSpec, Pattern, Placement, WorkloadSpec};
+use pmem_sim::Simulation;
+
+use crate::best_practices::Insight;
+
+/// Outcome of checking one insight.
+#[derive(Debug, Clone)]
+pub struct InsightCheck {
+    /// The insight checked.
+    pub insight: Insight,
+    /// Whether the claim holds on the simulated device.
+    pub holds: bool,
+    /// The numbers behind the verdict.
+    pub evidence: String,
+}
+
+fn gib(sim: &Simulation, spec: &WorkloadSpec) -> f64 {
+    sim.evaluate_steady(spec).total_bandwidth.gib_s()
+}
+
+/// Check a single insight against a simulation.
+pub fn verify_insight(sim: &mut Simulation, insight: Insight) -> InsightCheck {
+    let read = |a: u64, t: u32| WorkloadSpec::seq_read(DeviceClass::Pmem, a, t);
+    let write = |a: u64, t: u32| WorkloadSpec::seq_write(DeviceClass::Pmem, a, t);
+    let (holds, evidence) = match insight {
+        Insight::ReadIndividualOr4K => {
+            // Individual reads ≈ grouped 4 KB reads ≫ grouped small reads.
+            let individual = gib(sim, &read(64, 18));
+            let grouped_4k = gib(sim, &read(4096, 18).pattern(Pattern::SequentialGrouped));
+            let grouped_small = gib(sim, &read(64, 18).pattern(Pattern::SequentialGrouped));
+            (
+                individual > 2.0 * grouped_small && grouped_4k > 2.0 * grouped_small,
+                format!(
+                    "individual 64 B {individual:.1}, grouped 4 KB {grouped_4k:.1}, \
+                     grouped 64 B {grouped_small:.1} GB/s"
+                ),
+            )
+        }
+        Insight::ReadWithAllCores => {
+            let all = gib(sim, &read(4096, 18));
+            let few = gib(sim, &read(4096, 4));
+            let ht = gib(sim, &read(4096, 24));
+            (
+                all > 1.5 * few && ht <= all + 1e-9,
+                format!("18 thr {all:.1} vs 4 thr {few:.1} vs 24 thr (HT) {ht:.1} GB/s"),
+            )
+        }
+        Insight::PinReadThreads => {
+            let pinned = gib(sim, &read(4096, 18));
+            let none = gib(sim, &read(4096, 18).pinning(Pinning::None));
+            (
+                pinned > 3.0 * none,
+                format!("pinned {pinned:.1} vs unpinned {none:.1} GB/s"),
+            )
+        }
+        Insight::ReadNearOnly => {
+            let near = gib(sim, &read(4096, 18));
+            sim.reset_coherence();
+            let cold_far = sim
+                .evaluate(&read(4096, 18).placement(Placement::FAR))
+                .total_bandwidth
+                .gib_s();
+            sim.reset_coherence();
+            (
+                near > 4.0 * cold_far,
+                format!("near {near:.1} vs first far touch {cold_far:.1} GB/s"),
+            )
+        }
+        Insight::StripeAcrossSockets => {
+            let two_near = gib(sim, &read(4096, 18).placement(Placement::BothNear));
+            let two_far = gib(sim, &read(4096, 18).placement(Placement::BothFar));
+            let contended = gib(sim, &read(4096, 18).placement(Placement::Contended));
+            (
+                two_near > 1.5 * two_far && two_near > 4.0 * contended,
+                format!(
+                    "2-near {two_near:.1} vs 2-far {two_far:.1} vs contended {contended:.1} GB/s"
+                ),
+            )
+        }
+        Insight::Write4KOr256B => {
+            let w4k = gib(sim, &write(4096, 6));
+            let w256 = gib(sim, &write(256, 24));
+            let w64 = gib(sim, &write(64, 24).pattern(Pattern::SequentialGrouped));
+            (
+                w4k > 1.5 * w64 && w256 > 1.5 * w64,
+                format!("4 KB {w4k:.1}, 256 B {w256:.1}, grouped 64 B {w64:.1} GB/s"),
+            )
+        }
+        Insight::WriteFewThreads => {
+            let few = gib(sim, &write(65536, 6));
+            let many = gib(sim, &write(65536, 36));
+            let many_small = gib(sim, &write(256, 36));
+            (
+                few > 1.5 * many && many_small > 1.5 * many,
+                format!(
+                    "6 thr × 64 KB {few:.1} vs 36 thr × 64 KB {many:.1} vs \
+                     36 thr × 256 B {many_small:.1} GB/s"
+                ),
+            )
+        }
+        Insight::PinWriteThreads => {
+            let cores = gib(sim, &write(4096, 24));
+            let numa = gib(sim, &write(4096, 24).pinning(Pinning::NumaRegion));
+            let none = gib(sim, &write(4096, 24).pinning(Pinning::None));
+            (
+                cores > numa && numa > none,
+                format!("cores {cores:.1} > NUMA {numa:.1} > none {none:.1} GB/s"),
+            )
+        }
+        Insight::WriteNearOnly => {
+            let near = gib(sim, &write(4096, 6));
+            let far = gib(sim, &write(4096, 8).placement(Placement::FAR));
+            (
+                near > 1.5 * far,
+                format!("near {near:.1} vs far {far:.1} GB/s"),
+            )
+        }
+        Insight::AvoidContendedWrites => {
+            let two_near = gib(sim, &write(4096, 6).placement(Placement::BothNear));
+            let contended = gib(sim, &write(4096, 18).placement(Placement::Contended));
+            (
+                two_near > 2.0 * contended,
+                format!("2-near {two_near:.1} vs contended {contended:.1} GB/s"),
+            )
+        }
+        Insight::SerializeMixedAccess => {
+            let solo = sim
+                .evaluate_mixed(&MixedSpec::paper(DeviceClass::Pmem, 0, 30))
+                .read
+                .gib_s();
+            let mixed = sim.evaluate_mixed(&MixedSpec::paper(DeviceClass::Pmem, 6, 30));
+            let total = mixed.total().gib_s();
+            (
+                total < solo,
+                format!("6W/30R combined {total:.1} vs 30R alone {solo:.1} GB/s"),
+            )
+        }
+        Insight::PreferSequential => {
+            let seq = gib(sim, &read(4096, 36));
+            let rand_large = gib(
+                sim,
+                &WorkloadSpec::random(DeviceClass::Pmem, AccessKind::Read, 4096, 36, 2 << 30),
+            );
+            let rand_small = gib(
+                sim,
+                &WorkloadSpec::random(DeviceClass::Pmem, AccessKind::Read, 64, 36, 2 << 30),
+            );
+            (
+                seq > rand_large && rand_large > 2.0 * rand_small,
+                format!(
+                    "sequential {seq:.1} > random 4 KB {rand_large:.1} > \
+                     random 64 B {rand_small:.1} GB/s"
+                ),
+            )
+        }
+    };
+    InsightCheck {
+        insight,
+        holds,
+        evidence,
+    }
+}
+
+/// Check all 12 insights on the paper-default machine.
+pub fn verify_all() -> Vec<InsightCheck> {
+    let mut sim = Simulation::paper_default();
+    Insight::ALL
+        .iter()
+        .map(|i| verify_insight(&mut sim, *i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_twelve_insights_hold_on_the_paper_machine() {
+        for check in verify_all() {
+            assert!(
+                check.holds,
+                "{} failed: {}",
+                check.insight, check.evidence
+            );
+            assert!(!check.evidence.is_empty());
+        }
+    }
+
+    #[test]
+    fn evidence_contains_numbers() {
+        let mut sim = Simulation::paper_default();
+        let check = verify_insight(&mut sim, Insight::ReadWithAllCores);
+        assert!(check.evidence.contains("GB/s"));
+        assert!(check.evidence.contains("18 thr"));
+    }
+
+    #[test]
+    fn a_machine_without_coherence_warmup_fails_the_near_only_check() {
+        // The checks must be falsifiable: on a hypothetical device whose
+        // far reads never pay a remapping penalty, Insight #4's "first far
+        // touch is 5× slower" claim stops holding.
+        let mut params = pmem_sim::params::SystemParams::paper_default();
+        params.coherence.cold_far_read_frac = 1.0;
+        let mut sim = Simulation::with_params(params);
+        let check = verify_insight(&mut sim, Insight::ReadNearOnly);
+        assert!(!check.holds, "check must be falsifiable: {}", check.evidence);
+    }
+}

@@ -1,0 +1,355 @@
+//! A deliberately PMEM-*unaware* chained hash table.
+//!
+//! This is the contrast structure for the paper's Hyrise experiment (§6.1):
+//! a textbook bucket-array + linked-list hash map that is perfectly
+//! reasonable on DRAM and pathological on PMEM. Every probe chases 24-byte
+//! nodes at random offsets — far below Optane's 256 B granularity, so each
+//! hop is an amplified random read. The paper found exactly this pattern
+//! ("hash-operations take over 90 % of the execution time") responsible for
+//! Hyrise's 5.3× PMEM slowdown.
+//!
+//! It is also persistence-unaware: plain stores, no flushes — on PMEM it
+//! would not recover from a crash, just like a volatile structure `mmap`ed
+//! onto App Direct memory.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::RwLock;
+use pmem_store::alloc::Arena;
+use pmem_store::{AccessHint, Namespace, Region, Result};
+
+use crate::hash::hash64;
+use crate::KvIndex;
+
+/// Node layout: key (8) | value (8) | next (8, offset+1, 0 = nil).
+const NODE_SIZE: u64 = 24;
+/// Grow the bucket array when chains average above this length.
+const MAX_LOAD: usize = 3;
+
+struct Inner {
+    heads: Region,
+    nodes: Region,
+    arena: Arena,
+    bucket_count: u64,
+    free_head: u64, // offset+1 of first freed node, 0 = none
+}
+
+/// The PMEM-unaware chained hash table.
+pub struct ChainedTable {
+    ns: Namespace,
+    inner: RwLock<Inner>,
+    len: AtomicUsize,
+}
+
+impl ChainedTable {
+    /// Table sized for ~1k records (grows by rehashing).
+    pub fn new(ns: &Namespace) -> Result<Self> {
+        Self::with_capacity(ns, 1024)
+    }
+
+    /// Table pre-sized for `records` entries.
+    pub fn with_capacity(ns: &Namespace, records: usize) -> Result<Self> {
+        let bucket_count = (records.max(16) as u64 / 2).next_power_of_two();
+        let heads = ns.alloc_region(bucket_count * 8)?;
+        let node_bytes = (records.max(16) as u64 * 2) * NODE_SIZE;
+        let nodes = ns.alloc_region(node_bytes)?;
+        Ok(ChainedTable {
+            ns: ns.clone(),
+            inner: RwLock::new(Inner {
+                heads,
+                nodes,
+                arena: Arena::new(node_bytes),
+                bucket_count,
+                free_head: 0,
+            }),
+            len: AtomicUsize::new(0),
+        })
+    }
+
+    /// Number of buckets (diagnostic).
+    pub fn bucket_count(&self) -> u64 {
+        self.inner.read().bucket_count
+    }
+
+    /// Simulate a power loss (chaos-testing hook). This table never
+    /// flushes, so everything written since creation is lost — the
+    /// PMEM-unaware failure mode.
+    pub fn simulate_crash(&self) -> u64 {
+        let mut inner = self.inner.write();
+        let lost = inner.heads.crash() + inner.nodes.crash();
+        self.len.store(0, Ordering::Relaxed);
+        lost
+    }
+}
+
+impl Inner {
+    fn bucket_of(&self, key: u64) -> u64 {
+        hash64(key) & (self.bucket_count - 1)
+    }
+
+    fn head(&self, bucket: u64) -> u64 {
+        self.heads.read_u64(bucket * 8, AccessHint::Random)
+    }
+
+    fn set_head(&mut self, bucket: u64, link: u64) {
+        self.heads
+            .try_write(bucket * 8, &link.to_le_bytes(), AccessHint::Random)
+            .expect("head in bounds");
+    }
+
+    fn node(&self, link: u64) -> (u64, u64, u64) {
+        debug_assert_ne!(link, 0);
+        let off = link - 1;
+        // One pointer-chasing hop: a 24 B random read, the PMEM-hostile
+        // pattern this structure exists to demonstrate.
+        let bytes = self.nodes.read(off, NODE_SIZE, AccessHint::Random);
+        (
+            u64::from_le_bytes(bytes[0..8].try_into().expect("8")),
+            u64::from_le_bytes(bytes[8..16].try_into().expect("8")),
+            u64::from_le_bytes(bytes[16..24].try_into().expect("8")),
+        )
+    }
+
+    fn write_node(&mut self, link: u64, key: u64, value: u64, next: u64) {
+        let off = link - 1;
+        let mut buf = [0u8; NODE_SIZE as usize];
+        buf[0..8].copy_from_slice(&key.to_le_bytes());
+        buf[8..16].copy_from_slice(&value.to_le_bytes());
+        buf[16..24].copy_from_slice(&next.to_le_bytes());
+        self.nodes
+            .try_write(off, &buf, AccessHint::Random)
+            .expect("node in bounds");
+    }
+
+    fn set_node_value(&mut self, link: u64, value: u64) {
+        self.nodes
+            .try_write(link - 1 + 8, &value.to_le_bytes(), AccessHint::Random)
+            .expect("node in bounds");
+    }
+
+    fn set_node_next(&mut self, link: u64, next: u64) {
+        self.nodes
+            .try_write(link - 1 + 16, &next.to_le_bytes(), AccessHint::Random)
+            .expect("node in bounds");
+    }
+
+    fn alloc_node(&mut self, ns: &Namespace) -> Result<u64> {
+        if self.free_head != 0 {
+            let link = self.free_head;
+            let (_, _, next) = self.node(link);
+            self.free_head = next;
+            return Ok(link);
+        }
+        match self.arena.alloc(NODE_SIZE, 8) {
+            Ok(off) => Ok(off + 1),
+            Err(pmem_store::StoreError::OutOfSpace { .. }) => {
+                self.grow_nodes(ns)?;
+                Ok(self.arena.alloc(NODE_SIZE, 8)? + 1)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Double the node storage, copying existing nodes so offsets stay
+    /// valid (accounted as the sequential copy a real rehash performs).
+    fn grow_nodes(&mut self, ns: &Namespace) -> Result<()> {
+        let old_len = self.nodes.len();
+        let new_len = old_len * 2;
+        let mut new_nodes = ns.alloc_region(new_len)?;
+        let bytes = self.nodes.read(0, old_len, AccessHint::Sequential).to_vec();
+        new_nodes.try_write(0, &bytes, AccessHint::Sequential)?;
+        self.nodes = new_nodes;
+        self.arena.grow(new_len);
+        ns.release(old_len);
+        Ok(())
+    }
+
+    fn rehash(&mut self, ns: &Namespace) -> Result<()> {
+        let new_count = self.bucket_count * 2;
+        let new_heads = ns.alloc_region(new_count * 8)?;
+        let old_heads = std::mem::replace(&mut self.heads, new_heads);
+        let old_count = self.bucket_count;
+        self.bucket_count = new_count;
+        for b in 0..old_count {
+            let mut link = old_heads.read_u64(b * 8, AccessHint::Sequential);
+            while link != 0 {
+                let (key, _, next) = self.node(link);
+                let nb = self.bucket_of(key);
+                let nh = self.head(nb);
+                self.set_node_next(link, nh);
+                self.set_head(nb, link);
+                link = next;
+            }
+        }
+        ns.release(old_count * 8);
+        Ok(())
+    }
+}
+
+impl KvIndex for ChainedTable {
+    fn insert(&self, key: u64, value: u64) -> Result<()> {
+        let mut inner = self.inner.write();
+        let bucket = inner.bucket_of(key);
+        let head = inner.head(bucket);
+        // Walk the chain looking for the key.
+        let mut link = head;
+        while link != 0 {
+            let (k, _, next) = inner.node(link);
+            if k == key {
+                inner.set_node_value(link, value);
+                return Ok(());
+            }
+            link = next;
+        }
+        let node = inner.alloc_node(&self.ns)?;
+        inner.write_node(node, key, value, head);
+        inner.set_head(bucket, node);
+        let len = self.len.fetch_add(1, Ordering::Relaxed) + 1;
+        if len > inner.bucket_count as usize * MAX_LOAD {
+            inner.rehash(&self.ns)?;
+        }
+        Ok(())
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        let inner = self.inner.read();
+        let mut link = inner.head(inner.bucket_of(key));
+        while link != 0 {
+            let (k, v, next) = inner.node(link);
+            if k == key {
+                return Some(v);
+            }
+            link = next;
+        }
+        None
+    }
+
+    fn remove(&self, key: u64) -> Option<u64> {
+        let mut inner = self.inner.write();
+        let bucket = inner.bucket_of(key);
+        let mut prev = 0u64;
+        let mut link = inner.head(bucket);
+        while link != 0 {
+            let (k, v, next) = inner.node(link);
+            if k == key {
+                if prev == 0 {
+                    inner.set_head(bucket, next);
+                } else {
+                    inner.set_node_next(prev, next);
+                }
+                // Push onto the free list.
+                let free = inner.free_head;
+                inner.set_node_next(link, free);
+                inner.free_head = link;
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                return Some(v);
+            }
+            prev = link;
+            link = next;
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::topology::SocketId;
+
+    fn ns(mib: u64) -> Namespace {
+        Namespace::devdax(SocketId(0), mib << 20)
+    }
+
+    #[test]
+    fn basic_crud() {
+        let ns = ns(8);
+        let t = ChainedTable::new(&ns).unwrap();
+        t.insert(1, 10).unwrap();
+        t.insert(2, 20).unwrap();
+        assert_eq!(t.get(1), Some(10));
+        assert_eq!(t.get(2), Some(20));
+        assert_eq!(t.get(99), None);
+        t.insert(1, 11).unwrap();
+        assert_eq!(t.get(1), Some(11));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.remove(2), Some(20));
+        assert_eq!(t.get(2), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn grows_by_rehash_and_keeps_everything() {
+        let ns = ns(64);
+        let t = ChainedTable::with_capacity(&ns, 64).unwrap();
+        let before = t.bucket_count();
+        for k in 0..20_000u64 {
+            t.insert(k, k * 7).unwrap();
+        }
+        assert!(t.bucket_count() > before, "should have rehashed");
+        for k in 0..20_000u64 {
+            assert_eq!(t.get(k), Some(k * 7), "key {k}");
+        }
+    }
+
+    #[test]
+    fn removal_in_middle_of_chain_and_node_reuse() {
+        let ns = ns(8);
+        let t = ChainedTable::with_capacity(&ns, 16).unwrap();
+        // Few buckets → long chains guaranteed.
+        for k in 0..30u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in (0..30u64).step_by(2) {
+            assert_eq!(t.remove(k), Some(k));
+        }
+        for k in 0..30u64 {
+            assert_eq!(t.get(k), (k % 2 == 1).then_some(k), "key {k}");
+        }
+        // Freed nodes are reused: inserts succeed without growing the arena.
+        for k in 100..115u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in 100..115u64 {
+            assert_eq!(t.get(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn probes_generate_small_random_reads() {
+        // The accounting signature that makes this table slow on PMEM.
+        let ns = ns(8);
+        let t = ChainedTable::with_capacity(&ns, 1024).unwrap();
+        for k in 0..1024u64 {
+            t.insert(k, k).unwrap();
+        }
+        let before = ns.tracker().snapshot();
+        for k in 0..1024u64 {
+            t.get(k);
+        }
+        let delta = ns.tracker().snapshot().since(&before);
+        assert_eq!(delta.seq_read_bytes, 0, "probes must be random reads");
+        let mean = delta.rand_read_bytes as f64 / delta.read_ops as f64;
+        assert!(
+            mean < 32.0,
+            "mean probe granule should be sub-cacheline, got {mean}"
+        );
+    }
+
+    #[test]
+    fn unaware_table_loses_data_on_crash() {
+        // Contrast with Dash's crash-consistent publication order.
+        let ns = ns(8);
+        let t = ChainedTable::new(&ns).unwrap();
+        t.insert(5, 50).unwrap();
+        {
+            let mut inner = t.inner.write();
+            inner.heads.crash();
+            inner.nodes.crash();
+        }
+        assert_eq!(t.get(5), None, "plain stores must not survive a crash");
+    }
+}

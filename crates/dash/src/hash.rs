@@ -1,0 +1,114 @@
+//! Hash-bit carving for the extendible directory, bucket choice, and
+//! fingerprints.
+//!
+//! One 64-bit hash feeds three independent consumers:
+//!
+//! * the **low bits** index the segment directory (extendible hashing),
+//! * bits 32.. pick the bucket within a segment,
+//! * bits 56.. form the 1-byte fingerprint stored next to each slot.
+//!
+//! Keeping the bit ranges disjoint matters: directory doubling must not
+//! reshuffle in-bucket placement, and fingerprints must stay independent of
+//! the bucket index or false-positive rates spike.
+
+/// A Fibonacci/xor mix — cheap, statistically solid for integer keys, and
+/// deterministic across runs (no per-process seeding, so layouts are
+/// reproducible in tests and benches).
+#[inline]
+pub fn hash64(key: u64) -> u64 {
+    let mut h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 32;
+    h = h.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    h ^= h >> 32;
+    h
+}
+
+/// Directory slot for a hash under `global_depth` (low bits).
+#[inline]
+pub fn dir_index(hash: u64, global_depth: u8) -> usize {
+    if global_depth == 0 {
+        0
+    } else {
+        (hash & ((1u64 << global_depth) - 1)) as usize
+    }
+}
+
+/// Bucket index within a segment of `buckets` buckets (bits 32..).
+#[inline]
+pub fn bucket_index(hash: u64, buckets: u32) -> u32 {
+    ((hash >> 32) % buckets as u64) as u32
+}
+
+/// 1-byte fingerprint (bits 56..). Zero is reserved for "empty slot", so
+/// the fingerprint is forced non-zero.
+#[inline]
+pub fn fingerprint(hash: u64) -> u8 {
+    let fp = (hash >> 56) as u8;
+    if fp == 0 {
+        1
+    } else {
+        fp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_mixing() {
+        assert_eq!(hash64(42), hash64(42));
+        assert_ne!(hash64(1), hash64(2));
+        // Consecutive keys should not land in consecutive directory slots
+        // for all depths (i.e. low bits actually mixed).
+        let collisions = (0..1000u64)
+            .filter(|k| dir_index(hash64(*k), 8) == dir_index(hash64(k + 1), 8))
+            .count();
+        assert!(collisions < 50, "low bits badly mixed: {collisions}");
+    }
+
+    #[test]
+    fn dir_index_respects_depth() {
+        let h = hash64(7);
+        assert_eq!(dir_index(h, 0), 0);
+        assert!(dir_index(h, 4) < 16);
+        // Deeper depth refines, never contradicts, the shallow index.
+        assert_eq!(dir_index(h, 4), dir_index(h, 8) & 0xF);
+    }
+
+    #[test]
+    fn bucket_index_in_range_and_independent_of_dir_bits() {
+        for k in 0..1000u64 {
+            let h = hash64(k);
+            assert!(bucket_index(h, 64) < 64);
+        }
+        // Keys sharing low bits must not all share a bucket.
+        let same_dir: Vec<u64> = (0..4000u64)
+            .map(hash64)
+            .filter(|h| dir_index(*h, 4) == 3)
+            .collect();
+        let first_bucket = bucket_index(same_dir[0], 64);
+        assert!(
+            same_dir.iter().any(|h| bucket_index(*h, 64) != first_bucket),
+            "bucket index must be independent of directory bits"
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_never_zero() {
+        for k in 0..10_000u64 {
+            assert_ne!(fingerprint(hash64(k)), 0);
+        }
+        assert_eq!(fingerprint(0), 1); // hash that would produce 0
+    }
+
+    #[test]
+    fn fingerprints_spread() {
+        let mut seen = [0u32; 256];
+        for k in 0..10_000u64 {
+            seen[fingerprint(hash64(k)) as usize] += 1;
+        }
+        let max = *seen.iter().max().unwrap();
+        assert!(max < 200, "fingerprint distribution too skewed: {max}");
+    }
+}

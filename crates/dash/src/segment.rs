@@ -1,0 +1,354 @@
+//! A Dash segment: 64 regular buckets plus 4 stash buckets in one
+//! contiguous, lock-protected PMEM region.
+//!
+//! Records live in their *home* bucket `b` or the probing neighbour
+//! `(b + 1) % 64`; inserts go to the emptier of the two ("balanced
+//! insert"), displace movable neighbours when both are full, and spill into
+//! the stash as a last resort. Only when even the stash is full does the
+//! table split the segment.
+
+use parking_lot::RwLock;
+use pmem_store::{Namespace, Region, Result};
+
+use crate::bucket::{self, BucketInsert, BUCKET_BYTES, SLOTS};
+use crate::hash::{self, hash64};
+
+/// Regular buckets per segment.
+pub const BUCKETS: u32 = 64;
+/// Stash (overflow) buckets per segment.
+pub const STASH: u32 = 4;
+/// Region bytes per segment.
+pub const SEGMENT_BYTES: u64 = (BUCKETS + STASH) as u64 * BUCKET_BYTES;
+
+/// Result of a segment-level insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentInsert {
+    /// New record stored.
+    Inserted,
+    /// Existing key updated.
+    Updated,
+    /// Segment is full (even the stash): the table must split it.
+    NeedsSplit,
+}
+
+/// Mutable state of a segment.
+#[derive(Debug)]
+pub struct SegmentInner {
+    /// Backing PMEM region.
+    pub region: Region,
+    /// Extendible-hashing local depth.
+    pub local_depth: u8,
+    /// Live records in this segment.
+    pub count: usize,
+    /// Records currently living in stash buckets. Dash tracks stash
+    /// occupancy in bucket metadata so negative lookups skip the stash
+    /// entirely — without this, every miss costs four extra 256 B probes.
+    pub stash_used: u32,
+}
+
+/// A lock-protected segment.
+#[derive(Debug)]
+pub struct Segment {
+    inner: RwLock<SegmentInner>,
+}
+
+impl Segment {
+    /// Allocate an empty segment with the given local depth.
+    pub fn new(ns: &Namespace, local_depth: u8) -> Result<Self> {
+        let region = ns.alloc_region(SEGMENT_BYTES)?;
+        Ok(Segment {
+            inner: RwLock::new(SegmentInner {
+                region,
+                local_depth,
+                count: 0,
+                stash_used: 0,
+            }),
+        })
+    }
+
+    /// Shared access to the inner state.
+    pub fn read(&self) -> parking_lot::RwLockReadGuard<'_, SegmentInner> {
+        self.inner.read()
+    }
+
+    /// Exclusive access to the inner state.
+    pub fn write(&self) -> parking_lot::RwLockWriteGuard<'_, SegmentInner> {
+        self.inner.write()
+    }
+}
+
+fn bucket_off(b: u32) -> u64 {
+    b as u64 * BUCKET_BYTES
+}
+
+fn stash_off(s: u32) -> u64 {
+    (BUCKETS + s) as u64 * BUCKET_BYTES
+}
+
+impl SegmentInner {
+    /// Point lookup: home bucket, neighbour, then the stash — at most six
+    /// 256 B probes, usually one.
+    pub fn get(&self, h: u64, key: u64) -> Option<u64> {
+        let fp = hash::fingerprint(h);
+        let b = hash::bucket_index(h, BUCKETS);
+        for off in [bucket_off(b), bucket_off((b + 1) % BUCKETS)] {
+            let snap = bucket::load(&self.region, off);
+            if let Some(slot) = snap.find(fp, key) {
+                return Some(snap.records[slot].1);
+            }
+        }
+        if self.stash_used > 0 {
+            for s in 0..STASH {
+                let snap = bucket::load(&self.region, stash_off(s));
+                if let Some(slot) = snap.find(fp, key) {
+                    return Some(snap.records[slot].1);
+                }
+            }
+        }
+        None
+    }
+
+    /// Insert or update.
+    pub fn insert(&mut self, h: u64, key: u64, value: u64) -> SegmentInsert {
+        let fp = hash::fingerprint(h);
+        let b = hash::bucket_index(h, BUCKETS);
+        let n = (b + 1) % BUCKETS;
+
+        // Update in place if the key exists anywhere it may live.
+        if let Some(outcome) = self.try_update(fp, key, value, b, n) {
+            return outcome;
+        }
+
+        // Balanced insert: fill the emptier of home and neighbour.
+        let (b_occ, n_occ) = (
+            bucket::load(&self.region, bucket_off(b)).occupancy(),
+            bucket::load(&self.region, bucket_off(n)).occupancy(),
+        );
+        let order = if b_occ <= n_occ { [b, n] } else { [n, b] };
+        for target in order {
+            if bucket::insert(&mut self.region, bucket_off(target), fp, key, value)
+                == BucketInsert::Inserted
+            {
+                self.count += 1;
+                return SegmentInsert::Inserted;
+            }
+        }
+
+        // Displacement: make room in the home pair by moving a record to
+        // *its* alternate bucket.
+        for victim_bucket in [b, n] {
+            if self.displace_one(victim_bucket)
+                && bucket::insert(&mut self.region, bucket_off(victim_bucket), fp, key, value)
+                    == BucketInsert::Inserted
+                {
+                    self.count += 1;
+                    return SegmentInsert::Inserted;
+                }
+        }
+
+        // Stash.
+        for s in 0..STASH {
+            if bucket::insert(&mut self.region, stash_off(s), fp, key, value)
+                == BucketInsert::Inserted
+            {
+                self.count += 1;
+                self.stash_used += 1;
+                return SegmentInsert::Inserted;
+            }
+        }
+        SegmentInsert::NeedsSplit
+    }
+
+    fn try_update(&mut self, fp: u8, key: u64, value: u64, b: u32, n: u32) -> Option<SegmentInsert> {
+        for off in [bucket_off(b), bucket_off(n)] {
+            let snap = bucket::load(&self.region, off);
+            if let Some(slot) = snap.find(fp, key) {
+                bucket::update_value(&mut self.region, off, slot, value);
+                return Some(SegmentInsert::Updated);
+            }
+        }
+        if self.stash_used > 0 {
+            for s in 0..STASH {
+                let snap = bucket::load(&self.region, stash_off(s));
+                if let Some(slot) = snap.find(fp, key) {
+                    bucket::update_value(&mut self.region, stash_off(s), slot, value);
+                    return Some(SegmentInsert::Updated);
+                }
+            }
+        }
+        None
+    }
+
+    /// Try to move one record of `from` into that record's alternate
+    /// bucket. Returns true if a slot was freed.
+    fn displace_one(&mut self, from: u32) -> bool {
+        let snap = bucket::load(&self.region, bucket_off(from));
+        for (slot, key, value) in snap.live() {
+            let h = hash64(key);
+            let home = hash::bucket_index(h, BUCKETS);
+            let alt = if home == from { (home + 1) % BUCKETS } else { home };
+            if alt == from {
+                continue;
+            }
+            let alt_snap = bucket::load(&self.region, bucket_off(alt));
+            if let Some(free) = alt_snap.free_slot() {
+                // Crash-safe move: publish the copy first, then clear the
+                // original. A crash in between leaves a duplicate, which
+                // lookups tolerate (same key/value) and splits dedupe.
+                bucket::publish(
+                    &mut self.region,
+                    bucket_off(alt),
+                    free,
+                    hash::fingerprint(h),
+                    key,
+                    value,
+                );
+                bucket::clear_slot(&mut self.region, bucket_off(from), slot);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove a key, returning its value.
+    pub fn remove(&mut self, h: u64, key: u64) -> Option<u64> {
+        let fp = hash::fingerprint(h);
+        let b = hash::bucket_index(h, BUCKETS);
+        for off in [bucket_off(b), bucket_off((b + 1) % BUCKETS)] {
+            let snap = bucket::load(&self.region, off);
+            if let Some(slot) = snap.find(fp, key) {
+                let value = snap.records[slot].1;
+                bucket::clear_slot(&mut self.region, off, slot);
+                self.count -= 1;
+                return Some(value);
+            }
+        }
+        if self.stash_used > 0 {
+            for s in 0..STASH {
+                let snap = bucket::load(&self.region, stash_off(s));
+                if let Some(slot) = snap.find(fp, key) {
+                    let value = snap.records[slot].1;
+                    bucket::clear_slot(&mut self.region, stash_off(s), slot);
+                    self.count -= 1;
+                    self.stash_used -= 1;
+                    return Some(value);
+                }
+            }
+        }
+        None
+    }
+
+    /// All live records (for splits). Duplicates from interrupted
+    /// displacements are removed.
+    pub fn records(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.count);
+        for bkt in 0..BUCKETS + STASH {
+            let snap = bucket::load(&self.region, bkt as u64 * BUCKET_BYTES);
+            for (_, k, v) in snap.live() {
+                out.push((k, v));
+            }
+        }
+        out.sort_unstable();
+        out.dedup_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Theoretical record capacity of a segment.
+    pub fn capacity() -> usize {
+        (BUCKETS + STASH) as usize * SLOTS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::topology::SocketId;
+
+    fn segment() -> Segment {
+        let ns = Namespace::devdax(SocketId(0), 4 << 20);
+        Segment::new(&ns, 0).unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let seg = segment();
+        let mut inner = seg.write();
+        for k in 0..100u64 {
+            assert_eq!(inner.insert(hash64(k), k, k * 2), SegmentInsert::Inserted);
+        }
+        assert_eq!(inner.count, 100);
+        for k in 0..100u64 {
+            assert_eq!(inner.get(hash64(k), k), Some(k * 2));
+        }
+        assert_eq!(inner.get(hash64(500), 500), None);
+        assert_eq!(inner.remove(hash64(7), 7), Some(14));
+        assert_eq!(inner.get(hash64(7), 7), None);
+        assert_eq!(inner.count, 99);
+    }
+
+    #[test]
+    fn updates_do_not_grow_count() {
+        let seg = segment();
+        let mut inner = seg.write();
+        inner.insert(hash64(1), 1, 10);
+        assert_eq!(inner.insert(hash64(1), 1, 20), SegmentInsert::Updated);
+        assert_eq!(inner.count, 1);
+        assert_eq!(inner.get(hash64(1), 1), Some(20));
+    }
+
+    #[test]
+    fn fills_to_a_healthy_load_factor_before_split() {
+        let seg = segment();
+        let mut inner = seg.write();
+        let mut inserted = 0u32;
+        for k in 0..(SegmentInner::capacity() as u64 * 2) {
+            match inner.insert(hash64(k), k, k) {
+                SegmentInsert::Inserted => inserted += 1,
+                SegmentInsert::NeedsSplit => break,
+                SegmentInsert::Updated => unreachable!("keys are distinct"),
+            }
+        }
+        let load = inserted as f64 / SegmentInner::capacity() as f64;
+        assert!(
+            load > 0.65,
+            "balanced insert + displacement + stash should reach ≥65 % load, got {load:.2}"
+        );
+        // Everything inserted must remain findable.
+        for k in 0..inserted as u64 {
+            assert_eq!(inner.get(hash64(k), k), Some(k), "lost key {k}");
+        }
+    }
+
+    #[test]
+    fn records_returns_everything_once() {
+        let seg = segment();
+        let mut inner = seg.write();
+        for k in 0..50u64 {
+            inner.insert(hash64(k), k, k + 1);
+        }
+        let recs = inner.records();
+        assert_eq!(recs.len(), 50);
+        assert!(recs.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(recs.iter().all(|(k, v)| *v == k + 1));
+    }
+
+    #[test]
+    fn stash_absorbs_bucket_overflow() {
+        // Collect real keys that all hash to home bucket 5, overflowing the
+        // bucket + neighbour pair so the stash must absorb the rest.
+        let colliders: Vec<u64> = (0..2_000_000u64)
+            .filter(|k| crate::hash::bucket_index(hash64(*k), BUCKETS) == 5)
+            .take(3 * SLOTS)
+            .collect();
+        assert_eq!(colliders.len(), 3 * SLOTS);
+        let seg = segment();
+        let mut inner = seg.write();
+        for &k in &colliders {
+            let r = inner.insert(hash64(k), k, k + 1);
+            assert_eq!(r, SegmentInsert::Inserted, "stash should absorb key {k}");
+        }
+        for &k in &colliders {
+            assert_eq!(inner.get(hash64(k), k), Some(k + 1));
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! The extendible-hashing directory tying segments into a table.
+//!
+//! The directory maps the low `global_depth` hash bits to segments. A full
+//! segment splits into two with `local_depth + 1`; when a segment is
+//! already at the global depth, the directory doubles first. Concurrency is
+//! directory-read + segment-write for normal operations and directory-write
+//! for splits — coarse but correct, and segment operations dominate.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use pmem_store::{Namespace, Result};
+
+use crate::hash::{self, hash64};
+use crate::segment::{Segment, SegmentInsert};
+use crate::KvIndex;
+
+/// Directory state.
+struct Directory {
+    global_depth: u8,
+    entries: Vec<Arc<Segment>>,
+}
+
+/// Structural statistics of a [`DashTable`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DashStats {
+    /// Live records.
+    pub records: usize,
+    /// Distinct segments.
+    pub segments: usize,
+    /// Directory slots (≥ segments; twins share a segment until split).
+    pub directory_entries: usize,
+    /// Extendible-hashing global depth.
+    pub global_depth: u8,
+    /// Smallest local depth across segments.
+    pub min_local_depth: u8,
+    /// Records living in stash (overflow) buckets.
+    pub stash_records: u64,
+    /// Records / theoretical slot capacity.
+    pub load_factor: f64,
+    /// PMEM bytes held by segments.
+    pub bytes: u64,
+}
+
+/// A Dash-style extendible hash table on persistent memory.
+pub struct DashTable {
+    ns: Namespace,
+    dir: RwLock<Directory>,
+    len: AtomicUsize,
+}
+
+impl DashTable {
+    /// Create a table with a single segment (global depth 0).
+    pub fn new(ns: &Namespace) -> Result<Self> {
+        Self::with_initial_depth(ns, 0)
+    }
+
+    /// Create a table pre-sized with `2^depth` segments — avoids split
+    /// storms when the final cardinality is known (e.g. SSB dimension
+    /// tables).
+    pub fn with_initial_depth(ns: &Namespace, depth: u8) -> Result<Self> {
+        assert!(depth <= 28, "directory of 2^{depth} entries is unreasonable");
+        let count = 1usize << depth;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(Arc::new(Segment::new(ns, depth)?));
+        }
+        Ok(DashTable {
+            ns: ns.clone(),
+            dir: RwLock::new(Directory {
+                global_depth: depth,
+                entries,
+            }),
+            len: AtomicUsize::new(0),
+        })
+    }
+
+    /// Pick an initial depth for an expected number of records.
+    pub fn with_capacity(ns: &Namespace, records: usize) -> Result<Self> {
+        let per_segment =
+            (crate::segment::SegmentInner::capacity() as f64 * 0.7) as usize;
+        let mut depth = 0u8;
+        while (1usize << depth) * per_segment < records && depth < 28 {
+            depth += 1;
+        }
+        Self::with_initial_depth(ns, depth)
+    }
+
+    /// Current directory size (diagnostic).
+    pub fn directory_size(&self) -> usize {
+        self.dir.read().entries.len()
+    }
+
+    /// Current global depth (diagnostic).
+    pub fn global_depth(&self) -> u8 {
+        self.dir.read().global_depth
+    }
+
+    fn insert_inner(&self, key: u64, value: u64) -> Result<()> {
+        let h = hash64(key);
+        loop {
+            let full_segment = {
+                let dir = self.dir.read();
+                let idx = hash::dir_index(h, dir.global_depth);
+                let segment = Arc::clone(&dir.entries[idx]);
+                let mut inner = segment.write();
+                match inner.insert(h, key, value) {
+                    SegmentInsert::Inserted => {
+                        self.len.fetch_add(1, Ordering::Relaxed);
+                        return Ok(());
+                    }
+                    SegmentInsert::Updated => return Ok(()),
+                    SegmentInsert::NeedsSplit => Arc::as_ptr(&segment),
+                }
+            };
+            // Split outside of the read lock, then retry.
+            self.split(h, full_segment)?;
+        }
+    }
+
+    /// Split the segment responsible for hash `h`, unless another thread
+    /// already replaced it (`expected` no longer matches).
+    fn split(&self, h: u64, expected: *const Segment) -> Result<()> {
+        let mut dir = self.dir.write();
+        let idx = hash::dir_index(h, dir.global_depth);
+        let old = Arc::clone(&dir.entries[idx]);
+        if Arc::as_ptr(&old) != expected {
+            return Ok(()); // concurrent split already handled it
+        }
+        let old_inner = old.write();
+        let local = old_inner.local_depth;
+
+        if local == dir.global_depth {
+            // Double the directory: entry i gains a twin at i + 2^depth.
+            let entries = dir.entries.clone();
+            dir.entries.extend(entries);
+            dir.global_depth += 1;
+        }
+
+        let new_depth = local + 1;
+        let zero = Arc::new(Segment::new(&self.ns, new_depth)?);
+        let one = Arc::new(Segment::new(&self.ns, new_depth)?);
+        {
+            let mut z = zero.write();
+            let mut o = one.write();
+            for (k, v) in old_inner.records() {
+                let kh = hash64(k);
+                let bit = (kh >> local) & 1;
+                let target = if bit == 0 { &mut *z } else { &mut *o };
+                match target.insert(kh, k, v) {
+                    SegmentInsert::Inserted => {}
+                    // A single split cannot overflow a fresh segment: the
+                    // parent held ≤ capacity records.
+                    other => unreachable!("split re-insert failed: {other:?}"),
+                }
+            }
+        }
+
+        // Rewire every directory entry that pointed at the old segment.
+        let stride = 1usize << local;
+        let base = idx & (stride - 1);
+        let mut slot = base;
+        while slot < dir.entries.len() {
+            let bit = (slot >> local) & 1;
+            dir.entries[slot] = if bit == 0 { Arc::clone(&zero) } else { Arc::clone(&one) };
+            slot += stride;
+        }
+        Ok(())
+    }
+
+    /// Structural statistics (diagnostics and sizing).
+    pub fn stats(&self) -> DashStats {
+        let dir = self.dir.read();
+        let mut seen: Vec<*const Segment> = Vec::new();
+        let mut records = 0usize;
+        let mut stash_records = 0u64;
+        let mut min_depth = u8::MAX;
+        for seg in &dir.entries {
+            let ptr = Arc::as_ptr(seg);
+            if seen.contains(&ptr) {
+                continue;
+            }
+            seen.push(ptr);
+            let inner = seg.read();
+            records += inner.count;
+            stash_records += inner.stash_used as u64;
+            min_depth = min_depth.min(inner.local_depth);
+        }
+        let segments = seen.len();
+        DashStats {
+            records,
+            segments,
+            directory_entries: dir.entries.len(),
+            global_depth: dir.global_depth,
+            min_local_depth: if segments == 0 { 0 } else { min_depth },
+            stash_records,
+            load_factor: records as f64
+                / (segments * crate::segment::SegmentInner::capacity()).max(1) as f64,
+            bytes: segments as u64 * crate::segment::SEGMENT_BYTES,
+        }
+    }
+
+    /// Simulate a power loss across every segment: lines not yet accepted
+    /// into the WPQ revert to their last persisted image (chaos-testing
+    /// hook; see `pmem_store::Region::crash`). Dash's publication order
+    /// guarantees no half-visible records afterwards.
+    pub fn simulate_crash(&self) -> u64 {
+        let dir = self.dir.write();
+        let mut seen: Vec<*const Segment> = Vec::new();
+        let mut lost = 0;
+        for seg in &dir.entries {
+            let ptr = Arc::as_ptr(seg);
+            if seen.contains(&ptr) {
+                continue;
+            }
+            seen.push(ptr);
+            lost += seg.write().region.crash();
+        }
+        lost
+    }
+
+    /// Recount live records after a crash (the persisted truth may differ
+    /// from the in-memory counter for unfenced inserts).
+    pub fn recount(&self) -> usize {
+        let n = self.iter_records().len();
+        self.len.store(n, Ordering::Relaxed);
+        n
+    }
+
+    /// Iterate all records (snapshot per segment; used by tests and the SSB
+    /// build verification).
+    pub fn iter_records(&self) -> Vec<(u64, u64)> {
+        let dir = self.dir.read();
+        let mut seen: Vec<*const Segment> = Vec::new();
+        let mut out = Vec::new();
+        for seg in &dir.entries {
+            let ptr = Arc::as_ptr(seg);
+            if seen.contains(&ptr) {
+                continue;
+            }
+            seen.push(ptr);
+            out.extend(seg.read().records());
+        }
+        out
+    }
+}
+
+impl KvIndex for DashTable {
+    fn insert(&self, key: u64, value: u64) -> Result<()> {
+        self.insert_inner(key, value)
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        let h = hash64(key);
+        let dir = self.dir.read();
+        let idx = hash::dir_index(h, dir.global_depth);
+        let segment = Arc::clone(&dir.entries[idx]);
+        drop(dir);
+        let inner = segment.read();
+        inner.get(h, key)
+    }
+
+    fn remove(&self, key: u64) -> Option<u64> {
+        let h = hash64(key);
+        let dir = self.dir.read();
+        let idx = hash::dir_index(h, dir.global_depth);
+        let segment = Arc::clone(&dir.entries[idx]);
+        let mut inner = segment.write();
+        let removed = inner.remove(h, key);
+        if removed.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_sim::topology::SocketId;
+
+    fn ns(mib: u64) -> Namespace {
+        Namespace::devdax(SocketId(0), mib << 20)
+    }
+
+    #[test]
+    fn basic_crud() {
+        let ns = ns(8);
+        let t = DashTable::new(&ns).unwrap();
+        assert!(t.is_empty());
+        t.insert(1, 100).unwrap();
+        t.insert(2, 200).unwrap();
+        assert_eq!(t.get(1), Some(100));
+        assert_eq!(t.get(2), Some(200));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.len(), 2);
+        t.insert(1, 101).unwrap();
+        assert_eq!(t.get(1), Some(101));
+        assert_eq!(t.len(), 2, "update must not grow len");
+        assert_eq!(t.remove(1), Some(101));
+        assert_eq!(t.remove(1), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn grows_through_many_splits() {
+        let ns = ns(256);
+        let t = DashTable::new(&ns).unwrap();
+        let n = 50_000u64;
+        for k in 0..n {
+            t.insert(k, k.wrapping_mul(3)).unwrap();
+        }
+        assert_eq!(t.len(), n as usize);
+        assert!(t.global_depth() >= 5, "depth {}", t.global_depth());
+        for k in 0..n {
+            assert_eq!(t.get(k), Some(k.wrapping_mul(3)), "key {k}");
+        }
+        assert_eq!(t.get(n + 1), None);
+    }
+
+    #[test]
+    fn presized_table_avoids_splits() {
+        let ns = ns(256);
+        let t = DashTable::with_capacity(&ns, 20_000).unwrap();
+        let before = t.directory_size();
+        for k in 0..20_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert_eq!(t.directory_size(), before, "presized table should not split");
+    }
+
+    #[test]
+    fn iter_records_matches_len() {
+        let ns = ns(64);
+        let t = DashTable::new(&ns).unwrap();
+        for k in 0..5_000u64 {
+            t.insert(k, k + 7).unwrap();
+        }
+        let recs = t.iter_records();
+        assert_eq!(recs.len(), t.len());
+        assert!(recs.iter().all(|(k, v)| *v == k + 7));
+    }
+
+    #[test]
+    fn concurrent_inserts_and_reads() {
+        let ns = ns(256);
+        let t = Arc::new(DashTable::new(&ns).unwrap());
+        let threads = 8;
+        let per = 4_000u64;
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for i in 0..per {
+                        let k = tid * per + i;
+                        t.insert(k, k * 2).unwrap();
+                        assert_eq!(t.get(k), Some(k * 2));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), (threads * per) as usize);
+        for k in 0..threads * per {
+            assert_eq!(t.get(k), Some(k * 2));
+        }
+    }
+
+    #[test]
+    fn stats_reflect_structure_and_load() {
+        let ns = ns(256);
+        let t = DashTable::new(&ns).unwrap();
+        let empty = t.stats();
+        assert_eq!(empty.records, 0);
+        assert_eq!(empty.segments, 1);
+        assert_eq!(empty.global_depth, 0);
+        for k in 0..30_000u64 {
+            t.insert(k, k).unwrap();
+        }
+        let full = t.stats();
+        assert_eq!(full.records, 30_000);
+        assert!(full.segments > 16, "segments {}", full.segments);
+        assert!(full.directory_entries >= full.segments);
+        assert!(
+            (0.3..0.95).contains(&full.load_factor),
+            "load factor {}",
+            full.load_factor
+        );
+        assert!(full.min_local_depth <= full.global_depth);
+        assert_eq!(
+            full.bytes,
+            full.segments as u64 * crate::segment::SEGMENT_BYTES
+        );
+    }
+
+    #[test]
+    fn out_of_space_surfaces_as_error() {
+        let tiny = Namespace::devdax(SocketId(0), 64 << 10); // one segment fits, splits don't
+        let t = DashTable::new(&tiny).unwrap();
+        let mut err = None;
+        for k in 0..100_000u64 {
+            if let Err(e) = t.insert(k, k) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert!(matches!(err, Some(pmem_store::StoreError::OutOfSpace { .. })));
+    }
+}

@@ -1,0 +1,37 @@
+//! # pmem-membench — the paper's microbenchmark suite
+//!
+//! Reproduces every bandwidth-characterization figure of *"Maximizing
+//! Persistent Memory Bandwidth Utilization for OLAP Workloads"* (Figures
+//! 3–13 plus the §2.3 devdax/fsdax experiment) against the simulated
+//! dual-socket Optane server from [`pmem-sim`](pmem_sim).
+//!
+//! * [`experiments`] — one function per figure; each returns [`figure::Figure`]
+//!   data with the same series and axes as the paper's plot.
+//! * [`traffic`] — executes the access patterns (grouped / individual /
+//!   random, read / write, N threads) against real [`pmem-store`](pmem_store)
+//!   regions with checksum verification, so the patterns are tested code.
+//! * [`ablations`] — sweeps over the mechanism parameters (prefetcher,
+//!   interleave stripe, write-combining buffer, UPI metadata, loaded
+//!   latency) that back the paper's explanations.
+//! * [`figure`] — CSV/table rendering for the `repro` binary.
+//!
+//! ```
+//! use pmem_membench::experiments;
+//! use pmem_sim::Simulation;
+//!
+//! let sim = Simulation::paper_default();
+//! let (grouped, individual) = experiments::fig3_read_access_size(&sim);
+//! // The paper's headline read number: ~40 GB/s peak at 4 KB.
+//! assert!(grouped.series("18").unwrap().peak() > 37.0);
+//! println!("{}", individual.to_table());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod figure;
+pub mod traffic;
+
+pub use figure::{Figure, Series};

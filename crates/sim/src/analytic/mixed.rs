@@ -1,0 +1,220 @@
+//! Concurrent read/write workloads on the same PMEM DIMMs (paper §5.1,
+//! Figure 11).
+//!
+//! Reads and writes share iMC queues and media. Because a write occupies the
+//! media roughly three times as long per byte as a read, capacity is shared
+//! in *utilization* units (read GB/s against the 40 GB/s read peak, write
+//! GB/s against the 13 GB/s write peak), with a shared efficiency that
+//! degrades as contending threads are added. A single write thread already
+//! knocks 30-thread reads from ~31 down to ~26 GB/s.
+
+use crate::bandwidth::Bandwidth;
+use crate::coherence::MappingState;
+use crate::params::{DeviceClass, SystemParams};
+use crate::sched;
+use crate::workload::{MixedSpec, WorkloadSpec};
+
+use super::{read, write};
+
+/// Result of a mixed-workload evaluation: the two sides' achieved rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedEvaluation {
+    /// Aggregate read bandwidth across all reader threads.
+    pub read: Bandwidth,
+    /// Aggregate write bandwidth across all writer threads.
+    pub write: Bandwidth,
+}
+
+impl MixedEvaluation {
+    /// Combined bandwidth. The paper notes this never exceeds the
+    /// non-contended maximum *read* bandwidth for any combination.
+    pub fn total(&self) -> Bandwidth {
+        self.read + self.write
+    }
+}
+
+pub(crate) fn evaluate(params: &SystemParams, spec: &MixedSpec) -> MixedEvaluation {
+    let read_solo = solo(params, spec, /*write=*/ false);
+    let write_solo = solo(params, spec, /*write=*/ true);
+
+    if spec.read_threads == 0 || spec.write_threads == 0 {
+        return MixedEvaluation {
+            read: read_solo,
+            write: write_solo,
+        };
+    }
+
+    let (read_peak, write_peak) = peaks(params, spec.device);
+
+    // Shared-capacity efficiency: contending threads interrupt the 256 B
+    // buffer locality and keep the WPQs occupied.
+    let m = &params.mixed;
+    let (eta, prefetch_split) = match spec.device {
+        DeviceClass::Pmem => (
+            (m.base_efficiency
+                - m.per_read_thread_penalty * spec.read_threads as f64
+                - m.per_write_thread_penalty * spec.write_threads as f64)
+                .clamp(m.min_efficiency, 1.0),
+            m.second_read_stream_eff,
+        ),
+        // "The read/write imbalance is considerably smaller on DRAM and
+        // therefore this effect is only moderately observable."
+        DeviceClass::Dram => (
+            (m.base_efficiency
+                - 0.5 * m.per_read_thread_penalty * spec.read_threads as f64
+                - 0.4 * m.per_write_thread_penalty * spec.write_threads as f64)
+                .clamp(m.min_efficiency, 1.0),
+            1.0,
+        ),
+        DeviceClass::Ssd => (0.9, 1.0),
+    };
+
+    let read_demand = read_solo.scale(prefetch_split);
+    let util = read_demand.bytes_per_sec() / read_peak.bytes_per_sec()
+        + write_solo.bytes_per_sec() / write_peak.bytes_per_sec();
+    let scale = if util > eta { eta / util } else { 1.0 };
+
+    MixedEvaluation {
+        read: read_demand.scale(scale),
+        write: write_solo.scale(scale),
+    }
+}
+
+/// What one side would achieve alone with its own thread count.
+fn solo(params: &SystemParams, spec: &MixedSpec, write_side: bool) -> Bandwidth {
+    let threads = if write_side {
+        spec.write_threads
+    } else {
+        spec.read_threads
+    };
+    if threads == 0 {
+        return Bandwidth::ZERO;
+    }
+    let wl = if write_side {
+        WorkloadSpec::seq_write(spec.device, spec.access_size, threads)
+    } else {
+        WorkloadSpec::seq_read(spec.device, spec.access_size, threads)
+    }
+    .pinning(spec.pinning);
+    let layout = sched::layout(
+        &params.machine,
+        spec.pinning,
+        crate::topology::SocketId(0),
+        threads,
+        params.cpu.numa_region_oversub_eff,
+    );
+    if write_side {
+        write::sequential(params, &wl, &layout, /*far=*/ false, MappingState::Warm)
+    } else {
+        read::sequential(params, &wl, &layout, /*far=*/ false, MappingState::Warm)
+    }
+}
+
+/// Device read/write utilization denominators.
+fn peaks(params: &SystemParams, device: DeviceClass) -> (Bandwidth, Bandwidth) {
+    match device {
+        DeviceClass::Pmem => (
+            params
+                .optane
+                .media_read_per_dimm
+                .scale(params.machine.channels_per_socket() as f64),
+            params
+                .optane
+                .media_write_per_dimm
+                .scale(params.machine.channels_per_socket() as f64),
+        ),
+        DeviceClass::Dram => (params.dram.socket_seq_read, params.dram.socket_seq_write),
+        DeviceClass::Ssd => (params.ssd.seq_read, params.ssd.seq_write),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::BandwidthModel;
+
+    fn eval(w: u32, r: u32) -> MixedEvaluation {
+        BandwidthModel::paper_default().mixed(&MixedSpec::paper(DeviceClass::Pmem, w, r))
+    }
+
+    #[test]
+    fn thirty_readers_alone_reach_about_31() {
+        let e = eval(0, 30);
+        let b = e.read.gib_s();
+        assert!((29.0..36.0).contains(&b), "solo 30R {b}");
+        assert_eq!(e.write, Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn one_writer_drops_30_reader_bandwidth_to_about_26() {
+        // §5.1: "Adding a single write thread to the 30 read threads already
+        // reduces the achieved read bandwidth to ~26 GB/s".
+        let solo = eval(0, 30).read.gib_s();
+        let with_writer = eval(1, 30).read.gib_s();
+        assert!((23.0..28.5).contains(&with_writer), "30R+1W read {with_writer}");
+        assert!(with_writer < solo - 2.0, "visible drop: {solo} -> {with_writer}");
+    }
+
+    #[test]
+    fn six_writers_drop_reads_to_about_45_percent() {
+        let solo = eval(0, 30).read.gib_s();
+        let contended = eval(6, 30).read.gib_s();
+        let frac = contended / solo;
+        assert!((0.35..0.55).contains(&frac), "6W read fraction {frac}");
+    }
+
+    #[test]
+    fn thirty_readers_drop_writes_to_about_40_percent() {
+        // §5.1: "when running with 30 read threads the write bandwidth drops
+        // to just above ~40 % of the maximum bandwidth".
+        let w_max = eval(6, 0).write.gib_s().max(eval(4, 0).write.gib_s());
+        let w = eval(4, 30).write.gib_s();
+        let frac = w / w_max;
+        assert!((0.32..0.55).contains(&frac), "4W/30R write fraction {frac}");
+    }
+
+    #[test]
+    fn writes_are_initially_resilient() {
+        // §5.1: 4 writers + 1 reader ≈ 12 GB/s, "nearly matching the maximum
+        // write bandwidth".
+        let solo = eval(4, 0).write.gib_s();
+        let contended = eval(4, 1).write.gib_s();
+        assert!(contended > 0.85 * solo, "4W+1R write {contended} vs solo {solo}");
+    }
+
+    #[test]
+    fn combined_bandwidth_never_exceeds_read_only_maximum() {
+        let read_max = eval(0, 30).read.gib_s().max(eval(0, 18).read.gib_s());
+        for (w, r) in [(1u32, 30u32), (4, 18), (4, 30), (6, 18), (6, 30), (1, 8)] {
+            let e = eval(w, r);
+            assert!(
+                e.total().gib_s() <= read_max + 0.5,
+                "{w}W/{r}R total {} exceeds read max {read_max}",
+                e.total().gib_s()
+            );
+        }
+    }
+
+    #[test]
+    fn more_read_threads_hurt_writes_and_vice_versa() {
+        assert!(eval(4, 30).write.gib_s() < eval(4, 8).write.gib_s());
+        assert!(eval(6, 18).read.gib_s() < eval(1, 18).read.gib_s());
+    }
+
+    #[test]
+    fn dram_interference_gap_is_smaller() {
+        let pmem_solo = eval(0, 30).read.gib_s();
+        let pmem_mixed = eval(1, 30).read.gib_s();
+        let pmem_drop = 1.0 - pmem_mixed / pmem_solo;
+
+        let m = BandwidthModel::paper_default();
+        let dram_solo = m.mixed(&MixedSpec::paper(DeviceClass::Dram, 0, 30)).read.gib_s();
+        let dram_mixed = m.mixed(&MixedSpec::paper(DeviceClass::Dram, 1, 30)).read.gib_s();
+        let dram_drop = 1.0 - dram_mixed / dram_solo;
+
+        assert!(
+            dram_drop < pmem_drop,
+            "DRAM drop {dram_drop} should be below PMEM drop {pmem_drop}"
+        );
+    }
+}

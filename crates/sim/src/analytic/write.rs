@@ -1,0 +1,416 @@
+//! Sequential write bandwidth (paper §4, Figures 7–10).
+//!
+//! PMEM writes behave fundamentally differently from reads: the per-DIMM
+//! write-combining buffer ("XPBuffer") merges 64 B stores into 256 B
+//! XPLines, and its limited capacity makes bandwidth degrade when *both*
+//! thread count and access size grow — the Figure 8 boomerang. Four to six
+//! threads already saturate the media.
+
+use crate::bandwidth::Bandwidth;
+use crate::coherence::MappingState;
+use crate::params::{DeviceClass, SystemParams};
+use crate::sched::{Pinning, ThreadLayout};
+use crate::workload::{Pattern, WorkloadSpec};
+
+use super::layout_demand;
+
+/// Sequential write bandwidth for one socket's worth of threads writing one
+/// socket's memory.
+pub(crate) fn sequential(
+    params: &SystemParams,
+    spec: &WorkloadSpec,
+    layout: &ThreadLayout,
+    far: bool,
+    _mapping: MappingState,
+) -> Bandwidth {
+    match spec.device {
+        DeviceClass::Ssd => ssd(params, spec.threads),
+        DeviceClass::Dram => {
+            if layout.migrating {
+                return unpinned(spec, /*dram=*/ true);
+            }
+            let near = dram_near(params, spec, layout);
+            if far {
+                // DRAM far writes are latency/UPI-bound; the paper reports
+                // NUMA effects on DRAM "albeit slightly weaker".
+                near.min(Bandwidth::from_gib_s(25.0))
+            } else {
+                near
+            }
+        }
+        DeviceClass::Pmem => {
+            if layout.migrating {
+                return unpinned(spec, /*dram=*/ false);
+            }
+            if far {
+                far_curve(params, spec.threads)
+            } else {
+                pmem_near(params, spec, layout)
+            }
+        }
+    }
+}
+
+/// Near-socket PMEM writes: demand, DIMM coverage, sub-XPLine combining and
+/// the write-combining-buffer pressure model.
+fn pmem_near(params: &SystemParams, spec: &WorkloadSpec, layout: &ThreadLayout) -> Bandwidth {
+    let socket_peak = params
+        .optane
+        .media_write_per_dimm
+        .scale(params.machine.channels_per_socket() as f64);
+    // Writes are posted into the WPQs, so hyperthread siblings add demand
+    // almost like physical threads — but demand rarely matters past 4
+    // threads anyway.
+    let demand = layout_demand(params, params.optane.per_thread_seq_write, spec.threads, layout, 0.6);
+
+    let coverage = coverage_fraction(params, spec);
+    let combine = sub_xpline_efficiency(params, spec);
+    let pressure = buffer_pressure_efficiency(params, spec);
+    let numa_split = numa_split_efficiency(params, spec);
+
+    demand
+        .min(socket_peak.scale(coverage * combine * pressure))
+        .scale(layout.sched_efficiency * numa_split)
+}
+
+/// DIMM coverage for writes. The WPQ lets writes run far ahead of the
+/// issuing thread, so grouped streams carry a large in-flight slack and the
+/// interleave map spreads them quickly; individual streams distribute
+/// naturally (§4.1).
+fn coverage_fraction(params: &SystemParams, spec: &WorkloadSpec) -> f64 {
+    let il = params.machine.interleave_map();
+    let dimms = il.dimms as f64;
+    match spec.pattern {
+        Pattern::SequentialGrouped => {
+            let window = spec.threads as u64 * spec.access_size * 3 + 32 * 1024;
+            ((window as f64 / il.stripe as f64) / dimms).clamp(1.0 / dimms, 1.0)
+        }
+        Pattern::SequentialIndividual => {
+            let window = spec.access_size + 2 * params.optane.write_window_bytes.max(4096);
+            il.expected_coverage(spec.threads, window) / dimms
+        }
+        Pattern::Random { .. } => 1.0,
+    }
+}
+
+/// Sub-256 B writes force the buffer to assemble XPLines from multiple CPU
+/// stores. Per-thread sequential streams combine well; a grouped stream
+/// interleaved across many threads arrives out of order at the buffer and
+/// degenerates into read-modify-write per XPLine (§4.1: 64 B × 36 threads —
+/// grouped 2.6 GB/s vs individual 9.6 GB/s).
+fn sub_xpline_efficiency(params: &SystemParams, spec: &WorkloadSpec) -> f64 {
+    let xp = params.optane.xpline_bytes;
+    if spec.access_size >= xp {
+        return 1.0;
+    }
+    let frac = spec.access_size as f64 / xp as f64;
+    match spec.pattern {
+        Pattern::SequentialGrouped => {
+            // Worst case: every partial XPLine costs a read-modify-write
+            // (efficiency = A/256); combining across threads only helps at
+            // trivially small thread counts.
+            let interleave_chaos = 1.0 / (1.0 + 0.1 * spec.threads as f64 * (1.0 / frac - 1.0));
+            frac.max(interleave_chaos)
+        }
+        _ => {
+            // Per-thread streams let the buffer merge neighbouring stores;
+            // some partial flushes still occur on stream boundaries.
+            0.6 + 0.4 * frac
+        }
+    }
+}
+
+/// The Figure 8 boomerang: the write-combining buffer thrashes when the
+/// combined in-flight footprint (threads × access size) outgrows it. Up to
+/// ~6 threads there is no pressure at any size; small accesses stay cheap at
+/// any thread count; scaling both collapses towards the partial-flush floor.
+fn buffer_pressure_efficiency(params: &SystemParams, spec: &WorkloadSpec) -> f64 {
+    let t = spec.threads as f64;
+    let saturating = 6.0; // threads that saturate the media (§4.2)
+    let over = ((t - saturating) / saturating).max(0.0);
+    let size_factor = spec.access_size as f64 / params.machine.interleave_bytes as f64;
+    // A larger write-combining buffer tolerates proportionally more
+    // in-flight footprint before thrashing (ablation knob; Optane ships
+    // 16 KB per DIMM).
+    let buffer_factor = 16.0 * 1024.0 / params.optane.wc_buffer_bytes.max(1) as f64;
+    let pressure = over * size_factor * buffer_factor;
+    // The floor is higher for few threads (less interleaving chaos in the
+    // buffer) and bottoms out at the sustained partial-flush rate.
+    let floor = 0.42 + 0.35 * (-((t - saturating).max(0.0)) / saturating).exp();
+    floor + (1.0 - floor) / (1.0 + pressure)
+}
+
+/// NUMA-region (as opposed to explicit core) pinning above the physical
+/// core count lets the scheduler split threads across the region's two NUMA
+/// nodes, whose separate iMCs combine writes less effectively (§4.3).
+fn numa_split_efficiency(params: &SystemParams, spec: &WorkloadSpec) -> f64 {
+    if spec.pinning == Pinning::NumaRegion
+        && spec.threads > params.machine.cores_per_socket as u32
+    {
+        0.93
+    } else {
+        1.0
+    }
+}
+
+/// Far writes (§4.4): every store crosses the UPI and ntstore degrades into
+/// read-modify-write; peak ≈7 GB/s needs ≥6 threads, and more threads
+/// *reduce* data bandwidth through write amplification.
+fn far_curve(params: &SystemParams, threads: u32) -> Bandwidth {
+    let cap = params.far_write.far_write_cap;
+    let ramp = Bandwidth::from_gib_s(1.15 * threads as f64).min(cap);
+    let over = threads.saturating_sub(8) as f64;
+    ramp.scale(1.0 / (1.0 + 0.02 * over))
+}
+
+/// Estimate of the media-vs-app write ratio for near writes: the inverse of
+/// the combining and pressure efficiencies, bounded by the sustained
+/// partial-flush worst case.
+pub(crate) fn near_write_amplification(params: &SystemParams, spec: &WorkloadSpec) -> f64 {
+    let combine = sub_xpline_efficiency(params, spec);
+    let pressure = buffer_pressure_efficiency(params, spec);
+    (1.0 / (combine * pressure)).clamp(1.0, 8.0)
+}
+
+/// Internal write amplification of far writes (§4.4: up to ~10×). Used by
+/// the stats accounting.
+pub(crate) fn far_write_amplification(params: &SystemParams, threads: u32) -> f64 {
+    let max = params.far_write.max_amplification;
+    let ramp = ((threads as f64 - 4.0) / 14.0).clamp(0.0, 1.0);
+    1.0 + (max - 1.0) * ramp
+}
+
+/// DRAM writes: scale with threads, no combining pathologies (§4.2: "In
+/// DRAM, more threads result in higher bandwidth and we do not observe any
+/// decrease in performance for larger access sizes").
+fn dram_near(params: &SystemParams, spec: &WorkloadSpec, layout: &ThreadLayout) -> Bandwidth {
+    let demand = layout_demand(params, params.dram.per_thread_seq_write, spec.threads, layout, 0.8);
+    demand
+        .min(params.dram.socket_seq_write)
+        .scale(layout.sched_efficiency)
+}
+
+/// Unpinned writes: scheduler migration across sockets caps at ~7 GB/s on
+/// PMEM (Figure 9 "None").
+fn unpinned(spec: &WorkloadSpec, dram: bool) -> Bandwidth {
+    let (peak, per_thread) = if dram { (30.0, 5.0) } else { (7.0, 1.4) };
+    let ramp =
+        Bandwidth::from_gib_s(per_thread * spec.threads as f64).min(Bandwidth::from_gib_s(peak));
+    let over = spec.threads.saturating_sub(8) as f64;
+    ramp.scale(1.0 / (1.0 + 0.015 * over))
+}
+
+/// SSD sequential writes.
+fn ssd(params: &SystemParams, threads: u32) -> Bandwidth {
+    Bandwidth::from_gib_s(0.6 * threads as f64).min(params.ssd.seq_write)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::{BandwidthModel, CoherenceView};
+    use crate::params::DeviceClass;
+    use crate::sched::Pinning;
+    use crate::workload::{Pattern, Placement, WorkloadSpec};
+
+    fn bw(spec: &WorkloadSpec) -> f64 {
+        BandwidthModel::paper_default()
+            .bandwidth(spec, CoherenceView::WARM)
+            .gib_s()
+    }
+
+    fn grouped(access: u64, threads: u32) -> WorkloadSpec {
+        WorkloadSpec::seq_write(DeviceClass::Pmem, access, threads)
+            .pattern(Pattern::SequentialGrouped)
+    }
+
+    fn individual(access: u64, threads: u32) -> WorkloadSpec {
+        WorkloadSpec::seq_write(DeviceClass::Pmem, access, threads)
+    }
+
+    // ---- Figure 7: access size × thread count ----
+
+    #[test]
+    fn global_maximum_is_grouped_4k_with_few_threads() {
+        // §4.1: "Writes larger than 1 KB achieve the highest overall
+        // bandwidth with a global maximum of 12.6 GB/s for grouped 4 KB".
+        let peak = bw(&grouped(4096, 6));
+        assert!((11.5..13.5).contains(&peak), "write peak {peak}");
+    }
+
+    #[test]
+    fn four_threads_saturate_the_write_bandwidth() {
+        // §4.2: "4 threads are sufficient to fully saturate".
+        let b4 = bw(&grouped(4096, 4));
+        let best = [1u32, 2, 4, 6, 8, 18, 24, 36]
+            .iter()
+            .map(|t| bw(&grouped(4096, *t)))
+            .fold(0.0, f64::max);
+        assert!(b4 >= 0.93 * best, "4 threads ({b4}) ≈ best ({best})");
+    }
+
+    #[test]
+    fn grouped_64b_36_threads_collapses_but_individual_does_not() {
+        // §4.1: "2.6 GB/s compared to 9.6 GB/s with 64 Byte and 36 threads".
+        let g = bw(&grouped(64, 36));
+        let i = bw(&individual(64, 36));
+        assert!((2.0..4.5).contains(&g), "grouped 64B/36T {g}");
+        assert!((7.5..10.5).contains(&i), "individual 64B/36T {i}");
+        assert!(i / g > 2.0, "individual must be ≥2× grouped at 64 B");
+    }
+
+    #[test]
+    fn high_thread_counts_peak_at_256b() {
+        // §4.2: "A second peak is visible around 256 Byte, where all thread
+        // counts above 18 achieve ~10 GB/s".
+        let b256 = bw(&grouped(256, 36));
+        assert!((9.0..12.5).contains(&b256), "256B/36T {b256}");
+        assert!(b256 > bw(&grouped(4096, 36)), "256 B beats 4 KB at 36 threads");
+        assert!(b256 > bw(&grouped(65536, 36)), "256 B beats 64 KB at 36 threads");
+    }
+
+    #[test]
+    fn large_access_high_threads_stabilizes_at_5_to_6() {
+        for t in [18u32, 24, 36] {
+            let b = bw(&grouped(65536, t));
+            assert!((4.5..7.0).contains(&b), "64K/{t}T {b}");
+        }
+    }
+
+    #[test]
+    fn more_threads_harm_large_writes() {
+        // §4.2: "adding threads beyond 8 harms the bandwidth".
+        let b6 = bw(&individual(65536, 6));
+        let b18 = bw(&individual(65536, 18));
+        let b36 = bw(&individual(65536, 36));
+        assert!(b6 > b18 && b18 > b36, "decline expected: {b6} > {b18} > {b36}");
+    }
+
+    #[test]
+    fn four_to_six_threads_sustain_bandwidth_at_any_size() {
+        // Figure 8: "the bandwidth does not drop when increasing the access
+        // size but keeping the number of threads constant at around 4 to 8".
+        for t in [4u32, 6] {
+            let at_4k = bw(&individual(4096, t));
+            let at_32m = bw(&individual(32 << 20, t));
+            assert!(
+                at_32m > 0.85 * at_4k,
+                "{t} threads should sustain large writes: {at_4k} vs {at_32m}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_access_survives_thread_scaling() {
+        // Figure 8: constant access size of 256 B–1 KB tolerates threads.
+        let b6 = bw(&individual(256, 6));
+        let b36 = bw(&individual(256, 36));
+        assert!(b36 > 0.75 * b6.max(bw(&individual(256, 18))), "256 B at 36T {b36} vs 6T {b6}");
+    }
+
+    #[test]
+    fn boomerang_scaling_both_collapses() {
+        let small = bw(&individual(4096, 4));
+        let both = bw(&individual(65536, 36));
+        assert!(both < 0.6 * small, "scaling both must collapse: {small} -> {both}");
+    }
+
+    // ---- Figure 9: pinning ----
+
+    #[test]
+    fn write_pinning_ordering() {
+        let cores = bw(&individual(4096, 24).pinning(Pinning::Cores));
+        let numa = bw(&individual(4096, 24).pinning(Pinning::NumaRegion));
+        let none = bw(&individual(4096, 24).pinning(Pinning::None));
+        assert!(none < numa, "None ({none}) < NUMA ({numa})");
+        assert!(numa < cores, "NUMA ({numa}) < Cores ({cores}) beyond 18 threads");
+    }
+
+    #[test]
+    fn unpinned_writes_peak_near_7() {
+        let peak = [1u32, 4, 8, 18, 24, 36]
+            .iter()
+            .map(|t| bw(&individual(4096, *t).pinning(Pinning::None)))
+            .fold(0.0, f64::max);
+        assert!((5.5..8.0).contains(&peak), "None write peak {peak}");
+    }
+
+    #[test]
+    fn no_pinning_hurts_writes_2x_but_reads_4x() {
+        // §4.3: "No pinning is 2x worse for writing ... 4x worse for reading".
+        let w_pin = [4u32, 6, 8, 18]
+            .iter()
+            .map(|t| bw(&individual(4096, *t).pinning(Pinning::Cores)))
+            .fold(0.0, f64::max);
+        let w_none = [4u32, 8, 18, 36]
+            .iter()
+            .map(|t| bw(&individual(4096, *t).pinning(Pinning::None)))
+            .fold(0.0, f64::max);
+        let w_ratio = w_pin / w_none;
+        assert!((1.5..2.8).contains(&w_ratio), "write pin/none ratio {w_ratio}");
+        let r_pin = bw(&WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 18));
+        let r_none = [4u32, 8, 18, 36]
+            .iter()
+            .map(|t| bw(&WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, *t).pinning(Pinning::None)))
+            .fold(0.0, f64::max);
+        let r_ratio = r_pin / r_none;
+        assert!((3.2..5.5).contains(&r_ratio), "read pin/none ratio {r_ratio}");
+    }
+
+    // ---- Figure 10: NUMA / multi-socket ----
+
+    #[test]
+    fn far_writes_peak_near_7_and_need_more_threads() {
+        let far = |t: u32| bw(&individual(4096, t).placement(Placement::FAR));
+        let near = |t: u32| bw(&individual(4096, t));
+        let far_peak = [1u32, 4, 6, 8, 18, 36].iter().map(|t| far(*t)).fold(0.0, f64::max);
+        assert!((6.0..8.0).contains(&far_peak), "far write peak {far_peak}");
+        // §4.4: near peaks with 4 threads, far needs ≥6.
+        assert!(near(4) > 0.93 * near(18).max(near(8)));
+        assert!(far(4) < 0.93 * far(8), "far needs more threads: {} vs {}", far(4), far(8));
+    }
+
+    #[test]
+    fn both_near_writes_double() {
+        let one = bw(&individual(4096, 4));
+        let two = bw(&individual(4096, 4).placement(Placement::BothNear));
+        assert!((two / one - 2.0).abs() < 0.05, "2-near writes {one} -> {two}");
+        assert!((23.0..28.0).contains(&two));
+    }
+
+    #[test]
+    fn both_far_writes_total_about_13() {
+        let b = bw(&individual(4096, 8).placement(Placement::BothFar));
+        assert!((11.0..15.0).contains(&b), "2-far writes {b}");
+    }
+
+    #[test]
+    fn far_write_amplification_reaches_about_10x() {
+        let p = SystemParams::paper_default();
+        assert!((far_write_amplification(&p, 18) - 10.0).abs() < 0.5);
+        assert!(far_write_amplification(&p, 4) < 1.5);
+    }
+
+    // ---- DRAM / SSD ----
+
+    #[test]
+    fn dram_writes_scale_with_threads() {
+        let b4 = bw(&WorkloadSpec::seq_write(DeviceClass::Dram, 4096, 4));
+        let b18 = bw(&WorkloadSpec::seq_write(DeviceClass::Dram, 4096, 18));
+        assert!(b18 > b4, "DRAM writes must scale: {b4} -> {b18}");
+        assert!((45.0..52.0).contains(&b18), "DRAM write peak {b18}");
+    }
+
+    #[test]
+    fn dram_writes_tolerate_large_access_sizes() {
+        let b4k = bw(&WorkloadSpec::seq_write(DeviceClass::Dram, 4096, 18));
+        let b32m = bw(&WorkloadSpec::seq_write(DeviceClass::Dram, 32 << 20, 18));
+        assert!((b4k - b32m).abs() < 1.0, "no DRAM size penalty: {b4k} vs {b32m}");
+    }
+
+    #[test]
+    fn ssd_write_caps_at_rated() {
+        let b = bw(&WorkloadSpec::seq_write(DeviceClass::Ssd, 4096, 18));
+        assert!((2.0..2.2).contains(&b), "SSD write {b}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Cross-socket address-space mapping state (§3.4).
+//!
+//! Xeon processors manage the address space of multiple sockets through a
+//! coherency protocol whose mapping entries must be *reassigned* when memory
+//! is first accessed by cores of another socket. The paper observes:
+//!
+//! * the **first** multi-threaded far read of a region runs at ~8 GB/s,
+//! * the **second and later** runs at ~33 GB/s (UPI-payload-bound),
+//! * touching the region with a **single thread first** eliminates the
+//!   warm-up entirely (it is a NUMA-region, not a per-core effect),
+//! * if access keeps **switching between sockets**, remapping is constant
+//!   and bandwidth stays poor — the unpinned-scheduler disaster of Fig. 4.
+//!
+//! [`CoherenceDirectory`] tracks, per (memory region, accessing socket),
+//! whether the mapping is already established.
+
+use std::collections::HashMap;
+
+use crate::topology::SocketId;
+
+/// Opaque identifier of a memory region (the simulation assigns one per
+/// allocated region / benchmark buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u64);
+
+/// Mapping temperature of a (region, socket) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingState {
+    /// No mapping entries for this socket yet: the next multi-threaded
+    /// access pays the remapping penalty.
+    Cold,
+    /// Mapping established; far access runs at the warm UPI-bound rate.
+    Warm,
+}
+
+/// Tracks which sockets have established coherence mappings for which
+/// regions, and detects mapping churn.
+#[derive(Debug, Default, Clone)]
+pub struct CoherenceDirectory {
+    warm: HashMap<(RegionId, SocketId), ()>,
+    /// Last socket to access each region — used to detect ping-ponging.
+    last_accessor: HashMap<RegionId, SocketId>,
+    next_region: u64,
+}
+
+impl CoherenceDirectory {
+    /// New, fully cold directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a fresh region id.
+    pub fn new_region(&mut self) -> RegionId {
+        let id = RegionId(self.next_region);
+        self.next_region += 1;
+        id
+    }
+
+    /// Current mapping state for `socket` accessing `region`.
+    pub fn state(&self, region: RegionId, socket: SocketId) -> MappingState {
+        if self.warm.contains_key(&(region, socket)) {
+            MappingState::Warm
+        } else {
+            MappingState::Cold
+        }
+    }
+
+    /// Record a multi-threaded access and return the state that applied to
+    /// *this* access (cold on first touch, warm afterwards). Also records
+    /// the accessing socket for churn detection.
+    pub fn touch(&mut self, region: RegionId, socket: SocketId) -> MappingState {
+        let state = self.state(region, socket);
+        self.warm.insert((region, socket), ());
+        self.last_accessor.insert(region, socket);
+        state
+    }
+
+    /// Pre-fault / pre-touch with a single thread (the paper's trick that
+    /// "eliminates the warm-up behavior"): establishes the mapping without a
+    /// bandwidth-relevant access.
+    pub fn prewarm(&mut self, region: RegionId, socket: SocketId) {
+        self.warm.insert((region, socket), ());
+    }
+
+    /// Invalidate the mapping of `region` for every socket except
+    /// `new_owner` — what constant socket switching effectively does. The
+    /// paper recommends changing "the assignment of address spaces to NUMA
+    /// regions as rarely as possible" precisely because of this.
+    pub fn reassign(&mut self, region: RegionId, new_owner: SocketId) {
+        self.warm.retain(|(r, s), _| *r != region || *s == new_owner);
+        self.warm.insert((region, new_owner), ());
+        self.last_accessor.insert(region, new_owner);
+    }
+
+    /// Whether the previous accessor of `region` was a different socket
+    /// (ping-pong pattern).
+    pub fn switching(&self, region: RegionId, socket: SocketId) -> bool {
+        self.last_accessor
+            .get(&region)
+            .is_some_and(|prev| *prev != socket)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_is_cold_second_is_warm() {
+        let mut dir = CoherenceDirectory::new();
+        let r = dir.new_region();
+        assert_eq!(dir.touch(r, SocketId(0)), MappingState::Cold);
+        assert_eq!(dir.touch(r, SocketId(0)), MappingState::Warm);
+        // The other socket still pays its own warm-up.
+        assert_eq!(dir.touch(r, SocketId(1)), MappingState::Cold);
+        assert_eq!(dir.touch(r, SocketId(1)), MappingState::Warm);
+    }
+
+    #[test]
+    fn prewarm_eliminates_warmup() {
+        // §3.4: "reading with a single thread on far memory before reading
+        // with multiple threads ... eliminates the warm-up behavior".
+        let mut dir = CoherenceDirectory::new();
+        let r = dir.new_region();
+        dir.prewarm(r, SocketId(1));
+        assert_eq!(dir.touch(r, SocketId(1)), MappingState::Warm);
+    }
+
+    #[test]
+    fn reassignment_invalidates_other_sockets() {
+        let mut dir = CoherenceDirectory::new();
+        let r = dir.new_region();
+        dir.touch(r, SocketId(0));
+        dir.touch(r, SocketId(1));
+        dir.reassign(r, SocketId(1));
+        assert_eq!(dir.state(r, SocketId(0)), MappingState::Cold);
+        assert_eq!(dir.state(r, SocketId(1)), MappingState::Warm);
+    }
+
+    #[test]
+    fn switching_detects_ping_pong() {
+        let mut dir = CoherenceDirectory::new();
+        let r = dir.new_region();
+        dir.touch(r, SocketId(0));
+        assert!(dir.switching(r, SocketId(1)));
+        assert!(!dir.switching(r, SocketId(0)));
+    }
+
+    #[test]
+    fn regions_are_independent() {
+        let mut dir = CoherenceDirectory::new();
+        let a = dir.new_region();
+        let b = dir.new_region();
+        assert_ne!(a, b);
+        dir.touch(a, SocketId(0));
+        assert_eq!(dir.state(b, SocketId(0)), MappingState::Cold);
+    }
+}

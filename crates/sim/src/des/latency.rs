@@ -1,0 +1,140 @@
+//! Latency bookkeeping for the discrete-event engine.
+
+/// Online latency statistics with a fixed log-scale histogram (10 ns – 100 µs).
+#[derive(Debug, Clone)]
+pub struct LatencyStats {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+const BUCKETS: usize = 80;
+const LO: f64 = 1e-8; // 10 ns
+const HI: f64 = 1e-4; // 100 µs
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: 0.0,
+        }
+    }
+}
+
+impl LatencyStats {
+    /// Record one request latency in seconds.
+    pub fn record(&mut self, latency: f64) {
+        debug_assert!(latency >= 0.0);
+        let idx = if latency <= LO {
+            0
+        } else if latency >= HI {
+            BUCKETS - 1
+        } else {
+            let t = (latency / LO).log10() / (HI / LO).log10();
+            ((t * (BUCKETS - 1) as f64) as usize).min(BUCKETS - 1)
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += latency;
+        self.min = self.min.min(latency);
+        self.max = self.max.max(latency);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in seconds (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest recorded latency.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded latency.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate quantile (`q` in 0..=1) from the histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                let t = i as f64 / (BUCKETS - 1) as f64;
+                return LO * (HI / LO).powf(t);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::default();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.min(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_extremes() {
+        let mut s = LatencyStats::default();
+        s.record(100e-9);
+        s.record(300e-9);
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 200e-9).abs() < 1e-12);
+        assert!((s.min() - 100e-9).abs() < 1e-15);
+        assert!((s.max() - 300e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bracket_the_data() {
+        let mut s = LatencyStats::default();
+        for i in 1..=1000 {
+            s.record(i as f64 * 1e-9); // 1 ns .. 1 µs
+        }
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        assert!(p50 <= p99);
+        assert!(p99 <= 2e-6, "p99 {p99}");
+        // The median of 1..1000 ns should land in the hundreds of ns.
+        assert!((1e-7..1.2e-6).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp_to_edge_buckets() {
+        let mut s = LatencyStats::default();
+        s.record(1e-9); // below LO
+        s.record(1e-3); // above HI
+        assert_eq!(s.count(), 2);
+        assert!(s.quantile(0.01) <= s.quantile(0.99));
+    }
+}

@@ -1,0 +1,315 @@
+//! SSB data generator (`dbgen` equivalent).
+//!
+//! Deterministic (seeded) generation of the star schema at a given scale
+//! factor: sf 1 = 6 million `lineorder` rows, 30 000 customers, 2 000
+//! suppliers, 200 000 parts, and one `date` row per calendar day of
+//! 1992-01-01 … 1998-12-31. Value distributions follow the SSB spec closely
+//! enough to reproduce the published query selectivities (uniform discount
+//! 0–10, quantity 1–50, 5-region geography, the MFGR part hierarchy, …).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::schema::{DateDim, GeoDim, Lineorder, PartDim, CITIES_PER_NATION, NATIONS};
+
+/// Row counts for a scale factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cardinalities {
+    /// `lineorder` rows (6 M × sf).
+    pub lineorder: u64,
+    /// `customer` rows (30 k × sf).
+    pub customer: u32,
+    /// `supplier` rows (2 k × sf).
+    pub supplier: u32,
+    /// `part` rows (200 k × (1 + ⌊log₂ sf⌋), linear below sf 1).
+    pub part: u32,
+    /// `date` rows (the 7-year calendar).
+    pub date: u32,
+}
+
+/// Number of days in the SSB calendar (1992-01-01 … 1998-12-31; 1992 and
+/// 1996 are leap years).
+pub const CALENDAR_DAYS: u32 = 2557;
+
+/// Compute SSB cardinalities for `sf` (fractional sf scales linearly, with
+/// floors so tiny test databases stay usable).
+pub fn cardinalities(sf: f64) -> Cardinalities {
+    assert!(sf > 0.0, "scale factor must be positive");
+    let part = if sf >= 1.0 {
+        200_000.0 * (1.0 + sf.log2().floor())
+    } else {
+        (200_000.0 * sf).max(200.0)
+    };
+    Cardinalities {
+        lineorder: (6_000_000.0 * sf).max(100.0) as u64,
+        customer: (30_000.0 * sf).max(50.0) as u32,
+        supplier: (2_000.0 * sf).max(20.0) as u32,
+        part: part as u32,
+        date: CALENDAR_DAYS,
+    }
+}
+
+/// A fully generated SSB database (in host memory, before loading into the
+/// store).
+#[derive(Debug, Clone)]
+pub struct SsbData {
+    /// The fact table.
+    pub lineorder: Vec<Lineorder>,
+    /// `date` dimension.
+    pub dates: Vec<DateDim>,
+    /// `customer` dimension.
+    pub customers: Vec<GeoDim>,
+    /// `supplier` dimension.
+    pub suppliers: Vec<GeoDim>,
+    /// `part` dimension.
+    pub parts: Vec<PartDim>,
+}
+
+fn is_leap(year: u16) -> bool {
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
+}
+
+fn days_in_month(year: u16, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(year) => 29,
+        2 => 28,
+        _ => unreachable!("month {month}"),
+    }
+}
+
+/// Generate the 7-year SSB calendar.
+pub fn generate_dates() -> Vec<DateDim> {
+    let mut out = Vec::with_capacity(CALENDAR_DAYS as usize);
+    // 1992-01-01 was a Wednesday (dayofweek 3 with Sunday = 0).
+    let mut dow = 3u8;
+    for year in 1992u16..=1998 {
+        let mut daynum = 0u16;
+        for month in 1u8..=12 {
+            for day in 1..=days_in_month(year, month) {
+                daynum += 1;
+                out.push(DateDim {
+                    datekey: year as u32 * 10_000 + month as u32 * 100 + day as u32,
+                    year,
+                    month,
+                    day,
+                    yearmonthnum: year as u32 * 100 + month as u32,
+                    weeknuminyear: ((daynum - 1) / 7 + 1) as u8,
+                    dayofweek: dow,
+                    daynuminyear: daynum,
+                });
+                dow = (dow + 1) % 7;
+            }
+        }
+    }
+    out
+}
+
+fn generate_geo(rng: &mut StdRng, count: u32) -> Vec<GeoDim> {
+    (1..=count)
+        .map(|key| {
+            let nation = rng.gen_range(0..NATIONS);
+            let city = nation as u16 * CITIES_PER_NATION as u16
+                + rng.gen_range(0..CITIES_PER_NATION) as u16;
+            GeoDim {
+                key,
+                city,
+                nation,
+                region: nation / 5,
+                mktsegment: rng.gen_range(0..5),
+            }
+        })
+        .collect()
+}
+
+fn generate_parts(rng: &mut StdRng, count: u32) -> Vec<PartDim> {
+    (1..=count)
+        .map(|partkey| {
+            let mfgr = rng.gen_range(1..=5u8);
+            let category = PartDim::category_code(mfgr, rng.gen_range(1..=5u8));
+            let brand = PartDim::brand_code(category, rng.gen_range(1..=40u8));
+            PartDim {
+                partkey,
+                mfgr,
+                category,
+                brand,
+                size: rng.gen_range(1..=50),
+                color: rng.gen_range(0..92),
+                container: rng.gen_range(0..40),
+            }
+        })
+        .collect()
+}
+
+/// Generate the whole database for `sf`, deterministically from `seed`.
+pub fn generate(sf: f64, seed: u64) -> SsbData {
+    let card = cardinalities(sf);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let dates = generate_dates();
+    let customers = generate_geo(&mut rng, card.customer);
+    let suppliers = generate_geo(&mut rng, card.supplier);
+    let parts = generate_parts(&mut rng, card.part);
+
+    let mut lineorder = Vec::with_capacity(card.lineorder as usize);
+    let mut orderkey = 0u64;
+    while (lineorder.len() as u64) < card.lineorder {
+        orderkey += 1;
+        let lines = rng.gen_range(1..=7u8);
+        let custkey = rng.gen_range(1..=card.customer);
+        let date = &dates[rng.gen_range(0..dates.len())];
+        let ordtotalprice: u32 = rng.gen_range(10_000..500_000);
+        for linenumber in 1..=lines {
+            if (lineorder.len() as u64) >= card.lineorder {
+                break;
+            }
+            let quantity = rng.gen_range(1..=50u8);
+            let discount = rng.gen_range(0..=10u8);
+            let extendedprice: u32 = rng.gen_range(100..100_000);
+            let revenue =
+                (extendedprice as u64 * (100 - discount as u64) / 100) as u32;
+            // Commit date a few days after the order date (same calendar).
+            let commit = &dates[(date.daynuminyear as usize
+                + (date.year as usize - 1992) * 366)
+                .min(dates.len() - 1)
+                .saturating_sub(1)];
+            lineorder.push(Lineorder {
+                orderkey,
+                linenumber,
+                partkey: rng.gen_range(1..=card.part),
+                suppkey: rng.gen_range(1..=card.supplier),
+                custkey,
+                orderdate: date.datekey,
+                quantity,
+                discount,
+                tax: rng.gen_range(0..=8),
+                extendedprice,
+                ordtotalprice,
+                revenue,
+                supplycost: rng.gen_range(100..1_000),
+                commitdate: commit.datekey,
+                shipmode: rng.gen_range(0..7),
+            });
+        }
+    }
+
+    SsbData {
+        lineorder,
+        dates,
+        customers,
+        suppliers,
+        parts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::nation_region;
+
+    #[test]
+    fn calendar_has_2557_days_with_correct_leap_handling() {
+        let dates = generate_dates();
+        assert_eq!(dates.len(), CALENDAR_DAYS as usize);
+        assert!(dates.iter().any(|d| d.datekey == 19920229), "1992 is leap");
+        assert!(dates.iter().any(|d| d.datekey == 19960229), "1996 is leap");
+        assert!(!dates.iter().any(|d| d.datekey == 19930229));
+        assert!(!dates.iter().any(|d| d.datekey == 19980229));
+        // Keys strictly increasing, years span 1992–1998.
+        assert!(dates.windows(2).all(|w| w[0].datekey < w[1].datekey));
+        assert_eq!(dates.first().unwrap().datekey, 19920101);
+        assert_eq!(dates.last().unwrap().datekey, 19981231);
+        // Week numbers stay in 1..=53.
+        assert!(dates.iter().all(|d| (1..=53).contains(&d.weeknuminyear)));
+    }
+
+    #[test]
+    fn cardinalities_match_ssb_scaling() {
+        let c1 = cardinalities(1.0);
+        assert_eq!(c1.lineorder, 6_000_000);
+        assert_eq!(c1.customer, 30_000);
+        assert_eq!(c1.supplier, 2_000);
+        assert_eq!(c1.part, 200_000);
+        // Part count grows logarithmically.
+        assert_eq!(cardinalities(4.0).part, 600_000);
+        assert_eq!(cardinalities(100.0).part, 1_400_000);
+        // sf 100 → 600 M facts (the paper's handcrafted config).
+        assert_eq!(cardinalities(100.0).lineorder, 600_000_000);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(0.001, 7);
+        let b = generate(0.001, 7);
+        assert_eq!(a.lineorder, b.lineorder);
+        assert_eq!(a.parts, b.parts);
+        let c = generate(0.001, 8);
+        assert_ne!(a.lineorder, c.lineorder, "seed must matter");
+    }
+
+    #[test]
+    fn foreign_keys_are_valid() {
+        let data = generate(0.01, 42);
+        let card = cardinalities(0.01);
+        assert_eq!(data.lineorder.len() as u64, card.lineorder);
+        for lo in &data.lineorder {
+            assert!((1..=card.customer).contains(&lo.custkey));
+            assert!((1..=card.supplier).contains(&lo.suppkey));
+            assert!((1..=card.part).contains(&lo.partkey));
+            assert!((19920101..=19981231).contains(&lo.orderdate));
+            assert!((1..=50).contains(&lo.quantity));
+            assert!(lo.discount <= 10);
+            let expect =
+                (lo.extendedprice as u64 * (100 - lo.discount as u64) / 100) as u32;
+            assert_eq!(lo.revenue, expect);
+        }
+    }
+
+    #[test]
+    fn q1_1_selectivity_is_near_spec() {
+        // year = 1993 (1/7), discount 1–3 (3/11), quantity < 25 (24/50)
+        // → ≈ 1.87 % of rows.
+        let data = generate(0.05, 1);
+        let hits = data
+            .lineorder
+            .iter()
+            .filter(|lo| {
+                (19930101..19940101).contains(&lo.orderdate)
+                    && (1..=3).contains(&lo.discount)
+                    && lo.quantity < 25
+            })
+            .count();
+        let frac = hits as f64 / data.lineorder.len() as f64;
+        assert!((0.012..0.027).contains(&frac), "Q1.1 selectivity {frac}");
+    }
+
+    #[test]
+    fn geography_and_part_hierarchies_hold() {
+        let data = generate(0.01, 3);
+        for c in data.customers.iter().chain(&data.suppliers) {
+            assert_eq!(c.region, c.nation / 5);
+            assert_eq!(c.city / 10, c.nation as u16);
+            assert_eq!(nation_region(c.nation) as u8, c.region);
+        }
+        for p in &data.parts {
+            assert!((1..=5).contains(&p.mfgr));
+            let mfgr_of_cat = (p.category - 1) / 5 + 1;
+            assert_eq!(mfgr_of_cat, p.mfgr);
+            let cat_of_brand = ((p.brand - 1) / 40 + 1) as u8;
+            assert_eq!(cat_of_brand, p.category);
+        }
+    }
+
+    #[test]
+    fn orders_group_one_to_seven_lines() {
+        let data = generate(0.01, 9);
+        let mut lines_per_order = std::collections::HashMap::new();
+        for lo in &data.lineorder {
+            *lines_per_order.entry(lo.orderkey).or_insert(0u32) += 1;
+        }
+        assert!(lines_per_order.values().all(|n| (1..=7).contains(n)));
+        let avg = data.lineorder.len() as f64 / lines_per_order.len() as f64;
+        assert!((2.0..6.0).contains(&avg), "avg lines/order {avg}");
+    }
+}

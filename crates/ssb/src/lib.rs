@@ -1,0 +1,25 @@
+//! # pmem-ssb — the Star Schema Benchmark on simulated PMEM/DRAM
+//!
+//! Reproduces §6 of the paper: a dbgen-equivalent data generator, fixed-row
+//! storage striped/replicated across the simulated dual-socket server, a
+//! handcrafted PMEM-aware query engine plus a Hyrise-like PMEM-unaware
+//! engine, all 13 SSB queries, and a timing model that converts executed
+//! traffic into simulated device seconds (Figure 14 and Table 1).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod columnar;
+pub mod datagen;
+pub mod engine;
+pub mod hyrise;
+pub mod partition;
+pub mod queries;
+pub mod reference;
+pub mod report;
+pub mod schema;
+pub mod storage;
+pub mod timing;
+
+pub use queries::{run_query, QueryId, QueryOutcome};
+pub use storage::{EngineMode, SsbStore, StorageDevice};

@@ -1,0 +1,219 @@
+//! NUMA-aware partitioning schemes — the future work §3.5 defers to
+//! ("we plan to investigate such PMEM-aware partitioning schemes").
+//!
+//! Best Practice #4 requires data to be striped across sockets such that
+//! threads only touch near PMEM. That works "when providing optimal
+//! partitions is possible", which the paper notes is "generally hard to
+//! achieve, e.g., due to skewed data" (§6.2). This module implements the
+//! standard schemes, measures their balance, and prices the imbalance: the
+//! slowest socket gates the scan, and any row landing on the wrong socket
+//! turns a 40 GB/s near read into a 33 GB/s (warm) far read.
+
+use pmem_sim::params::DeviceClass;
+use pmem_sim::workload::{Placement, WorkloadSpec};
+use pmem_sim::Simulation;
+
+use crate::schema::{Lineorder, LINEORDER_ROW};
+
+/// A partitioning scheme for fact rows across `sockets` partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Contiguous chunks in row order (what `SsbStore::load` does).
+    RoundRobinChunks,
+    /// Hash of the order key.
+    HashOrderKey,
+    /// Hash of the customer key — co-locates a customer's rows, which is
+    /// exactly what skews under a hot customer.
+    HashCustomer,
+}
+
+impl Scheme {
+    /// All schemes.
+    pub const ALL: [Scheme; 3] = [
+        Scheme::RoundRobinChunks,
+        Scheme::HashOrderKey,
+        Scheme::HashCustomer,
+    ];
+
+    /// Partition index for a row.
+    pub fn partition_of(self, row_index: u64, row: &Lineorder, sockets: u32) -> u32 {
+        match self {
+            Scheme::RoundRobinChunks => ((row_index / 512) % sockets as u64) as u32,
+            Scheme::HashOrderKey => (pmem_dash::hash::hash64(row.orderkey) % sockets as u64) as u32,
+            Scheme::HashCustomer => {
+                (pmem_dash::hash::hash64(row.custkey as u64) % sockets as u64) as u32
+            }
+        }
+    }
+
+    /// Short label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::RoundRobinChunks => "round-robin chunks",
+            Scheme::HashOrderKey => "hash(orderkey)",
+            Scheme::HashCustomer => "hash(custkey)",
+        }
+    }
+}
+
+/// Balance metrics of a partitioning.
+#[derive(Debug, Clone)]
+pub struct PartitionReport {
+    /// The scheme measured.
+    pub scheme: Scheme,
+    /// Rows per partition.
+    pub rows: Vec<u64>,
+    /// max/mean row-count ratio (1.0 = perfect balance).
+    pub imbalance: f64,
+    /// Estimated scan seconds with this partitioning (slowest socket
+    /// gates; each socket reads its own partition near).
+    pub scan_seconds: f64,
+    /// Scan seconds under perfect balance, for comparison.
+    pub balanced_seconds: f64,
+}
+
+impl PartitionReport {
+    /// Relative slowdown caused by imbalance.
+    pub fn skew_penalty(&self) -> f64 {
+        self.scan_seconds / self.balanced_seconds
+    }
+}
+
+/// Partition `rows` under `scheme` and price the resulting scan.
+pub fn evaluate_scheme(
+    sim: &Simulation,
+    rows: &[Lineorder],
+    scheme: Scheme,
+    sockets: u32,
+    threads_per_socket: u32,
+) -> PartitionReport {
+    let mut counts = vec![0u64; sockets as usize];
+    for (i, row) in rows.iter().enumerate() {
+        counts[scheme.partition_of(i as u64, row, sockets) as usize] += 1;
+    }
+    let total: u64 = counts.iter().sum();
+    let mean = total as f64 / sockets as f64;
+    let max = *counts.iter().max().unwrap_or(&0) as f64;
+    let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+
+    // Each socket streams its partition from near PMEM; the query finishes
+    // when the largest partition does.
+    let near = sim
+        .evaluate_steady(&WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, threads_per_socket))
+        .total_bandwidth
+        .bytes_per_sec();
+    let scan_seconds = max * LINEORDER_ROW as f64 / near;
+    let balanced_seconds = mean * LINEORDER_ROW as f64 / near;
+
+    PartitionReport {
+        scheme,
+        rows: counts,
+        imbalance,
+        scan_seconds,
+        balanced_seconds,
+    }
+}
+
+/// Price a *misplaced* workload: `far_fraction` of the rows live on the
+/// wrong socket, so their reads cross the UPI at the warm far rate instead
+/// of the near rate. Returns (seconds, slowdown vs all-near).
+pub fn misplacement_penalty(
+    sim: &Simulation,
+    total_rows: u64,
+    far_fraction: f64,
+    threads_per_socket: u32,
+) -> (f64, f64) {
+    let near_bw = sim
+        .evaluate_steady(&WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, threads_per_socket))
+        .total_bandwidth
+        .bytes_per_sec();
+    let far_bw = sim
+        .evaluate_steady(
+            &WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, threads_per_socket)
+                .placement(Placement::FAR),
+        )
+        .total_bandwidth
+        .bytes_per_sec();
+    let bytes = total_rows as f64 * LINEORDER_ROW as f64 / 2.0; // per socket
+    let seconds = bytes * (1.0 - far_fraction) / near_bw + bytes * far_fraction / far_bw;
+    let all_near = bytes / near_bw;
+    (seconds, seconds / all_near)
+}
+
+/// Inject customer skew into generated rows: `hot_fraction` of all rows are
+/// rewritten to reference customer 1 (a "whale" account), the classic
+/// pattern that breaks hash(custkey) partitioning.
+pub fn inject_customer_skew(rows: &mut [Lineorder], hot_fraction: f64) {
+    let every = (1.0 / hot_fraction.clamp(1e-6, 1.0)).round().max(1.0) as usize;
+    for (i, row) in rows.iter_mut().enumerate() {
+        if i % every == 0 {
+            row.custkey = 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::generate;
+
+    fn rows() -> Vec<Lineorder> {
+        generate(0.01, 33).lineorder
+    }
+
+    #[test]
+    fn uniform_data_balances_under_every_scheme() {
+        let sim = Simulation::paper_default();
+        let rows = rows();
+        for scheme in Scheme::ALL {
+            let report = evaluate_scheme(&sim, &rows, scheme, 2, 18);
+            assert_eq!(report.rows.iter().sum::<u64>(), rows.len() as u64);
+            assert!(
+                report.imbalance < 1.05,
+                "{}: imbalance {}",
+                scheme.name(),
+                report.imbalance
+            );
+            assert!(report.skew_penalty() < 1.05);
+        }
+    }
+
+    #[test]
+    fn customer_skew_breaks_hash_custkey_but_not_round_robin() {
+        let sim = Simulation::paper_default();
+        let mut rows = rows();
+        inject_customer_skew(&mut rows, 0.4); // 40 % of rows hit customer 1
+        let rr = evaluate_scheme(&sim, &rows, Scheme::RoundRobinChunks, 2, 18);
+        let hc = evaluate_scheme(&sim, &rows, Scheme::HashCustomer, 2, 18);
+        assert!(rr.imbalance < 1.05, "round-robin stays balanced");
+        assert!(
+            hc.imbalance > 1.25,
+            "hash(custkey) must skew: {}",
+            hc.imbalance
+        );
+        assert!(hc.skew_penalty() > 1.2);
+        assert!(hc.scan_seconds > rr.scan_seconds);
+    }
+
+    #[test]
+    fn misplacement_costs_track_the_far_read_gap() {
+        let sim = Simulation::paper_default();
+        let (_, none) = misplacement_penalty(&sim, 6_000_000, 0.0, 18);
+        let (_, half) = misplacement_penalty(&sim, 6_000_000, 0.5, 18);
+        let (_, all) = misplacement_penalty(&sim, 6_000_000, 1.0, 18);
+        assert!((none - 1.0).abs() < 1e-9);
+        assert!(none < half && half < all);
+        // All-far ≈ 40/33 ≈ 1.22× slower (warm).
+        assert!((1.1..1.4).contains(&all), "all-far penalty {all}");
+    }
+
+    #[test]
+    fn skew_injection_is_proportional() {
+        let mut rows = rows();
+        let n = rows.len();
+        inject_customer_skew(&mut rows, 0.25);
+        let hot = rows.iter().filter(|r| r.custkey == 1).count();
+        let frac = hot as f64 / n as f64;
+        assert!((0.2..0.3).contains(&frac), "hot fraction {frac}");
+    }
+}

@@ -1,0 +1,775 @@
+//! The 13 Star Schema Benchmark queries.
+//!
+//! Every query follows the paper's plan shape: build a hash index per
+//! joined dimension (key → dictionary-encoded payload, like the paper's
+//! Dash-based joins), then stream the fact table once, probing the indexes
+//! per row, filtering on the probed payloads, and aggregating into
+//! per-thread group maps. The **aware** engine pipelines scan+probe+agg
+//! with Dash indexes across both sockets; the **unaware** engine (see
+//! [`hyrise`](crate::hyrise)) materializes operator-at-a-time with chained
+//! indexes on one socket.
+
+use pmem_store::{Result, TrackerSnapshot};
+
+use crate::engine::{
+    build_index, date_payload, date_week, date_year, date_yearmonthnum, geo_city, geo_nation,
+    geo_payload, geo_region, part_brand, part_category, part_mfgr, part_payload, scan_fact,
+    spill_result, GroupAgg, JoinIndex, OpCounters,
+};
+use crate::schema::{
+    city_of, DateDim, GeoDim, Lineorder, PartDim, Region, NATION_UNITED_KINGDOM,
+    NATION_UNITED_STATES,
+};
+use crate::storage::{EngineMode, SocketShard, SsbStore};
+
+/// Identifier of an SSB query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(non_camel_case_types)]
+pub enum QueryId {
+    /// Query flight 1: scan-heavy revenue sums.
+    Q1_1,
+    /// Q1.2.
+    Q1_2,
+    /// Q1.3.
+    Q1_3,
+    /// Query flight 2: part × supplier joins grouped by year/brand.
+    Q2_1,
+    /// Q2.2.
+    Q2_2,
+    /// Q2.3.
+    Q2_3,
+    /// Query flight 3: customer × supplier geography joins.
+    Q3_1,
+    /// Q3.2.
+    Q3_2,
+    /// Q3.3.
+    Q3_3,
+    /// Q3.4.
+    Q3_4,
+    /// Query flight 4: profit queries over all four dimensions.
+    Q4_1,
+    /// Q4.2.
+    Q4_2,
+    /// Q4.3.
+    Q4_3,
+}
+
+impl QueryId {
+    /// All 13 queries in paper order.
+    pub const ALL: [QueryId; 13] = [
+        QueryId::Q1_1,
+        QueryId::Q1_2,
+        QueryId::Q1_3,
+        QueryId::Q2_1,
+        QueryId::Q2_2,
+        QueryId::Q2_3,
+        QueryId::Q3_1,
+        QueryId::Q3_2,
+        QueryId::Q3_3,
+        QueryId::Q3_4,
+        QueryId::Q4_1,
+        QueryId::Q4_2,
+        QueryId::Q4_3,
+    ];
+
+    /// Query flight (1–4).
+    pub fn flight(self) -> u8 {
+        match self {
+            QueryId::Q1_1 | QueryId::Q1_2 | QueryId::Q1_3 => 1,
+            QueryId::Q2_1 | QueryId::Q2_2 | QueryId::Q2_3 => 2,
+            QueryId::Q3_1 | QueryId::Q3_2 | QueryId::Q3_3 | QueryId::Q3_4 => 3,
+            _ => 4,
+        }
+    }
+
+    /// Display name ("Q2.1").
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryId::Q1_1 => "Q1.1",
+            QueryId::Q1_2 => "Q1.2",
+            QueryId::Q1_3 => "Q1.3",
+            QueryId::Q2_1 => "Q2.1",
+            QueryId::Q2_2 => "Q2.2",
+            QueryId::Q2_3 => "Q2.3",
+            QueryId::Q3_1 => "Q3.1",
+            QueryId::Q3_2 => "Q3.2",
+            QueryId::Q3_3 => "Q3.3",
+            QueryId::Q3_4 => "Q3.4",
+            QueryId::Q4_1 => "Q4.1",
+            QueryId::Q4_2 => "Q4.2",
+            QueryId::Q4_3 => "Q4.3",
+        }
+    }
+}
+
+/// Traffic observed during one query, split by phase and namespace group.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseTraffic {
+    /// Dimension-table scans + index writes during the build phase.
+    pub build: TrackerSnapshot,
+    /// Index traffic during the probe phase (random reads).
+    pub probe: TrackerSnapshot,
+    /// Fact-table traffic (sequential scan).
+    pub fact: TrackerSnapshot,
+    /// Intermediate/result traffic.
+    pub intermediate: TrackerSnapshot,
+    /// Bytes of index structures built (per query, summed over shards).
+    pub index_bytes: u64,
+    /// Index bytes split by dimension (date, cust, supp, part): the date
+    /// table is sf-invariant, customer/supplier grow linearly, part grows
+    /// logarithmically — scaling must respect that (timing model).
+    pub index_bytes_by_dim: [u64; 4],
+}
+
+/// Result of one query execution.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Which query ran.
+    pub query: QueryId,
+    /// Sorted (group key, aggregate) rows; Q1.x return one row with key 0.
+    pub rows: Vec<(u64, i64)>,
+    /// Operator counters.
+    pub counters: OpCounters,
+    /// Phase traffic for the timing model.
+    pub traffic: PhaseTraffic,
+    /// Threads used.
+    pub threads: u32,
+}
+
+/// Per-shard index set a query plan builds.
+#[derive(Default)]
+pub(crate) struct ShardIndexes {
+    pub(crate) date: Option<JoinIndex>,
+    pub(crate) cust: Option<JoinIndex>,
+    pub(crate) supp: Option<JoinIndex>,
+    pub(crate) part: Option<JoinIndex>,
+    pub(crate) inserts: u64,
+    /// Index bytes per dimension (date, cust, supp, part) — the timing
+    /// model scales each by its own cardinality growth.
+    pub(crate) bytes_by_dim: [u64; 4],
+}
+
+/// What one query needs, expressed as payload predicates. `None` means the
+/// dimension is not joined at all.
+pub(crate) struct Plan {
+    pub(crate) date: Option<fn(u64) -> bool>,
+    pub(crate) cust: Option<fn(u64) -> bool>,
+    pub(crate) supp: Option<fn(u64) -> bool>,
+    pub(crate) part: Option<fn(u64) -> bool>,
+    /// Row-local predicate (quantity/discount filters of QF1).
+    pub(crate) row: fn(&Lineorder) -> bool,
+    /// Group key from (date, cust, supp, part) payloads (0 when unused).
+    pub(crate) group: fn(u64, u64, u64, u64) -> u64,
+    /// Aggregate value.
+    pub(crate) value: fn(&Lineorder) -> i64,
+}
+
+fn always(_: u64) -> bool {
+    true
+}
+
+fn no_row_filter(_: &Lineorder) -> bool {
+    true
+}
+
+/// Build the join indexes a plan needs. Both engines index the *full*
+/// dimension (key → payload), exactly like the paper's Dash-based joins:
+/// predicates are evaluated on the probed payload. Only the index structure
+/// differs per mode (Dash vs chained).
+pub(crate) fn build_for_plan(store: &SsbStore, shard: &SocketShard, plan: &Plan) -> Result<ShardIndexes> {
+    let mode = store.mode;
+    let mut out = ShardIndexes::default();
+
+    if plan.date.is_some() {
+        let used0 = shard.index_ns.used();
+        let (idx, n) = build_index(
+            &shard.index_ns,
+            &shard.dates,
+            store.card.date as u64,
+            store.card.date as usize,
+            mode,
+            DateDim::decode,
+            |d| Some((d.datekey as u64, date_payload(d))),
+        )?;
+        out.date = Some(idx);
+        out.inserts += n;
+        out.bytes_by_dim[0] = shard.index_ns.used() - used0;
+    }
+    if plan.cust.is_some() {
+        let used0 = shard.index_ns.used();
+        let (idx, n) = build_index(
+            &shard.index_ns,
+            &shard.customers,
+            store.card.customer as u64,
+            store.card.customer as usize,
+            mode,
+            GeoDim::decode,
+            |g| Some((g.key as u64, geo_payload(g))),
+        )?;
+        out.cust = Some(idx);
+        out.inserts += n;
+        out.bytes_by_dim[1] = shard.index_ns.used() - used0;
+    }
+    if plan.supp.is_some() {
+        let used0 = shard.index_ns.used();
+        let (idx, n) = build_index(
+            &shard.index_ns,
+            &shard.suppliers,
+            store.card.supplier as u64,
+            store.card.supplier as usize,
+            mode,
+            GeoDim::decode,
+            |g| Some((g.key as u64, geo_payload(g))),
+        )?;
+        out.supp = Some(idx);
+        out.inserts += n;
+        out.bytes_by_dim[2] = shard.index_ns.used() - used0;
+    }
+    if plan.part.is_some() {
+        let used0 = shard.index_ns.used();
+        let (idx, n) = build_index(
+            &shard.index_ns,
+            &shard.parts,
+            store.card.part as u64,
+            store.card.part as usize,
+            mode,
+            PartDim::decode,
+            |p| Some((p.partkey as u64, part_payload(p))),
+        )?;
+        out.part = Some(idx);
+        out.inserts += n;
+        out.bytes_by_dim[3] = shard.index_ns.used() - used0;
+    }
+    Ok(out)
+}
+
+/// Probe an optional index, returning `Some(payload)` if the row survives.
+#[inline]
+fn probe(
+    idx: &Option<JoinIndex>,
+    pred: Option<fn(u64) -> bool>,
+    key: u64,
+    counters: &mut OpCounters,
+) -> Option<u64> {
+    match (idx, pred) {
+        (Some(idx), Some(pred)) => {
+            counters.probes += 1;
+            let payload = idx.get(key)?;
+            pred(payload).then_some(payload)
+        }
+        _ => Some(0),
+    }
+}
+
+fn execute_plan(store: &SsbStore, plan: &Plan, threads: u32) -> Result<QueryOutcome> {
+    let threads = threads.max(1);
+    let per_shard_threads = (threads / store.shards.len() as u32).max(1);
+
+    let snap = |f: &dyn Fn(&SocketShard) -> TrackerSnapshot| -> TrackerSnapshot {
+        store
+            .shards
+            .iter()
+            .map(f)
+            .fold(TrackerSnapshot::default(), |a, b| a.plus(&b))
+    };
+    let fact0 = snap(&|s| s.fact_ns.tracker().snapshot());
+    let dimidx0 = snap(&|s| s.dim_ns.tracker().snapshot().plus(&s.index_ns.tracker().snapshot()));
+    let index_used0: u64 = store.shards.iter().map(|s| s.index_ns.used()).sum();
+
+    // ---- Build phase (per shard, in parallel) ----
+    let shard_indexes: Vec<ShardIndexes> = std::thread::scope(|scope| {
+        let handles: Vec<_> = store
+            .shards
+            .iter()
+            .map(|shard| scope.spawn(move || build_for_plan(store, shard, plan)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("build worker"))
+            .collect::<Result<Vec<_>>>()
+    })?;
+
+    let build_traffic = snap(&|s| {
+        s.dim_ns
+            .tracker()
+            .snapshot()
+            .plus(&s.index_ns.tracker().snapshot())
+    })
+    .since(&dimidx0);
+    let index1 = snap(&|s| s.index_ns.tracker().snapshot());
+    let index_bytes: u64 =
+        store.shards.iter().map(|s| s.index_ns.used()).sum::<u64>() - index_used0;
+
+    // ---- Probe/scan phase (shards in parallel, threads per shard) ----
+    let shard_results: Vec<(GroupAgg, OpCounters)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = store
+            .shards
+            .iter()
+            .zip(shard_indexes.iter())
+            .map(|(shard, indexes)| {
+                scope.spawn(move || {
+                    let accs = scan_fact(
+                        &shard.fact,
+                        shard.fact_rows,
+                        per_shard_threads,
+                        || (GroupAgg::default(), OpCounters::default()),
+                        |(agg, counters), row| {
+                            counters.tuples_scanned += 1;
+                            if !(plan.row)(row) {
+                                return;
+                            }
+                            let Some(pp) =
+                                probe(&indexes.part, plan.part, row.partkey as u64, counters)
+                            else {
+                                return;
+                            };
+                            let Some(sp) =
+                                probe(&indexes.supp, plan.supp, row.suppkey as u64, counters)
+                            else {
+                                return;
+                            };
+                            let Some(cp) =
+                                probe(&indexes.cust, plan.cust, row.custkey as u64, counters)
+                            else {
+                                return;
+                            };
+                            let Some(dp) =
+                                probe(&indexes.date, plan.date, row.orderdate as u64, counters)
+                            else {
+                                return;
+                            };
+                            counters.tuples_selected += 1;
+                            agg.add((plan.group)(dp, cp, sp, pp), (plan.value)(row));
+                        },
+                    );
+                    let mut agg = GroupAgg::default();
+                    let mut counters = OpCounters::default();
+                    for (a, c) in accs {
+                        agg.merge(a);
+                        counters.merge(&c);
+                    }
+                    (agg, counters)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scan worker")).collect()
+    });
+
+    let mut agg = GroupAgg::default();
+    let mut counters = OpCounters::default();
+    for (a, c) in shard_results {
+        agg.merge(a);
+        counters.merge(&c);
+    }
+    counters.agg_updates = agg.updates;
+    counters.build_inserts = shard_indexes.iter().map(|s| s.inserts).sum();
+    let mut index_bytes_by_dim = [0u64; 4];
+    for si in &shard_indexes {
+        for (total, bytes) in index_bytes_by_dim.iter_mut().zip(si.bytes_by_dim) {
+            *total += bytes;
+        }
+    }
+
+    let probe_traffic = snap(&|s| s.index_ns.tracker().snapshot()).since(&index1);
+    let fact_traffic = snap(&|s| s.fact_ns.tracker().snapshot()).since(&fact0);
+
+    let inter0 = snap(&|s| s.intermediate_ns.tracker().snapshot());
+    let rows = agg.into_sorted();
+    spill_result(&store.shards[0].intermediate_ns, &rows)?;
+    let intermediate = snap(&|s| s.intermediate_ns.tracker().snapshot()).since(&inter0);
+
+    // Return the index namespace budget: the indexes are per-query
+    // structures and their regions die with `shard_indexes`, so repeated
+    // query executions (benchmark loops) must not exhaust the namespace.
+    for (shard, si) in store.shards.iter().zip(&shard_indexes) {
+        shard.index_ns.release(si.bytes_by_dim.iter().sum());
+    }
+    drop(shard_indexes);
+
+    Ok(QueryOutcome {
+        query: QueryId::Q1_1, // overwritten by caller
+        rows,
+        counters,
+        traffic: PhaseTraffic {
+            build: build_traffic,
+            probe: probe_traffic,
+            fact: fact_traffic,
+            intermediate,
+            index_bytes,
+            index_bytes_by_dim,
+        },
+        threads,
+    })
+}
+
+/// Run one SSB query with the given total thread count. Dispatches to the
+/// vectorized pipelined executor (aware mode) or the Hyrise-like
+/// operator-at-a-time executor (unaware mode).
+pub fn run_query(store: &SsbStore, query: QueryId, threads: u32) -> Result<QueryOutcome> {
+    let plan = plan_for(query);
+    let mut outcome = match store.mode {
+        EngineMode::Aware => execute_plan(store, &plan, threads)?,
+        EngineMode::Unaware => crate::hyrise::execute_unaware(store, &plan, threads)?,
+    };
+    outcome.query = query;
+    Ok(outcome)
+}
+
+/// The plan (predicates, grouping, aggregate) of each query.
+pub(crate) fn plan_for(query: QueryId) -> Plan {
+    // Dictionary codes used by the predicates.
+    const CAT_MFGR12: u8 = 2; // category_code(1, 2)
+    const CAT_MFGR22: u8 = 7; // category_code(2, 2)
+    const CAT_MFGR14: u8 = 4; // category_code(1, 4)
+
+    match query {
+        // -- QF1: date predicate + row filters, sum(extendedprice×discount)
+        QueryId::Q1_1 => Plan {
+            date: Some(|d| date_year(d) == 1993),
+            cust: None,
+            supp: None,
+            part: None,
+            row: |r| (1..=3).contains(&r.discount) && r.quantity < 25,
+            group: |_, _, _, _| 0,
+            value: |r| r.extendedprice as i64 * r.discount as i64,
+        },
+        QueryId::Q1_2 => Plan {
+            date: Some(|d| date_yearmonthnum(d) == 199401),
+            cust: None,
+            supp: None,
+            part: None,
+            row: |r| (4..=6).contains(&r.discount) && (26..=35).contains(&r.quantity),
+            group: |_, _, _, _| 0,
+            value: |r| r.extendedprice as i64 * r.discount as i64,
+        },
+        QueryId::Q1_3 => Plan {
+            date: Some(|d| date_year(d) == 1994 && date_week(d) == 6),
+            cust: None,
+            supp: None,
+            part: None,
+            row: |r| (5..=7).contains(&r.discount) && (26..=35).contains(&r.quantity),
+            group: |_, _, _, _| 0,
+            value: |r| r.extendedprice as i64 * r.discount as i64,
+        },
+
+        // -- QF2: part × supplier × date, group by (year, brand), sum(revenue)
+        QueryId::Q2_1 => Plan {
+            date: Some(always),
+            cust: None,
+            supp: Some(|s| geo_region(s) == Region::America as u8),
+            part: Some(|p| part_category(p) == CAT_MFGR12),
+            row: no_row_filter,
+            group: |d, _, _, p| ((date_year(d) as u64) << 16) | part_brand(p) as u64,
+            value: |r| r.revenue as i64,
+        },
+        QueryId::Q2_2 => Plan {
+            date: Some(always),
+            cust: None,
+            supp: Some(|s| geo_region(s) == Region::Asia as u8),
+            part: Some(|p| {
+                let lo = PartDim::brand_code(CAT_MFGR22, 21);
+                let hi = PartDim::brand_code(CAT_MFGR22, 28);
+                (lo..=hi).contains(&part_brand(p))
+            }),
+            row: no_row_filter,
+            group: |d, _, _, p| ((date_year(d) as u64) << 16) | part_brand(p) as u64,
+            value: |r| r.revenue as i64,
+        },
+        QueryId::Q2_3 => Plan {
+            date: Some(always),
+            cust: None,
+            supp: Some(|s| geo_region(s) == Region::Europe as u8),
+            part: Some(|p| part_brand(p) == PartDim::brand_code(CAT_MFGR22, 21)),
+            row: no_row_filter,
+            group: |d, _, _, p| ((date_year(d) as u64) << 16) | part_brand(p) as u64,
+            value: |r| r.revenue as i64,
+        },
+
+        // -- QF3: customer × supplier geography, sum(revenue)
+        QueryId::Q3_1 => Plan {
+            date: Some(|d| (1992..=1997).contains(&date_year(d))),
+            cust: Some(|c| geo_region(c) == Region::Asia as u8),
+            supp: Some(|s| geo_region(s) == Region::Asia as u8),
+            part: None,
+            row: no_row_filter,
+            group: |d, c, s, _| {
+                ((geo_nation(c) as u64) << 32)
+                    | ((geo_nation(s) as u64) << 16)
+                    | date_year(d) as u64
+            },
+            value: |r| r.revenue as i64,
+        },
+        QueryId::Q3_2 => Plan {
+            date: Some(|d| (1992..=1997).contains(&date_year(d))),
+            cust: Some(|c| geo_nation(c) == NATION_UNITED_STATES),
+            supp: Some(|s| geo_nation(s) == NATION_UNITED_STATES),
+            part: None,
+            row: no_row_filter,
+            group: |d, c, s, _| {
+                ((geo_city(c) as u64) << 32) | ((geo_city(s) as u64) << 16) | date_year(d) as u64
+            },
+            value: |r| r.revenue as i64,
+        },
+        QueryId::Q3_3 => Plan {
+            date: Some(|d| (1992..=1997).contains(&date_year(d))),
+            cust: Some(q3_city_pred),
+            supp: Some(q3_city_pred),
+            part: None,
+            row: no_row_filter,
+            group: |d, c, s, _| {
+                ((geo_city(c) as u64) << 32) | ((geo_city(s) as u64) << 16) | date_year(d) as u64
+            },
+            value: |r| r.revenue as i64,
+        },
+        QueryId::Q3_4 => Plan {
+            date: Some(|d| date_yearmonthnum(d) == 199712),
+            cust: Some(q3_city_pred),
+            supp: Some(q3_city_pred),
+            part: None,
+            row: no_row_filter,
+            group: |d, c, s, _| {
+                ((geo_city(c) as u64) << 32) | ((geo_city(s) as u64) << 16) | date_year(d) as u64
+            },
+            value: |r| r.revenue as i64,
+        },
+
+        // -- QF4: all four dimensions, sum(revenue − supplycost)
+        QueryId::Q4_1 => Plan {
+            date: Some(always),
+            cust: Some(|c| geo_region(c) == Region::America as u8),
+            supp: Some(|s| geo_region(s) == Region::America as u8),
+            part: Some(|p| part_mfgr(p) == 1 || part_mfgr(p) == 2),
+            row: no_row_filter,
+            group: |d, c, _, _| ((date_year(d) as u64) << 8) | geo_nation(c) as u64,
+            value: |r| r.revenue as i64 - r.supplycost as i64,
+        },
+        QueryId::Q4_2 => Plan {
+            date: Some(|d| date_year(d) == 1997 || date_year(d) == 1998),
+            cust: Some(|c| geo_region(c) == Region::America as u8),
+            supp: Some(|s| geo_region(s) == Region::America as u8),
+            part: Some(|p| part_mfgr(p) == 1 || part_mfgr(p) == 2),
+            row: no_row_filter,
+            group: |d, _, s, p| {
+                ((date_year(d) as u64) << 32)
+                    | ((geo_nation(s) as u64) << 8)
+                    | part_category(p) as u64
+            },
+            value: |r| r.revenue as i64 - r.supplycost as i64,
+        },
+        QueryId::Q4_3 => Plan {
+            date: Some(|d| date_year(d) == 1997 || date_year(d) == 1998),
+            cust: Some(|c| geo_region(c) == Region::America as u8),
+            supp: Some(|s| geo_nation(s) == NATION_UNITED_STATES),
+            part: Some(|p| part_category(p) == CAT_MFGR14),
+            row: no_row_filter,
+            group: |d, _, s, p| {
+                ((date_year(d) as u64) << 32)
+                    | ((geo_city(s) as u64) << 16)
+                    | part_brand(p) as u64
+            },
+            value: |r| r.revenue as i64 - r.supplycost as i64,
+        },
+    }
+}
+
+/// Human-readable plan description (EXPLAIN): which dimensions are joined,
+/// in probe order, with the row filter and the engine shape.
+pub fn explain(query: QueryId, mode: EngineMode) -> String {
+    let plan = plan_for(query);
+    let mut dims = Vec::new();
+    if plan.part.is_some() {
+        dims.push("part");
+    }
+    if plan.supp.is_some() {
+        dims.push("supplier");
+    }
+    if plan.cust.is_some() {
+        dims.push("customer");
+    }
+    if plan.date.is_some() {
+        dims.push("date");
+    }
+    let engine = match mode {
+        EngineMode::Aware => "pipelined scan+probe+agg (Dash indexes, both sockets)",
+        EngineMode::Unaware => "operator-at-a-time, materialized (chained indexes, 1 socket)",
+    };
+    let row_filter = matches!(query, QueryId::Q1_1 | QueryId::Q1_2 | QueryId::Q1_3);
+    format!(
+        "{name}: scan lineorder{filter} -> probe [{dims}] -> group-aggregate\n  engine: {engine}",
+        name = query.name(),
+        filter = if row_filter { " (with row predicate)" } else { "" },
+        dims = dims.join(", "),
+    )
+}
+
+/// Q3.3/Q3.4 city set: "UNITED KI1" or "UNITED KI5".
+fn q3_city_pred(p: u64) -> bool {
+    let c = geo_city(p);
+    c == city_of(NATION_UNITED_KINGDOM, 1) || c == city_of(NATION_UNITED_KINGDOM, 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{SsbStore, StorageDevice};
+
+    fn store(mode: EngineMode) -> SsbStore {
+        SsbStore::generate_and_load(0.005, 21, mode, StorageDevice::PmemDevdax).unwrap()
+    }
+
+    #[test]
+    fn q1_1_matches_reference() {
+        let data = crate::datagen::generate(0.005, 21);
+        let st = SsbStore::load(&data, 0.005, EngineMode::Aware, StorageDevice::PmemDevdax)
+            .unwrap();
+        let outcome = run_query(&st, QueryId::Q1_1, 4).unwrap();
+        let expected: i64 = data
+            .lineorder
+            .iter()
+            .filter(|r| {
+                (19930101..19940101).contains(&r.orderdate)
+                    && (1..=3).contains(&r.discount)
+                    && r.quantity < 25
+            })
+            .map(|r| r.extendedprice as i64 * r.discount as i64)
+            .sum();
+        assert_eq!(outcome.rows.len(), 1);
+        assert_eq!(outcome.rows[0], (0, expected));
+    }
+
+    #[test]
+    fn aware_and_unaware_agree_on_results() {
+        // Same data, both engines: identical answers, different traffic.
+        let data = crate::datagen::generate(0.005, 21);
+        let aware =
+            SsbStore::load(&data, 0.005, EngineMode::Aware, StorageDevice::PmemDevdax).unwrap();
+        let unaware =
+            SsbStore::load(&data, 0.005, EngineMode::Unaware, StorageDevice::PmemDevdax).unwrap();
+        for q in [QueryId::Q2_1, QueryId::Q3_2, QueryId::Q4_1] {
+            let a = run_query(&aware, q, 4).unwrap();
+            let u = run_query(&unaware, q, 2).unwrap();
+            assert_eq!(a.rows, u.rows, "{} results diverge", q.name());
+        }
+    }
+
+    #[test]
+    fn unaware_mode_has_the_hostile_traffic_signature() {
+        let data = crate::datagen::generate(0.005, 21);
+        let aware =
+            SsbStore::load(&data, 0.005, EngineMode::Aware, StorageDevice::PmemDevdax).unwrap();
+        let unaware =
+            SsbStore::load(&data, 0.005, EngineMode::Unaware, StorageDevice::PmemDevdax).unwrap();
+        let a = run_query(&aware, QueryId::Q2_1, 4).unwrap();
+        let u = run_query(&unaware, QueryId::Q2_1, 4).unwrap();
+        // Unaware (chained) index traffic is dominated by sub-cacheline
+        // pointer chases; aware (Dash) probes are 256 B bucket loads.
+        let mean_u = u.traffic.probe.rand_read_bytes as f64
+            / u.traffic.probe.read_ops.max(1) as f64;
+        let mean_a =
+            a.traffic.probe.rand_read_bytes as f64 / a.traffic.probe.read_ops.max(1) as f64;
+        assert!(mean_u < 64.0, "unaware probe granule {mean_u}");
+        assert!((128.0..512.0).contains(&mean_a), "aware probe granule {mean_a}");
+        // The unaware engine materializes operator-at-a-time: large
+        // intermediate write+read traffic the aware pipeline never creates.
+        assert!(
+            u.traffic.intermediate.seq_write_bytes
+                > 50 * a.traffic.intermediate.seq_write_bytes.max(1),
+            "unaware intermediates {} vs aware {}",
+            u.traffic.intermediate.seq_write_bytes,
+            a.traffic.intermediate.seq_write_bytes
+        );
+    }
+
+    #[test]
+    fn fact_scan_traffic_is_sequential_and_complete() {
+        let st = store(EngineMode::Aware);
+        let outcome = run_query(&st, QueryId::Q1_2, 8).unwrap();
+        assert_eq!(outcome.traffic.fact.rand_read_bytes, 0);
+        assert_eq!(
+            outcome.traffic.fact.seq_read_bytes,
+            st.fact_rows() * crate::schema::LINEORDER_ROW
+        );
+        assert_eq!(outcome.counters.tuples_scanned, st.fact_rows());
+    }
+
+    #[test]
+    fn qf1_probes_only_date() {
+        let st = store(EngineMode::Aware);
+        let outcome = run_query(&st, QueryId::Q1_1, 4).unwrap();
+        // Probes happen only for rows passing the row filter.
+        assert!(outcome.counters.probes < outcome.counters.tuples_scanned / 2);
+        assert!(outcome.traffic.index_bytes > 0);
+    }
+
+    #[test]
+    fn group_counts_are_plausible() {
+        let st = store(EngineMode::Aware);
+        // Q2.1 groups by (year, brand): ≤ 7 years × 40 brands.
+        let q21 = run_query(&st, QueryId::Q2_1, 4).unwrap();
+        assert!(!q21.rows.is_empty());
+        assert!(q21.rows.len() <= 7 * 40, "{} groups", q21.rows.len());
+        // Q3.1 groups by (c_nation, s_nation, year): ≤ 5×5×6.
+        let q31 = run_query(&st, QueryId::Q3_1, 4).unwrap();
+        assert!(q31.rows.len() <= 150);
+        // Q4.1 groups by (year, c_nation): ≤ 7×5.
+        let q41 = run_query(&st, QueryId::Q4_1, 4).unwrap();
+        assert!(q41.rows.len() <= 35);
+    }
+
+    #[test]
+    fn all_thirteen_queries_run() {
+        let st = store(EngineMode::Aware);
+        for q in QueryId::ALL {
+            let outcome = run_query(&st, q, 4).unwrap();
+            assert_eq!(outcome.query, q);
+            assert_eq!(outcome.counters.tuples_scanned, st.fact_rows(), "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn explain_describes_the_plan() {
+        let text = explain(QueryId::Q2_1, EngineMode::Aware);
+        assert!(text.contains("Q2.1"));
+        assert!(text.contains("part, supplier, date"));
+        assert!(!text.contains("customer"));
+        assert!(text.contains("Dash"));
+        let q1 = explain(QueryId::Q1_1, EngineMode::Unaware);
+        assert!(q1.contains("row predicate"));
+        assert!(q1.contains("materialized"));
+        for q in QueryId::ALL {
+            assert!(explain(q, EngineMode::Aware).contains("date"), "{}", q.name());
+        }
+    }
+
+    #[test]
+    fn repeated_executions_do_not_exhaust_namespaces() {
+        // Benchmark loops run the same query dozens of times on one store;
+        // per-query index/intermediate budgets must be returned.
+        let data = crate::datagen::generate(0.002, 21);
+        for mode in [EngineMode::Aware, EngineMode::Unaware] {
+            let st = SsbStore::load(&data, 0.002, mode, StorageDevice::PmemFsdax).unwrap();
+            let used_after_first = {
+                run_query(&st, QueryId::Q2_1, 2).unwrap();
+                st.shards.iter().map(|s| s.index_ns.used()).sum::<u64>()
+            };
+            for _ in 0..30 {
+                run_query(&st, QueryId::Q2_1, 2).unwrap();
+            }
+            let used_after_many: u64 = st.shards.iter().map(|s| s.index_ns.used()).sum();
+            assert_eq!(
+                used_after_first, used_after_many,
+                "{mode:?}: index namespace budget leaked"
+            );
+        }
+    }
+
+    #[test]
+    fn query_metadata() {
+        assert_eq!(QueryId::Q1_1.flight(), 1);
+        assert_eq!(QueryId::Q2_3.flight(), 2);
+        assert_eq!(QueryId::Q3_4.flight(), 3);
+        assert_eq!(QueryId::Q4_2.flight(), 4);
+        assert_eq!(QueryId::Q4_2.name(), "Q4.2");
+        assert_eq!(QueryId::ALL.len(), 13);
+    }
+}

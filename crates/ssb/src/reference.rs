@@ -1,0 +1,102 @@
+//! Reference query evaluation: direct, single-threaded computation over
+//! the generated data, used to cross-check the engines.
+//!
+//! Evaluation goes straight over `SsbData` with plain hash maps — no
+//! regions, no indexes, no parallelism — but shares the query *plans*
+//! (predicates, grouping, aggregates) with the engine, so a mismatch
+//! pinpoints a defect in storage, index, scan, or merge machinery.
+
+use std::collections::HashMap;
+
+use crate::datagen::SsbData;
+use crate::engine::{date_payload, geo_payload, part_payload, GroupAgg};
+use crate::queries::{plan_for, QueryId};
+
+/// Evaluate `query` directly over the generated data.
+pub fn reference_query(data: &SsbData, query: QueryId) -> Vec<(u64, i64)> {
+    let plan = plan_for(query);
+
+    let dates: HashMap<u64, u64> = data
+        .dates
+        .iter()
+        .map(|d| (d.datekey as u64, date_payload(d)))
+        .collect();
+    let customers: HashMap<u64, u64> = data
+        .customers
+        .iter()
+        .map(|c| (c.key as u64, geo_payload(c)))
+        .collect();
+    let suppliers: HashMap<u64, u64> = data
+        .suppliers
+        .iter()
+        .map(|s| (s.key as u64, geo_payload(s)))
+        .collect();
+    let parts: HashMap<u64, u64> = data
+        .parts
+        .iter()
+        .map(|p| (p.partkey as u64, part_payload(p)))
+        .collect();
+
+    let lookup = |table: &HashMap<u64, u64>,
+                  pred: Option<fn(u64) -> bool>,
+                  key: u64|
+     -> Option<u64> {
+        match pred {
+            None => Some(0),
+            Some(pred) => {
+                let payload = *table.get(&key)?;
+                pred(payload).then_some(payload)
+            }
+        }
+    };
+
+    let mut agg = GroupAgg::default();
+    for row in &data.lineorder {
+        if !(plan.row)(row) {
+            continue;
+        }
+        let Some(pp) = lookup(&parts, plan.part, row.partkey as u64) else { continue };
+        let Some(sp) = lookup(&suppliers, plan.supp, row.suppkey as u64) else { continue };
+        let Some(cp) = lookup(&customers, plan.cust, row.custkey as u64) else { continue };
+        let Some(dp) = lookup(&dates, plan.date, row.orderdate as u64) else { continue };
+        agg.add((plan.group)(dp, cp, sp, pp), (plan.value)(row));
+    }
+    agg.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::generate;
+    use crate::queries::run_query;
+    use crate::storage::{EngineMode, SsbStore, StorageDevice};
+
+    #[test]
+    fn engine_matches_reference_on_all_13_queries() {
+        let data = generate(0.004, 99);
+        let store =
+            SsbStore::load(&data, 0.004, EngineMode::Aware, StorageDevice::PmemDevdax).unwrap();
+        for q in QueryId::ALL {
+            let engine = run_query(&store, q, 4).unwrap();
+            let reference = reference_query(&data, q);
+            assert_eq!(engine.rows, reference, "{} diverges from reference", q.name());
+        }
+    }
+
+    #[test]
+    fn reference_is_deterministic() {
+        let data = generate(0.002, 5);
+        assert_eq!(
+            reference_query(&data, QueryId::Q3_1),
+            reference_query(&data, QueryId::Q3_1)
+        );
+    }
+
+    #[test]
+    fn selective_queries_return_fewer_groups() {
+        let data = generate(0.01, 5);
+        let q31 = reference_query(&data, QueryId::Q3_1).len();
+        let q33 = reference_query(&data, QueryId::Q3_3).len();
+        assert!(q33 <= q31, "Q3.3 ({q33}) should have ≤ groups than Q3.1 ({q31})");
+    }
+}

@@ -1,0 +1,426 @@
+//! Star Schema Benchmark schema (O'Neil et al.) in fixed-width row format.
+//!
+//! The paper's handcrafted implementation stores data "in a row format with
+//! a custom schema in one file per table" and aligns all fields to 128 bytes
+//! for the fact table ("slightly larger than the size of a tuple, < 10 %")
+//! to avoid per-tuple parsing overhead. We mirror that: `lineorder` rows are
+//! 128 B; the four dimension rows are 64 B. Low-cardinality strings
+//! (region/nation/city, mfgr/category/brand, ship mode) are dictionary
+//! encoded as integers, as any columnar or hand-tuned row engine would.
+
+/// Bytes per `lineorder` row (paper §6.2: fields aligned to 128 B).
+pub const LINEORDER_ROW: u64 = 128;
+/// Bytes per dimension row.
+pub const DIM_ROW: u64 = 64;
+
+/// Region dictionary (SSB has exactly five regions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Region {
+    /// AMERICA
+    America = 0,
+    /// ASIA
+    Asia = 1,
+    /// EUROPE
+    Europe = 2,
+    /// AFRICA
+    Africa = 3,
+    /// MIDDLE EAST
+    MiddleEast = 4,
+}
+
+impl Region {
+    /// All regions.
+    pub const ALL: [Region; 5] = [
+        Region::America,
+        Region::Asia,
+        Region::Europe,
+        Region::Africa,
+        Region::MiddleEast,
+    ];
+
+    /// From a dictionary code.
+    pub fn from_code(code: u8) -> Region {
+        Region::ALL[code as usize % 5]
+    }
+
+    /// SSB string form.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::America => "AMERICA",
+            Region::Asia => "ASIA",
+            Region::Europe => "EUROPE",
+            Region::Africa => "AFRICA",
+            Region::MiddleEast => "MIDDLE EAST",
+        }
+    }
+}
+
+/// Nations per region (SSB has 25 nations, 5 per region). Nation code
+/// `n` belongs to region `n / 5`.
+pub const NATIONS: u8 = 25;
+/// Cities per nation (SSB: 10). City code `c` belongs to nation `c / 10`.
+pub const CITIES_PER_NATION: u8 = 10;
+
+/// Dictionary code of "UNITED STATES" (a nation of AMERICA).
+pub const NATION_UNITED_STATES: u8 = 0;
+/// Dictionary code of "UNITED KINGDOM" (a nation of EUROPE).
+pub const NATION_UNITED_KINGDOM: u8 = 2 * 5;
+
+/// The region a nation belongs to.
+pub fn nation_region(nation: u8) -> Region {
+    Region::from_code(nation / 5)
+}
+
+/// The nation a city belongs to.
+pub fn city_nation(city: u16) -> u8 {
+    (city / CITIES_PER_NATION as u16) as u8
+}
+
+/// City code for the `i`-th city of a nation (SSB city strings like
+/// "UNITED KI1" are nation prefix + digit).
+pub fn city_of(nation: u8, i: u8) -> u16 {
+    nation as u16 * CITIES_PER_NATION as u16 + i as u16
+}
+
+/// One `lineorder` fact row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Lineorder {
+    /// Order key.
+    pub orderkey: u64,
+    /// Line number within the order (1–7).
+    pub linenumber: u8,
+    /// Foreign key into `part`.
+    pub partkey: u32,
+    /// Foreign key into `supplier`.
+    pub suppkey: u32,
+    /// Foreign key into `customer`.
+    pub custkey: u32,
+    /// Foreign key into `date` (yyyymmdd).
+    pub orderdate: u32,
+    /// Quantity (1–50).
+    pub quantity: u8,
+    /// Discount in percent (0–10).
+    pub discount: u8,
+    /// Tax (0–8).
+    pub tax: u8,
+    /// Extended price.
+    pub extendedprice: u32,
+    /// Total order price.
+    pub ordtotalprice: u32,
+    /// Revenue = extendedprice × (100 − discount) / 100.
+    pub revenue: u32,
+    /// Supply cost.
+    pub supplycost: u32,
+    /// Commit date (yyyymmdd).
+    pub commitdate: u32,
+    /// Ship mode dictionary code (7 modes).
+    pub shipmode: u8,
+}
+
+impl Lineorder {
+    /// Byte offset of `quantity` within a row (scans read single fields).
+    pub const OFF_QUANTITY: u64 = 24;
+    /// Byte offset of `discount`.
+    pub const OFF_DISCOUNT: u64 = 25;
+    /// Byte offset of `orderdate`.
+    pub const OFF_ORDERDATE: u64 = 20;
+    /// Byte offset of `extendedprice`.
+    pub const OFF_EXTENDEDPRICE: u64 = 28;
+
+    /// Serialize into a 128 B row.
+    pub fn encode(&self, buf: &mut [u8]) {
+        debug_assert!(buf.len() >= LINEORDER_ROW as usize);
+        buf[..LINEORDER_ROW as usize].fill(0);
+        buf[0..8].copy_from_slice(&self.orderkey.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.partkey.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.suppkey.to_le_bytes());
+        buf[16..20].copy_from_slice(&self.custkey.to_le_bytes());
+        buf[20..24].copy_from_slice(&self.orderdate.to_le_bytes());
+        buf[24] = self.quantity;
+        buf[25] = self.discount;
+        buf[26] = self.tax;
+        buf[27] = self.linenumber;
+        buf[28..32].copy_from_slice(&self.extendedprice.to_le_bytes());
+        buf[32..36].copy_from_slice(&self.ordtotalprice.to_le_bytes());
+        buf[36..40].copy_from_slice(&self.revenue.to_le_bytes());
+        buf[40..44].copy_from_slice(&self.supplycost.to_le_bytes());
+        buf[44..48].copy_from_slice(&self.commitdate.to_le_bytes());
+        buf[48] = self.shipmode;
+    }
+
+    /// Deserialize from a 128 B row.
+    pub fn decode(buf: &[u8]) -> Lineorder {
+        debug_assert!(buf.len() >= LINEORDER_ROW as usize);
+        Lineorder {
+            orderkey: u64::from_le_bytes(buf[0..8].try_into().expect("8")),
+            partkey: u32::from_le_bytes(buf[8..12].try_into().expect("4")),
+            suppkey: u32::from_le_bytes(buf[12..16].try_into().expect("4")),
+            custkey: u32::from_le_bytes(buf[16..20].try_into().expect("4")),
+            orderdate: u32::from_le_bytes(buf[20..24].try_into().expect("4")),
+            quantity: buf[24],
+            discount: buf[25],
+            tax: buf[26],
+            linenumber: buf[27],
+            extendedprice: u32::from_le_bytes(buf[28..32].try_into().expect("4")),
+            ordtotalprice: u32::from_le_bytes(buf[32..36].try_into().expect("4")),
+            revenue: u32::from_le_bytes(buf[36..40].try_into().expect("4")),
+            supplycost: u32::from_le_bytes(buf[40..44].try_into().expect("4")),
+            commitdate: u32::from_le_bytes(buf[44..48].try_into().expect("4")),
+            shipmode: buf[48],
+        }
+    }
+}
+
+/// One `date` dimension row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DateDim {
+    /// yyyymmdd key.
+    pub datekey: u32,
+    /// Calendar year (1992–1998).
+    pub year: u16,
+    /// Month (1–12).
+    pub month: u8,
+    /// Day of month.
+    pub day: u8,
+    /// yyyymm.
+    pub yearmonthnum: u32,
+    /// Week number within the year (1–53).
+    pub weeknuminyear: u8,
+    /// Day of week (0–6).
+    pub dayofweek: u8,
+    /// Day number within the year (1–366).
+    pub daynuminyear: u16,
+}
+
+impl DateDim {
+    /// Serialize into a 64 B row.
+    pub fn encode(&self, buf: &mut [u8]) {
+        debug_assert!(buf.len() >= DIM_ROW as usize);
+        buf[..DIM_ROW as usize].fill(0);
+        buf[0..4].copy_from_slice(&self.datekey.to_le_bytes());
+        buf[4..6].copy_from_slice(&self.year.to_le_bytes());
+        buf[6] = self.month;
+        buf[7] = self.day;
+        buf[8..12].copy_from_slice(&self.yearmonthnum.to_le_bytes());
+        buf[12] = self.weeknuminyear;
+        buf[13] = self.dayofweek;
+        buf[14..16].copy_from_slice(&self.daynuminyear.to_le_bytes());
+    }
+
+    /// Deserialize from a 64 B row.
+    pub fn decode(buf: &[u8]) -> DateDim {
+        DateDim {
+            datekey: u32::from_le_bytes(buf[0..4].try_into().expect("4")),
+            year: u16::from_le_bytes(buf[4..6].try_into().expect("2")),
+            month: buf[6],
+            day: buf[7],
+            yearmonthnum: u32::from_le_bytes(buf[8..12].try_into().expect("4")),
+            weeknuminyear: buf[12],
+            dayofweek: buf[13],
+            daynuminyear: u16::from_le_bytes(buf[14..16].try_into().expect("2")),
+        }
+    }
+}
+
+/// One `customer` or `supplier` dimension row (identical geography layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GeoDim {
+    /// Primary key.
+    pub key: u32,
+    /// City dictionary code (0–249).
+    pub city: u16,
+    /// Nation dictionary code (0–24).
+    pub nation: u8,
+    /// Region dictionary code (0–4).
+    pub region: u8,
+    /// Market segment (customers) / unused (suppliers).
+    pub mktsegment: u8,
+}
+
+impl GeoDim {
+    /// Serialize into a 64 B row.
+    pub fn encode(&self, buf: &mut [u8]) {
+        debug_assert!(buf.len() >= DIM_ROW as usize);
+        buf[..DIM_ROW as usize].fill(0);
+        buf[0..4].copy_from_slice(&self.key.to_le_bytes());
+        buf[4..6].copy_from_slice(&self.city.to_le_bytes());
+        buf[6] = self.nation;
+        buf[7] = self.region;
+        buf[8] = self.mktsegment;
+    }
+
+    /// Deserialize from a 64 B row.
+    pub fn decode(buf: &[u8]) -> GeoDim {
+        GeoDim {
+            key: u32::from_le_bytes(buf[0..4].try_into().expect("4")),
+            city: u16::from_le_bytes(buf[4..6].try_into().expect("2")),
+            nation: buf[6],
+            region: buf[7],
+            mktsegment: buf[8],
+        }
+    }
+}
+
+/// One `part` dimension row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PartDim {
+    /// Primary key.
+    pub partkey: u32,
+    /// Manufacturer (1–5, "MFGR#m").
+    pub mfgr: u8,
+    /// Category (1–25, "MFGR#mc": mfgr m, digit c 1–5).
+    pub category: u8,
+    /// Brand (1–1000, 40 brands per category, "MFGR#mcbb").
+    pub brand: u16,
+    /// Size (1–50).
+    pub size: u8,
+    /// Color dictionary code.
+    pub color: u8,
+    /// Container dictionary code.
+    pub container: u8,
+}
+
+impl PartDim {
+    /// Serialize into a 64 B row.
+    pub fn encode(&self, buf: &mut [u8]) {
+        debug_assert!(buf.len() >= DIM_ROW as usize);
+        buf[..DIM_ROW as usize].fill(0);
+        buf[0..4].copy_from_slice(&self.partkey.to_le_bytes());
+        buf[4] = self.mfgr;
+        buf[5] = self.category;
+        buf[6..8].copy_from_slice(&self.brand.to_le_bytes());
+        buf[8] = self.size;
+        buf[9] = self.color;
+        buf[10] = self.container;
+    }
+
+    /// Deserialize from a 64 B row.
+    pub fn decode(buf: &[u8]) -> PartDim {
+        PartDim {
+            partkey: u32::from_le_bytes(buf[0..4].try_into().expect("4")),
+            mfgr: buf[4],
+            category: buf[5],
+            brand: u16::from_le_bytes(buf[6..8].try_into().expect("2")),
+            size: buf[8],
+            color: buf[9],
+            container: buf[10],
+        }
+    }
+
+    /// Category code from mfgr `m` (1–5) and category digit `c` (1–5):
+    /// "MFGR#mc" → (m−1)×5 + c, i.e. 1–25.
+    pub fn category_code(mfgr: u8, cat_digit: u8) -> u8 {
+        (mfgr - 1) * 5 + cat_digit
+    }
+
+    /// Brand code from a category code (1–25) and brand digit (1–40):
+    /// "MFGR#mcbb" → (category−1)×40 + b, i.e. 1–1000.
+    pub fn brand_code(category: u8, brand_digit: u8) -> u16 {
+        (category as u16 - 1) * 40 + brand_digit as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineorder_round_trip() {
+        let lo = Lineorder {
+            orderkey: 123456789,
+            linenumber: 3,
+            partkey: 42,
+            suppkey: 7,
+            custkey: 99,
+            orderdate: 19940215,
+            quantity: 25,
+            discount: 4,
+            tax: 2,
+            extendedprice: 123456,
+            ordtotalprice: 999999,
+            revenue: 118518,
+            supplycost: 555,
+            commitdate: 19940301,
+            shipmode: 5,
+        };
+        let mut buf = [0u8; LINEORDER_ROW as usize];
+        lo.encode(&mut buf);
+        assert_eq!(Lineorder::decode(&buf), lo);
+        // Field offsets line up with the encoded layout.
+        assert_eq!(buf[Lineorder::OFF_QUANTITY as usize], 25);
+        assert_eq!(buf[Lineorder::OFF_DISCOUNT as usize], 4);
+    }
+
+    #[test]
+    fn dimension_round_trips() {
+        let d = DateDim {
+            datekey: 19930406,
+            year: 1993,
+            month: 4,
+            day: 6,
+            yearmonthnum: 199304,
+            weeknuminyear: 14,
+            dayofweek: 2,
+            daynuminyear: 96,
+        };
+        let mut buf = [0u8; DIM_ROW as usize];
+        d.encode(&mut buf);
+        assert_eq!(DateDim::decode(&buf), d);
+
+        let g = GeoDim {
+            key: 77,
+            city: 205,
+            nation: 20,
+            region: 4,
+            mktsegment: 3,
+        };
+        g.encode(&mut buf);
+        assert_eq!(GeoDim::decode(&buf), g);
+
+        let p = PartDim {
+            partkey: 1234,
+            mfgr: 2,
+            category: 8,
+            brand: 300,
+            size: 12,
+            color: 9,
+            container: 4,
+        };
+        p.encode(&mut buf);
+        assert_eq!(PartDim::decode(&buf), p);
+    }
+
+    #[test]
+    fn geography_hierarchy_is_consistent() {
+        for nation in 0..NATIONS {
+            let region = nation_region(nation);
+            assert_eq!(region as u8, nation / 5);
+            for i in 0..CITIES_PER_NATION {
+                assert_eq!(city_nation(city_of(nation, i)), nation);
+            }
+        }
+        assert_eq!(nation_region(NATION_UNITED_STATES), Region::America);
+        assert_eq!(nation_region(NATION_UNITED_KINGDOM), Region::Europe);
+    }
+
+    #[test]
+    fn part_code_hierarchy() {
+        // MFGR#12 = mfgr 1, category digit 2.
+        let cat = PartDim::category_code(1, 2);
+        assert_eq!(cat, 2);
+        assert_eq!(PartDim::category_code(5, 5), 25);
+        // MFGR#2221 = category "MFGR#22" (mfgr 2, digit 2), brand 21.
+        let cat22 = PartDim::category_code(2, 2);
+        let brand = PartDim::brand_code(cat22, 21);
+        assert_eq!(brand, (cat22 as u16 - 1) * 40 + 21);
+        assert!(PartDim::brand_code(25, 40) <= 1000);
+    }
+
+    #[test]
+    fn region_names_and_codes() {
+        assert_eq!(Region::from_code(0), Region::America);
+        assert_eq!(Region::from_code(7), Region::Europe); // mod 5
+        assert_eq!(Region::Asia.name(), "ASIA");
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for store operations.
+
+use std::fmt;
+
+/// Errors raised by namespaces, regions, and allocators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An access reached past the end of a region.
+    OutOfBounds {
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Region capacity.
+        capacity: u64,
+    },
+    /// The namespace has no room for the requested allocation.
+    OutOfSpace {
+        /// Requested bytes.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// Alignment must be a power of two.
+    BadAlignment(u64),
+    /// Operation requires App Direct mode (e.g. persistence primitives in
+    /// Memory Mode, which does not guarantee persistence).
+    NotPersistent,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::OutOfBounds { offset, len, capacity } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) out of bounds for region of {capacity} bytes"
+            ),
+            StoreError::OutOfSpace { requested, available } => {
+                write!(f, "allocation of {requested} bytes exceeds {available} available")
+            }
+            StoreError::BadAlignment(a) => write!(f, "alignment {a} is not a power of two"),
+            StoreError::NotPersistent => {
+                write!(f, "operation requires a persistent (App Direct) namespace")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StoreError::OutOfBounds { offset: 10, len: 20, capacity: 16 };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = StoreError::OutOfSpace { requested: 100, available: 1 };
+        assert!(e.to_string().contains("exceeds"));
+        assert!(StoreError::BadAlignment(3).to_string().contains("power of two"));
+        assert!(StoreError::NotPersistent.to_string().contains("App Direct"));
+    }
+}

@@ -1,0 +1,513 @@
+//! Byte-addressable regions with Optane persistence semantics.
+//!
+//! A [`Region`] owns real bytes (so data structures built on it can be
+//! tested functionally) and enforces the persistence rules of the paper's
+//! kernels:
+//!
+//! * a regular `write` lands in the CPU cache — **volatile** until flushed,
+//! * `clwb` moves dirty cache lines towards the iMC write-pending queue,
+//! * `ntstore` bypasses the cache straight to the WPQ path,
+//! * `sfence` orders/drains: everything previously `ntstore`d or `clwb`ed
+//!   is then *accepted into the WPQ* and therefore persistent (ADR domain),
+//! * [`Region::crash`] simulates a power loss: every line not yet accepted
+//!   into the WPQ reverts to its last persisted image.
+//!
+//! Every access is tallied into the namespace's
+//! [`crate::tracker::AccessTracker`] so simulated device time
+//! can be derived, and fsdax regions charge first-touch page faults
+//! (the §2.3 devdax-vs-fsdax effect).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::tracker::AccessTracker;
+use crate::{Result, StoreError};
+
+/// CPU cache-line size: the granularity of dirtiness and flushing.
+pub const CACHE_LINE: u64 = 64;
+
+/// Whether an access should be accounted as part of a sequential stream or
+/// as random. [`AccessHint::Auto`] infers it from the previous access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessHint {
+    /// Part of a sequential scan.
+    Sequential,
+    /// Random access (probe, point lookup).
+    Random,
+    /// Infer: sequential iff this access starts where the last one ended.
+    Auto,
+}
+
+/// fsdax page-fault state (2 MB pages by default, §2.3).
+#[derive(Debug)]
+pub(crate) struct FaultModel {
+    pub page_bytes: u64,
+    faulted: Mutex<HashSet<u64>>,
+}
+
+impl FaultModel {
+    pub(crate) fn new(page_bytes: u64) -> Self {
+        FaultModel {
+            page_bytes,
+            faulted: Mutex::new(HashSet::new()),
+        }
+    }
+}
+
+/// A byte-addressable allocation on a (simulated) memory device.
+#[derive(Debug)]
+pub struct Region {
+    data: Vec<u8>,
+    /// Last persisted image (what survives a crash).
+    shadow: Vec<u8>,
+    /// Lines written through the cache and not yet flushed.
+    dirty: HashSet<u64>,
+    /// Lines on their way to the WPQ (ntstore / clwb), not yet fenced.
+    pending: HashSet<u64>,
+    tracker: Arc<AccessTracker>,
+    /// False for DRAM or Memory-Mode regions: nothing survives a crash.
+    persistent: bool,
+    fault_model: Option<Arc<FaultModel>>,
+    last_read_end: AtomicU64,
+    last_write_end: AtomicU64,
+    /// Optional access-trace sink (see [`crate::trace`]).
+    trace: Mutex<Option<Arc<crate::trace::TraceBuffer>>>,
+}
+
+impl Region {
+    pub(crate) fn new(
+        len: u64,
+        tracker: Arc<AccessTracker>,
+        persistent: bool,
+        fault_model: Option<Arc<FaultModel>>,
+    ) -> Self {
+        Region {
+            data: vec![0; len as usize],
+            shadow: vec![0; len as usize],
+            dirty: HashSet::new(),
+            pending: HashSet::new(),
+            tracker,
+            persistent,
+            fault_model,
+            last_read_end: AtomicU64::new(u64::MAX),
+            last_write_end: AtomicU64::new(u64::MAX),
+            trace: Mutex::new(None),
+        }
+    }
+
+    /// Attach a trace buffer: subsequent accesses are recorded into it.
+    pub fn attach_trace(&self, buffer: Arc<crate::trace::TraceBuffer>) {
+        *self.trace.lock() = Some(buffer);
+    }
+
+    /// Stop tracing.
+    pub fn detach_trace(&self) {
+        *self.trace.lock() = None;
+    }
+
+    #[inline]
+    fn record_trace(&self, offset: u64, len: u64, write: bool) {
+        if let Some(buffer) = self.trace.lock().as_ref() {
+            buffer.record(crate::trace::TraceEntry { offset, len, write });
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// True if the region holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Whether this region guarantees persistence (App Direct).
+    pub fn is_persistent(&self) -> bool {
+        self.persistent
+    }
+
+    /// The tracker this region reports into.
+    pub fn tracker(&self) -> &Arc<AccessTracker> {
+        &self.tracker
+    }
+
+    fn check(&self, offset: u64, len: u64) -> Result<()> {
+        if offset.checked_add(len).is_none_or(|end| end > self.len()) {
+            return Err(StoreError::OutOfBounds {
+                offset,
+                len,
+                capacity: self.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn fault_pages(&self, offset: u64, len: u64) {
+        if let Some(fm) = &self.fault_model {
+            let first = offset / fm.page_bytes;
+            let last = (offset + len.max(1) - 1) / fm.page_bytes;
+            let mut faulted = fm.faulted.lock();
+            for page in first..=last {
+                if faulted.insert(page) {
+                    self.tracker.record_page_fault();
+                }
+            }
+        }
+    }
+
+    /// Pre-fault the whole region (the §2.3 experiment that equalizes fsdax
+    /// and devdax). Counts the faults now instead of during the measured
+    /// access — call `tracker().reset()` afterwards to exclude them.
+    pub fn prefault(&self) {
+        self.fault_pages(0, self.len());
+    }
+
+    fn infer_read(&self, offset: u64, len: u64, hint: AccessHint) -> bool {
+        match hint {
+            AccessHint::Sequential => true,
+            AccessHint::Random => false,
+            AccessHint::Auto => {
+                let prev = self.last_read_end.swap(offset + len, Ordering::Relaxed);
+                prev == offset
+            }
+        }
+    }
+
+    fn infer_write(&self, offset: u64, len: u64, hint: AccessHint) -> bool {
+        match hint {
+            AccessHint::Sequential => true,
+            AccessHint::Random => false,
+            AccessHint::Auto => {
+                let prev = self.last_write_end.swap(offset + len, Ordering::Relaxed);
+                prev == offset
+            }
+        }
+    }
+
+    /// Read `len` bytes at `offset`. Panics on out-of-bounds (see
+    /// [`Region::try_read`] for the fallible variant).
+    pub fn read(&self, offset: u64, len: u64, hint: AccessHint) -> &[u8] {
+        self.try_read(offset, len, hint).expect("region read out of bounds")
+    }
+
+    /// Fallible [`Region::read`].
+    pub fn try_read(&self, offset: u64, len: u64, hint: AccessHint) -> Result<&[u8]> {
+        self.check(offset, len)?;
+        self.fault_pages(offset, len);
+        let sequential = self.infer_read(offset, len, hint);
+        self.tracker.record_read(len, sequential);
+        self.record_trace(offset, len, false);
+        Ok(&self.data[offset as usize..(offset + len) as usize])
+    }
+
+    /// Read a little-endian `u64` (random-access accounted unless hinted).
+    pub fn read_u64(&self, offset: u64, hint: AccessHint) -> u64 {
+        let bytes = self.read(offset, 8, hint);
+        u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn read_u32(&self, offset: u64, hint: AccessHint) -> u32 {
+        let bytes = self.read(offset, 4, hint);
+        u32::from_le_bytes(bytes.try_into().expect("4 bytes"))
+    }
+
+    /// Access the raw bytes without accounting (test/debug aid; not part of
+    /// the modeled workload).
+    pub fn untracked_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    fn lines(offset: u64, len: u64) -> impl Iterator<Item = u64> {
+        let first = offset / CACHE_LINE;
+        let last = (offset + len.max(1) - 1) / CACHE_LINE;
+        first..=last
+    }
+
+    /// Regular (cached) store. Volatile until `clwb` + `sfence` or a
+    /// subsequent cache eviction — crashes lose it.
+    pub fn write(&mut self, offset: u64, bytes: &[u8]) {
+        self.try_write(offset, bytes, AccessHint::Auto)
+            .expect("region write out of bounds")
+    }
+
+    /// Fallible [`Region::write`] with an explicit hint.
+    pub fn try_write(&mut self, offset: u64, bytes: &[u8], hint: AccessHint) -> Result<()> {
+        self.check(offset, bytes.len() as u64)?;
+        self.fault_pages(offset, bytes.len() as u64);
+        let sequential = self.infer_write(offset, bytes.len() as u64, hint);
+        self.tracker.record_write(bytes.len() as u64, sequential);
+        self.record_trace(offset, bytes.len() as u64, true);
+        self.data[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
+        for line in Self::lines(offset, bytes.len() as u64) {
+            self.pending.remove(&line);
+            self.dirty.insert(line);
+        }
+        Ok(())
+    }
+
+    /// Non-temporal store (`vmovntdq` in the paper's kernels): bypasses the
+    /// cache; persistent after the next [`Region::sfence`].
+    pub fn ntstore(&mut self, offset: u64, bytes: &[u8]) {
+        self.try_ntstore(offset, bytes, AccessHint::Auto)
+            .expect("region ntstore out of bounds")
+    }
+
+    /// Fallible [`Region::ntstore`] with an explicit hint.
+    pub fn try_ntstore(&mut self, offset: u64, bytes: &[u8], hint: AccessHint) -> Result<()> {
+        self.check(offset, bytes.len() as u64)?;
+        self.fault_pages(offset, bytes.len() as u64);
+        let sequential = self.infer_write(offset, bytes.len() as u64, hint);
+        self.tracker.record_write(bytes.len() as u64, sequential);
+        self.record_trace(offset, bytes.len() as u64, true);
+        self.data[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
+        for line in Self::lines(offset, bytes.len() as u64) {
+            self.dirty.remove(&line);
+            self.pending.insert(line);
+        }
+        Ok(())
+    }
+
+    /// Write a little-endian `u64` with a non-temporal store.
+    pub fn ntstore_u64(&mut self, offset: u64, value: u64) {
+        self.ntstore(offset, &value.to_le_bytes());
+    }
+
+    /// `clwb`: schedule the dirty cache lines covering the range for
+    /// write-back. They persist at the next [`Region::sfence`].
+    pub fn clwb(&mut self, offset: u64, len: u64) {
+        for line in Self::lines(offset, len) {
+            if self.dirty.remove(&line) {
+                self.pending.insert(line);
+            }
+        }
+    }
+
+    /// Store fence: everything previously `ntstore`d or `clwb`ed is now in
+    /// the WPQ and — by the ADR guarantee — persistent.
+    pub fn sfence(&mut self) {
+        self.tracker.record_sfence();
+        if !self.persistent {
+            return; // Memory Mode: nothing actually persists (§2.1).
+        }
+        for line in self.pending.drain() {
+            let start = (line * CACHE_LINE) as usize;
+            let end = (start + CACHE_LINE as usize).min(self.data.len());
+            self.shadow[start..end].copy_from_slice(&self.data[start..end]);
+        }
+    }
+
+    /// Convenience: `clwb` the range, then `sfence` (PMDK's
+    /// `pmem_persist`).
+    pub fn persist(&mut self, offset: u64, len: u64) {
+        self.clwb(offset, len);
+        self.sfence();
+    }
+
+    /// Whether every byte of the range would survive a crash right now.
+    pub fn is_persisted(&self, offset: u64, len: u64) -> bool {
+        if !self.persistent {
+            return false;
+        }
+        Self::lines(offset, len)
+            .all(|line| !self.dirty.contains(&line) && !self.pending.contains(&line))
+    }
+
+    /// Simulate a power loss: all lines not yet accepted into the WPQ revert
+    /// to their last persisted image. Returns the number of lines lost.
+    pub fn crash(&mut self) -> u64 {
+        let lost: Vec<u64> = if self.persistent {
+            self.dirty.drain().chain(self.pending.drain()).collect()
+        } else {
+            // Volatile region: everything reverts.
+            self.dirty.clear();
+            self.pending.clear();
+            (0..self.data.len() as u64 / CACHE_LINE.max(1) + 1).collect()
+        };
+        let mut count = 0;
+        for line in lost {
+            let start = (line * CACHE_LINE) as usize;
+            if start >= self.data.len() {
+                continue;
+            }
+            let end = (start + CACHE_LINE as usize).min(self.data.len());
+            self.data[start..end].copy_from_slice(&self.shadow[start..end]);
+            count += 1;
+        }
+        self.last_read_end.store(u64::MAX, Ordering::Relaxed);
+        self.last_write_end.store(u64::MAX, Ordering::Relaxed);
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(len: u64) -> Region {
+        Region::new(len, AccessTracker::shared(), true, None)
+    }
+
+    #[test]
+    fn plain_store_is_lost_on_crash() {
+        let mut r = region(4096);
+        r.write(0, b"volatile");
+        r.crash();
+        assert_eq!(r.read(0, 8, AccessHint::Sequential), &[0u8; 8]);
+    }
+
+    #[test]
+    fn store_clwb_sfence_survives_crash() {
+        let mut r = region(4096);
+        r.write(0, b"durable!");
+        r.clwb(0, 8);
+        r.sfence();
+        r.crash();
+        assert_eq!(r.read(0, 8, AccessHint::Sequential), b"durable!");
+    }
+
+    #[test]
+    fn ntstore_sfence_survives_crash() {
+        let mut r = region(4096);
+        r.ntstore(128, b"nt-data!");
+        r.sfence();
+        r.crash();
+        assert_eq!(r.read(128, 8, AccessHint::Sequential), b"nt-data!");
+    }
+
+    #[test]
+    fn ntstore_without_sfence_is_lost() {
+        let mut r = region(4096);
+        r.ntstore(0, b"unfenced");
+        r.crash();
+        assert_eq!(r.read(0, 8, AccessHint::Sequential), &[0u8; 8]);
+    }
+
+    #[test]
+    fn clwb_without_sfence_is_lost() {
+        let mut r = region(4096);
+        r.write(0, b"flushing");
+        r.clwb(0, 8);
+        r.crash();
+        assert_eq!(r.read(0, 8, AccessHint::Sequential), &[0u8; 8]);
+    }
+
+    #[test]
+    fn partial_persistence_per_line() {
+        let mut r = region(4096);
+        r.write(0, b"line-a");
+        r.write(64, b"line-b");
+        r.persist(0, 6); // only line 0
+        assert!(r.is_persisted(0, 6));
+        assert!(!r.is_persisted(64, 6));
+        r.crash();
+        assert_eq!(r.read(0, 6, AccessHint::Sequential), b"line-a");
+        assert_eq!(r.read(64, 6, AccessHint::Sequential), &[0u8; 6]);
+    }
+
+    #[test]
+    fn overwrite_after_persist_needs_new_flush() {
+        let mut r = region(4096);
+        r.ntstore(0, b"v1------");
+        r.sfence();
+        r.write(0, b"v2------");
+        assert!(!r.is_persisted(0, 8));
+        r.crash();
+        assert_eq!(r.read(0, 8, AccessHint::Sequential), b"v1------");
+    }
+
+    #[test]
+    fn crash_returns_lost_line_count() {
+        let mut r = region(4096);
+        r.write(0, b"x");
+        r.write(200, b"y");
+        assert_eq!(r.crash(), 2);
+        assert_eq!(r.crash(), 0);
+    }
+
+    #[test]
+    fn reads_account_sequential_vs_random() {
+        let r = region(4096);
+        r.read(0, 64, AccessHint::Auto); // first read: not continuing → random
+        r.read(64, 64, AccessHint::Auto); // continues → sequential
+        r.read(2048, 64, AccessHint::Auto); // jump → random
+        let s = r.tracker().snapshot();
+        assert_eq!(s.seq_read_bytes, 64);
+        assert_eq!(s.rand_read_bytes, 128);
+        assert_eq!(s.read_ops, 3);
+    }
+
+    #[test]
+    fn explicit_hints_override_inference() {
+        let r = region(4096);
+        r.read(1024, 64, AccessHint::Sequential);
+        let s = r.tracker().snapshot();
+        assert_eq!(s.seq_read_bytes, 64);
+        assert_eq!(s.rand_read_bytes, 0);
+    }
+
+    #[test]
+    fn typed_reads_round_trip() {
+        let mut r = region(4096);
+        r.ntstore_u64(16, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(r.read_u64(16, AccessHint::Random), 0xDEAD_BEEF_CAFE_F00D);
+        r.ntstore(24, &7u32.to_le_bytes());
+        assert_eq!(r.read_u32(24, AccessHint::Random), 7);
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let mut r = region(128);
+        assert!(matches!(
+            r.try_read(120, 16, AccessHint::Auto),
+            Err(StoreError::OutOfBounds { .. })
+        ));
+        assert!(r.try_write(u64::MAX, b"x", AccessHint::Auto).is_err());
+        assert!(r.try_ntstore(129, b"", AccessHint::Auto).is_err());
+    }
+
+    #[test]
+    fn volatile_region_never_persists() {
+        let mut r = Region::new(4096, AccessTracker::shared(), false, None);
+        r.ntstore(0, b"gone....");
+        r.sfence();
+        assert!(!r.is_persisted(0, 8));
+        r.crash();
+        assert_eq!(r.read(0, 8, AccessHint::Sequential), &[0u8; 8]);
+    }
+
+    #[test]
+    fn fsdax_faults_once_per_page_devdax_never() {
+        let fm = Arc::new(FaultModel::new(2 << 20));
+        let r = Region::new(8 << 20, AccessTracker::shared(), true, Some(fm));
+        r.read(0, 64, AccessHint::Auto);
+        r.read(100, 64, AccessHint::Auto); // same page: no new fault
+        r.read(2 << 20, 64, AccessHint::Auto); // next page
+        assert_eq!(r.tracker().snapshot().page_faults, 2);
+
+        let d = region(8 << 20);
+        d.read(0, 64, AccessHint::Auto);
+        assert_eq!(d.tracker().snapshot().page_faults, 0);
+    }
+
+    #[test]
+    fn prefault_touches_every_page_up_front() {
+        let fm = Arc::new(FaultModel::new(2 << 20));
+        let r = Region::new(8 << 20, AccessTracker::shared(), true, Some(fm));
+        r.prefault();
+        assert_eq!(r.tracker().snapshot().page_faults, 4);
+        r.read(0, 64, AccessHint::Auto);
+        assert_eq!(r.tracker().snapshot().page_faults, 4); // no new faults
+    }
+
+    #[test]
+    fn untracked_slice_does_not_account() {
+        let r = region(64);
+        let _ = r.untracked_slice();
+        assert_eq!(r.tracker().snapshot().read_ops, 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Interactive bandwidth explorer: query the calibrated model from the
+//! command line.
+//!
+//! ```sh
+//! cargo run -p pmem-olap --example bandwidth_explorer -- \
+//!     --device pmem --op write --pattern individual \
+//!     --access 4096 --threads 24 --placement near
+//! ```
+//!
+//! Prints the predicted bandwidth for the requested configuration, the
+//! simulated device counters, and — when the configuration violates a best
+//! practice — what the planner would do instead.
+
+use pmem_olap::planner::{AccessPlanner, Intent};
+use pmem_olap::sim::params::DeviceClass;
+use pmem_olap::sim::prelude::*;
+use pmem_olap::sim::workload::AccessKind;
+
+struct Args {
+    device: DeviceClass,
+    op: AccessKind,
+    pattern: Pattern,
+    access: u64,
+    threads: u32,
+    placement: Placement,
+    pinning: Pinning,
+}
+
+fn parse() -> Args {
+    let mut args = Args {
+        device: DeviceClass::Pmem,
+        op: AccessKind::Read,
+        pattern: Pattern::SequentialIndividual,
+        access: 4096,
+        threads: 18,
+        placement: Placement::NEAR,
+        pinning: Pinning::Cores,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = |it: &mut dyn Iterator<Item = String>| {
+            it.next().unwrap_or_else(|| panic!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--device" => {
+                args.device = match value(&mut it).as_str() {
+                    "pmem" => DeviceClass::Pmem,
+                    "dram" => DeviceClass::Dram,
+                    "ssd" => DeviceClass::Ssd,
+                    other => panic!("unknown device {other}"),
+                }
+            }
+            "--op" => {
+                args.op = match value(&mut it).as_str() {
+                    "read" => AccessKind::Read,
+                    "write" => AccessKind::Write,
+                    other => panic!("unknown op {other}"),
+                }
+            }
+            "--pattern" => {
+                args.pattern = match value(&mut it).as_str() {
+                    "grouped" => Pattern::SequentialGrouped,
+                    "individual" => Pattern::SequentialIndividual,
+                    "random" => Pattern::Random { region_bytes: 2 << 30 },
+                    other => panic!("unknown pattern {other}"),
+                }
+            }
+            "--access" => args.access = value(&mut it).parse().expect("access size"),
+            "--threads" => args.threads = value(&mut it).parse().expect("threads"),
+            "--placement" => {
+                args.placement = match value(&mut it).as_str() {
+                    "near" => Placement::NEAR,
+                    "far" => Placement::FAR,
+                    "both-near" => Placement::BothNear,
+                    "both-far" => Placement::BothFar,
+                    "contended" => Placement::Contended,
+                    other => panic!("unknown placement {other}"),
+                }
+            }
+            "--pinning" => {
+                args.pinning = match value(&mut it).as_str() {
+                    "none" => Pinning::None,
+                    "numa" => Pinning::NumaRegion,
+                    "cores" => Pinning::Cores,
+                    other => panic!("unknown pinning {other}"),
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bandwidth_explorer --device pmem|dram|ssd --op read|write \
+                     --pattern grouped|individual|random --access <bytes> \
+                     --threads <n> --placement near|far|both-near|both-far|contended \
+                     --pinning none|numa|cores"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse();
+    let spec = WorkloadSpec {
+        device: args.device,
+        kind: args.op,
+        pattern: args.pattern,
+        access_size: args.access,
+        threads: args.threads,
+        placement: args.placement,
+        pinning: args.pinning,
+        total_bytes: WorkloadSpec::PAPER_VOLUME,
+    };
+
+    let mut sim = Simulation::paper_default();
+    let eval = sim.evaluate(&spec);
+    println!(
+        "{:?} {:?} {:?}, {} B x {} thread(s), {:?}/{:?}",
+        args.device, args.op, args.pattern, args.access, args.threads, args.placement, args.pinning
+    );
+    println!("  predicted bandwidth : {}", eval.total_bandwidth);
+    println!(
+        "  70 GB volume in     : {:.2} s",
+        eval.elapsed_seconds
+    );
+    println!("  device counters     : {}", eval.stats);
+
+    // Best-practice advice when the configuration is off the paper's map.
+    let planner = AccessPlanner::paper_default();
+    let better = match (args.op, args.pattern) {
+        (AccessKind::Write, Pattern::Random { .. }) => {
+            Some(planner.plan(Intent::RandomWrite { access_bytes: args.access }))
+        }
+        (AccessKind::Write, _) => Some(planner.plan(Intent::BulkWrite)),
+        (AccessKind::Read, Pattern::Random { .. }) => {
+            Some(planner.plan(Intent::RandomRead { access_bytes: args.access }))
+        }
+        (AccessKind::Read, _) => Some(planner.plan(Intent::BulkRead)),
+    };
+    if let Some(plan) = better {
+        let planned_bw = planner.expected_bandwidth(&plan, args.op);
+        if planned_bw.gib_s() > eval.total_bandwidth.gib_s() * 1.05 {
+            println!(
+                "\n  planner suggestion  : {} thread(s)/socket, {} B, {:?}, {:?} -> {}",
+                plan.threads_per_socket, plan.access_size, plan.pattern, plan.pinning, planned_bw
+            );
+            for bp in &plan.applied {
+                println!("    applies {bp}");
+            }
+        } else {
+            println!("\n  configuration already follows the best practices");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Data ingest tuning: why writers must not scale like readers.
+//!
+//! ```sh
+//! cargo run -p pmem-olap --example data_ingest --release
+//! ```
+//!
+//! OLAP systems ingest in bulk (paper §4). This example drives *real*
+//! multi-threaded write traffic through the store (checksummed, persisted),
+//! then prices the same configurations on the simulator to show the
+//! paper's counterintuitive result: throwing 36 threads at large PMEM
+//! writes is slower than 6 threads writing 4 KB chunks — the
+//! write-combining buffer thrashes (Figure 8's "boomerang").
+
+use pmem_olap::membench::traffic::{run_traffic, TrafficConfig};
+use pmem_olap::planner::{AccessPlanner, Intent};
+use pmem_olap::sim::params::DeviceClass;
+use pmem_olap::sim::workload::{AccessKind, Pattern, WorkloadSpec};
+use pmem_olap::sim::Simulation;
+use pmem_olap::store::Namespace;
+use pmem_olap::sim::topology::SocketId;
+
+fn main() {
+    let sim = Simulation::paper_default();
+    println!("== simulated ingest bandwidth per configuration (one socket) ==");
+    println!("{:>8} {:>10} {:>12}", "threads", "access", "bandwidth");
+    for (threads, access) in [
+        (36u32, 1u64 << 20),
+        (36, 65536),
+        (36, 4096),
+        (36, 256),
+        (18, 4096),
+        (8, 4096),
+        (6, 4096),
+        (4, 4096),
+        (1, 4096),
+    ] {
+        let spec = WorkloadSpec::seq_write(DeviceClass::Pmem, access, threads);
+        let bw = sim.evaluate_steady(&spec).total_bandwidth;
+        println!("{threads:>8} {access:>10} {:>12}", format!("{bw}"));
+    }
+
+    // The planner applies Insights #6/#7 automatically.
+    let planner = AccessPlanner::paper_default();
+    let plan = planner.plan(Intent::BulkWrite);
+    println!(
+        "\nplanner recommendation: {} writer(s)/socket, {} B chunks -> {}",
+        plan.threads_per_socket,
+        plan.access_size,
+        planner.expected_bandwidth(&plan, AccessKind::Write)
+    );
+    for bp in &plan.applied {
+        println!("  applies {bp}");
+    }
+
+    // Now ingest for real: 32 MiB through the store with the planned
+    // configuration, all ntstore + sfence, tracked by the namespace.
+    let ns = Namespace::devdax(SocketId(0), 256 << 20);
+    let cfg = TrafficConfig::new(
+        AccessKind::Write,
+        Pattern::SequentialIndividual,
+        plan.access_size,
+        plan.threads_per_socket,
+    );
+    let report = run_traffic(&ns, &cfg).expect("ingest traffic");
+    let simulated = sim
+        .evaluate_steady(&plan.to_spec(AccessKind::Write))
+        .total_bandwidth;
+    println!(
+        "\ningested {} MiB for real ({} sequential write ops, {} sfences);",
+        report.bytes >> 20,
+        report.delta.write_ops,
+        report.delta.sfences
+    );
+    println!(
+        "at the simulated {} that volume takes {:.1} ms on the paper's server",
+        simulated,
+        report.bytes as f64 / simulated.bytes_per_sec() * 1e3
+    );
+
+    // Logging workloads: many small appends — keep them per-worker and
+    // XPLine-sized (Insight #6: "one log per worker").
+    let log_plan = planner.plan(Intent::LogAppend { record_bytes: 100 });
+    println!(
+        "\nlog appends of 100 B records: planner rounds to {} B per append, {}",
+        log_plan.access_size,
+        planner.expected_bandwidth(&log_plan, AccessKind::Write)
+    );
+}

@@ -1,0 +1,135 @@
+//! Integration across the whole stack: planner → store traffic → tracker →
+//! simulator pricing, and membench figures driven end to end.
+
+use pmem_olap::membench::experiments;
+use pmem_olap::membench::traffic::{expected_checksum, run_traffic, TrafficConfig};
+use pmem_olap::planner::{AccessPlanner, Intent};
+use pmem_olap::sim::params::DeviceClass;
+use pmem_olap::sim::topology::SocketId;
+use pmem_olap::sim::workload::{AccessKind, Pattern};
+use pmem_olap::sim::Simulation;
+use pmem_olap::store::Namespace;
+
+#[test]
+fn planned_bulk_read_flows_through_store_and_prices_correctly() {
+    let planner = AccessPlanner::paper_default();
+    let plan = planner.plan(Intent::BulkRead);
+
+    // Execute the planned pattern for real against a region.
+    let ns = Namespace::devdax(SocketId(0), 128 << 20);
+    let cfg = TrafficConfig::new(
+        AccessKind::Read,
+        plan.pattern,
+        plan.access_size,
+        plan.threads_per_socket,
+    );
+    let report = run_traffic(&ns, &cfg).expect("traffic");
+    // Individual streams split the volume per thread; up to threads−1
+    // trailing chunks stay unassigned.
+    let assigned = cfg.volume / cfg.access_size / plan.threads_per_socket as u64
+        * plan.threads_per_socket as u64
+        * cfg.access_size;
+    assert_eq!(report.bytes, assigned, "planned scan must cover its chunks");
+    assert!(cfg.volume - assigned < plan.threads_per_socket as u64 * cfg.access_size);
+    assert_eq!(report.delta.rand_read_bytes, 0, "bulk read must stay sequential");
+    assert!(report.checksum > 0, "data flowed");
+    let _ = expected_checksum(0);
+
+    // The simulator prices the plan at the paper's dual-socket peak.
+    let bw = planner.expected_bandwidth(&plan, AccessKind::Read);
+    assert!(bw.gib_s() > 75.0, "planned bandwidth {bw}");
+    // Moving the paper's 70 GB takes about a second at that rate.
+    let secs = bw.time_for_bytes(70 << 30);
+    assert!((0.6..1.2).contains(&secs), "70 GB in {secs} s");
+}
+
+#[test]
+fn planner_beats_naive_configurations_for_every_intent() {
+    let planner = AccessPlanner::paper_default();
+    let sim = Simulation::paper_default();
+
+    // Naive ingest: all cores, huge blocks.
+    let naive_write = pmem_olap::sim::workload::WorkloadSpec::seq_write(DeviceClass::Pmem, 1 << 20, 36);
+    let naive = sim.evaluate_steady(&naive_write).total_bandwidth;
+    let planned = planner.expected_bandwidth(&planner.plan(Intent::BulkWrite), AccessKind::Write);
+    assert!(planned.gib_s() > 1.5 * naive.gib_s());
+
+    // Naive random read: 64 B probes.
+    let naive_probe = pmem_olap::sim::workload::WorkloadSpec::random(
+        DeviceClass::Pmem,
+        AccessKind::Read,
+        64,
+        18,
+        2 << 30,
+    );
+    let naive = sim.evaluate_steady(&naive_probe).total_bandwidth;
+    let planned = planner.expected_bandwidth(
+        &planner.plan(Intent::RandomRead { access_bytes: 64 }),
+        AccessKind::Read,
+    );
+    assert!(planned.gib_s() > 1.3 * naive.gib_s());
+}
+
+#[test]
+fn fsdax_page_faults_show_up_in_real_traffic_and_in_the_model() {
+    // Real traffic through an fsdax region counts first-touch faults…
+    let ns = Namespace::fsdax(SocketId(0), 64 << 20);
+    let mut cfg = TrafficConfig::new(AccessKind::Read, Pattern::SequentialIndividual, 4096, 4);
+    cfg.volume = 16 << 20;
+    let _ = run_traffic(&ns, &cfg).expect("traffic");
+    // traffic resets the tracker after the fill phase, so only measured
+    // faults remain; the fill already touched every page, so none are left.
+    let devdax_ns = Namespace::devdax(SocketId(0), 64 << 20);
+    let region = devdax_ns.alloc_region(8 << 20).expect("region");
+    region.prefault();
+    assert_eq!(devdax_ns.tracker().snapshot().page_faults, 0, "devdax never faults");
+
+    let fs_region = ns.alloc_region(8 << 20).expect("region");
+    fs_region.prefault();
+    assert_eq!(
+        ns.tracker().snapshot().page_faults,
+        4,
+        "8 MiB = 4 × 2 MiB pages"
+    );
+
+    // …and the figure-level experiment shows the paper's 5–10 % gap.
+    let sim = Simulation::paper_default();
+    let fig = experiments::devdax_vs_fsdax(&sim);
+    let dev = fig.series("devdax").unwrap().at(18.0).unwrap();
+    let fsd = fig.series("fsdax").unwrap().at(18.0).unwrap();
+    assert!((0.04..0.12).contains(&(dev / fsd - 1.0)));
+}
+
+#[test]
+fn all_figures_generate_with_consistent_axes() {
+    let mut sim = Simulation::paper_default();
+    let figures = experiments::all_figures(&mut sim);
+    assert_eq!(figures.len(), 18);
+    for fig in &figures {
+        for series in &fig.series {
+            assert!(!series.points.is_empty(), "{}::{} empty", fig.id, series.label);
+            for (x, y) in &series.points {
+                assert!(x.is_finite() && y.is_finite(), "{} has NaN", fig.id);
+                assert!(*y >= 0.0, "{} negative bandwidth", fig.id);
+                assert!(*y < 250.0, "{} implausible bandwidth {y}", fig.id);
+            }
+        }
+        let csv = fig.to_csv();
+        assert_eq!(
+            csv.lines().next().unwrap().split(',').count(),
+            fig.series.len() + 1,
+            "{} csv header",
+            fig.id
+        );
+    }
+}
+
+#[test]
+fn mixed_workload_advisor_agrees_with_the_simulator() {
+    let planner = AccessPlanner::paper_default();
+    let (read_bw, write_bw) = planner.expected_mixed(30, 1);
+    // §5.1 anchor: 30 readers + 1 writer ≈ 26 GB/s read.
+    assert!((23.0..28.5).contains(&read_bw.gib_s()), "read {read_bw}");
+    assert!(write_bw.gib_s() > 1.0);
+    assert!(planner.should_serialize(18, 6, 40 << 30, 40 << 30));
+}
