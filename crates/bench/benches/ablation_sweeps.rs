@@ -19,7 +19,9 @@ fn bench(c: &mut Criterion) {
             ablations::upi_metadata_ablation()
         })
     });
-    group.bench_function("des_loaded_latency", |b| b.iter(ablations::loaded_latency_curve));
+    group.bench_function("des_loaded_latency", |b| {
+        b.iter(ablations::loaded_latency_curve)
+    });
     group.finish();
 }
 

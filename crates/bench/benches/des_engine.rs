@@ -11,8 +11,14 @@ use pmem_sim::workload::WorkloadSpec;
 fn bench(c: &mut Criterion) {
     let model = BandwidthModel::paper_default();
     for (label, spec) in [
-        ("read 4K x18", WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 18)),
-        ("write 4K x4", WorkloadSpec::seq_write(DeviceClass::Pmem, 4096, 4)),
+        (
+            "read 4K x18",
+            WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 18),
+        ),
+        (
+            "write 4K x4",
+            WorkloadSpec::seq_write(DeviceClass::Pmem, 4096, 4),
+        ),
     ] {
         let analytic = model.bandwidth(&spec, CoherenceView::WARM).gib_s();
         let des = des::run(&DesConfig::new(spec.clone())).bandwidth.gib_s();

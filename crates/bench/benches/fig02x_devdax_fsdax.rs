@@ -7,7 +7,9 @@ use pmem_membench::experiments;
 fn bench(c: &mut Criterion) {
     let s = sim();
     println!("{}", experiments::devdax_vs_fsdax(&s).to_table());
-    c.bench_function("fig02x_devdax_fsdax", |b| b.iter(|| experiments::devdax_vs_fsdax(&s)));
+    c.bench_function("fig02x_devdax_fsdax", |b| {
+        b.iter(|| experiments::devdax_vs_fsdax(&s))
+    });
 }
 
 criterion_group!(benches, bench);

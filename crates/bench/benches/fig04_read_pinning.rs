@@ -7,7 +7,9 @@ use pmem_membench::experiments;
 fn bench(c: &mut Criterion) {
     let s = sim();
     println!("{}", experiments::fig4_read_pinning(&s).to_table());
-    c.bench_function("fig04_read_pinning", |b| b.iter(|| experiments::fig4_read_pinning(&s)));
+    c.bench_function("fig04_read_pinning", |b| {
+        b.iter(|| experiments::fig4_read_pinning(&s))
+    });
 }
 
 criterion_group!(benches, bench);

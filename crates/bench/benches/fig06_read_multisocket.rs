@@ -9,7 +9,9 @@ fn bench(c: &mut Criterion) {
     let (a, bfig) = experiments::fig6_read_multisocket(&s);
     println!("{}", a.to_table());
     println!("{}", bfig.to_table());
-    c.bench_function("fig06_read_multisocket", |b| b.iter(|| experiments::fig6_read_multisocket(&s)));
+    c.bench_function("fig06_read_multisocket", |b| {
+        b.iter(|| experiments::fig6_read_multisocket(&s))
+    });
 }
 
 criterion_group!(benches, bench);

@@ -9,7 +9,9 @@ fn bench(c: &mut Criterion) {
     let (a, bfig) = experiments::fig7_write_access_size(&s);
     println!("{}", a.to_table());
     println!("{}", bfig.to_table());
-    c.bench_function("fig07_write_access_size", |b| b.iter(|| experiments::fig7_write_access_size(&s)));
+    c.bench_function("fig07_write_access_size", |b| {
+        b.iter(|| experiments::fig7_write_access_size(&s))
+    });
 }
 
 criterion_group!(benches, bench);

@@ -10,9 +10,15 @@ fn bench(c: &mut Criterion) {
     // 36 series × 20 sizes: print a condensed view (4/18/36 threads).
     for label in ["4", "18", "36"] {
         let series = a.series(label).unwrap();
-        println!("grouped writes, {label} threads: peak {:.1} GB/s at {} B", series.peak(), series.peak_x());
+        println!(
+            "grouped writes, {label} threads: peak {:.1} GB/s at {} B",
+            series.peak(),
+            series.peak_x()
+        );
     }
-    c.bench_function("fig08_write_heatmap", |b| b.iter(|| experiments::fig8_write_heatmap(&s)));
+    c.bench_function("fig08_write_heatmap", |b| {
+        b.iter(|| experiments::fig8_write_heatmap(&s))
+    });
 }
 
 criterion_group!(benches, bench);

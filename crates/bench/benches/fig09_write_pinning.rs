@@ -7,7 +7,9 @@ use pmem_membench::experiments;
 fn bench(c: &mut Criterion) {
     let s = sim();
     println!("{}", experiments::fig9_write_pinning(&s).to_table());
-    c.bench_function("fig09_write_pinning", |b| b.iter(|| experiments::fig9_write_pinning(&s)));
+    c.bench_function("fig09_write_pinning", |b| {
+        b.iter(|| experiments::fig9_write_pinning(&s))
+    });
 }
 
 criterion_group!(benches, bench);

@@ -7,7 +7,9 @@ use pmem_membench::experiments;
 fn bench(c: &mut Criterion) {
     let s = sim();
     println!("{}", experiments::fig10_write_multisocket(&s).to_table());
-    c.bench_function("fig10_write_multisocket", |b| b.iter(|| experiments::fig10_write_multisocket(&s)));
+    c.bench_function("fig10_write_multisocket", |b| {
+        b.iter(|| experiments::fig10_write_multisocket(&s))
+    });
 }
 
 criterion_group!(benches, bench);

@@ -9,7 +9,9 @@ fn bench(c: &mut Criterion) {
     let (a, bfig) = experiments::fig12_random_read(&s);
     println!("{}", a.to_table());
     println!("{}", bfig.to_table());
-    c.bench_function("fig12_random_read", |b| b.iter(|| experiments::fig12_random_read(&s)));
+    c.bench_function("fig12_random_read", |b| {
+        b.iter(|| experiments::fig12_random_read(&s))
+    });
 }
 
 criterion_group!(benches, bench);

@@ -9,7 +9,9 @@ fn bench(c: &mut Criterion) {
     let (a, bfig) = experiments::fig13_random_write(&s);
     println!("{}", a.to_table());
     println!("{}", bfig.to_table());
-    c.bench_function("fig13_random_write", |b| b.iter(|| experiments::fig13_random_write(&s)));
+    c.bench_function("fig13_random_write", |b| {
+        b.iter(|| experiments::fig13_random_write(&s))
+    });
 }
 
 criterion_group!(benches, bench);

@@ -17,13 +17,9 @@ fn bench(c: &mut Criterion) {
         fig.max_ratio()
     );
 
-    let store = SsbStore::generate_and_load(
-        SSB_RUN_SF,
-        414,
-        EngineMode::Aware,
-        StorageDevice::PmemFsdax,
-    )
-    .expect("load");
+    let store =
+        SsbStore::generate_and_load(SSB_RUN_SF, 414, EngineMode::Aware, StorageDevice::PmemFsdax)
+            .expect("load");
     let mut group = c.benchmark_group("fig14b_ssb_aware");
     group.sample_size(10);
     group.bench_function("q2_1_aware_execution", |b| {

@@ -21,13 +21,8 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("generate_and_load_sf0.005", |b| {
         b.iter(|| {
-            SsbStore::generate_and_load(
-                0.005,
-                414,
-                EngineMode::Aware,
-                StorageDevice::PmemDevdax,
-            )
-            .expect("load")
+            SsbStore::generate_and_load(0.005, 414, EngineMode::Aware, StorageDevice::PmemDevdax)
+                .expect("load")
         })
     });
     group.finish();

@@ -1,0 +1,95 @@
+//! Serving-layer throughput: the bandwidth-aware scheduler versus an
+//! unscheduled free-for-all over the same multi-tenant SSB workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmem_bench::{SSB_RUN_SF, SSB_RUN_THREADS};
+use pmem_olap::planner::AccessPlanner;
+use pmem_serve::{JobSpec, QueryServer, ServeConfig, ServeReport};
+use pmem_sim::topology::SocketId;
+use pmem_ssb::{EngineMode, QueryId, SsbStore, StorageDevice};
+
+const MIB: u64 = 1 << 20;
+
+fn workload() -> Vec<JobSpec> {
+    let queries = [
+        QueryId::Q1_1,
+        QueryId::Q2_1,
+        QueryId::Q2_2,
+        QueryId::Q3_1,
+        QueryId::Q4_1,
+        QueryId::Q4_2,
+    ];
+    let mut jobs: Vec<JobSpec> = queries
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| {
+            JobSpec::query(q)
+                .threads(SSB_RUN_THREADS.min(6))
+                .socket(SocketId((i % 2) as u8))
+                .arrival(i as f64 * 0.001)
+        })
+        .collect();
+    for i in 0..6u64 {
+        jobs.push(
+            JobSpec::ingest(128 * MIB)
+                .threads(1)
+                .socket(SocketId((i % 2) as u8))
+                .arrival(5e-4 * i as f64)
+                .tenant(9),
+        );
+    }
+    jobs
+}
+
+fn run(store: &SsbStore, config: ServeConfig) -> ServeReport {
+    let mut server = QueryServer::new(store, config);
+    server.submit_all(workload());
+    server.run().expect("serve run succeeds")
+}
+
+fn bench(c: &mut Criterion) {
+    let store = SsbStore::generate_and_load(
+        SSB_RUN_SF,
+        2021,
+        EngineMode::Aware,
+        StorageDevice::PmemFsdax,
+    )
+    .expect("store loads");
+    let planner = AccessPlanner::paper_default();
+
+    let scheduled = run(&store, ServeConfig::scheduled(&planner));
+    let chaos = run(&store, ServeConfig::free_for_all());
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>8} {:>10}",
+        "config", "read GiB/s", "agg GiB/s", "makespan s", "queued", "batches"
+    );
+    for (label, r) in [("scheduled", &scheduled), ("free-for-all", &chaos)] {
+        println!(
+            "{:<16} {:>12.2} {:>12.2} {:>12.3} {:>8} {:>10}",
+            label,
+            r.read_bandwidth_gib_s(),
+            r.aggregate_bandwidth_gib_s(),
+            r.makespan,
+            r.queued_jobs(),
+            r.batches
+        );
+    }
+    println!(
+        "scan-bandwidth retention: {:.0}% scheduled vs {:.0}% free-for-all (read-only = 100%)",
+        100.0 * scheduled.read_bandwidth_gib_s() / scheduled.read_bandwidth_gib_s().max(1e-9),
+        100.0 * chaos.read_bandwidth_gib_s() / scheduled.read_bandwidth_gib_s().max(1e-9),
+    );
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    group.bench_function("scheduled", |b| {
+        b.iter(|| run(&store, ServeConfig::scheduled(&planner)))
+    });
+    group.bench_function("free_for_all", |b| {
+        b.iter(|| run(&store, ServeConfig::free_for_all()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -19,9 +19,7 @@ fn bench(c: &mut Criterion) {
         );
     }
     println!("{:>10} {:>12.1} {:>12}", "SSD", ssd, "-");
-    println!(
-        "paper: PMEM 306.7→8.6 s, DRAM 221.2→5.2 s, SSD 22.8 s\n"
-    );
+    println!("paper: PMEM 306.7→8.6 s, DRAM 221.2→5.2 s, SSD 22.8 s\n");
 
     let mut group = c.benchmark_group("tab01_q21_ladder");
     group.sample_size(10);

@@ -17,8 +17,12 @@ use std::path::PathBuf;
 use pmem_membench::experiments;
 use pmem_olap::best_practices::BestPractice;
 use pmem_olap::cost::PriceModel;
+use pmem_olap::planner::AccessPlanner;
+use pmem_serve::{JobSpec, QueryServer, ServeConfig};
+use pmem_sim::topology::SocketId;
 use pmem_sim::Simulation;
 use pmem_ssb::report::{fig14a_unaware, fig14b_aware, table1_ladder};
+use pmem_ssb::{EngineMode, QueryId, SsbStore, StorageDevice};
 
 struct Args {
     sf: f64,
@@ -64,6 +68,82 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Scheduled vs free-for-all serving of a mixed multi-tenant workload:
+/// the concurrency counterpart of Figure 11, with the scheduler applying
+/// Insight #11 and Best Practices #2/#5 instead of merely measuring them.
+fn serve_section(sf: f64) {
+    let store =
+        match SsbStore::generate_and_load(sf, 2021, EngineMode::Aware, StorageDevice::PmemFsdax) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve section skipped: {e}");
+                return;
+            }
+        };
+    let planner = AccessPlanner::paper_default();
+    let workload = || {
+        let queries = [
+            QueryId::Q1_1,
+            QueryId::Q2_1,
+            QueryId::Q2_2,
+            QueryId::Q3_1,
+            QueryId::Q4_1,
+            QueryId::Q4_2,
+        ];
+        let mut jobs: Vec<JobSpec> = queries
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| {
+                JobSpec::query(q)
+                    .threads(6)
+                    .socket(SocketId((i % 2) as u8))
+                    .arrival(i as f64 * 0.001)
+            })
+            .collect();
+        for i in 0..6u64 {
+            jobs.push(
+                JobSpec::ingest(128 << 20)
+                    .threads(1)
+                    .socket(SocketId((i % 2) as u8))
+                    .arrival(5e-4 * i as f64)
+                    .tenant(9),
+            );
+        }
+        jobs
+    };
+
+    println!("\n== serve: concurrent queries + ingest, scheduled vs free-for-all ==");
+    println!(
+        "{:<16} {:>11} {:>11} {:>11} {:>7} {:>8} {:>8}",
+        "config", "read GiB/s", "agg GiB/s", "makespan s", "queued", "peak R", "peak W"
+    );
+    let configs = [
+        ("scheduled", ServeConfig::scheduled(&planner)),
+        ("cap-only", ServeConfig::capped_mixed(&planner)),
+        ("free-for-all", ServeConfig::free_for_all()),
+    ];
+    for (label, config) in configs {
+        let mut server = QueryServer::new(&store, config);
+        server.submit_all(workload());
+        match server.run() {
+            Ok(r) => println!(
+                "{:<16} {:>11.2} {:>11.2} {:>11.3} {:>7} {:>8} {:>8}",
+                label,
+                r.read_bandwidth_gib_s(),
+                r.aggregate_bandwidth_gib_s(),
+                r.makespan,
+                r.queued_jobs(),
+                r.peak_concurrent_readers,
+                r.peak_concurrent_writers,
+            ),
+            Err(e) => eprintln!("{label}: serve run failed: {e}"),
+        }
+    }
+    println!(
+        "paper: mixed phases crush scans (Fig 11); the scheduler serializes them (Insight #11)"
+    );
 }
 
 fn main() {
@@ -164,8 +244,16 @@ fn main() {
         println!("== ingest of the sf-100 fact table (70 GB) ==");
         println!("{:>24} {:>10} {:>10}", "configuration", "GB/s", "seconds");
         for row in &rows {
-            println!("{:>24} {:>10.1} {:>10.1}", row.label, row.bandwidth_gib_s, row.seconds);
+            println!(
+                "{:>24} {:>10.1} {:>10.1}",
+                row.label, row.bandwidth_gib_s, row.seconds
+            );
         }
+    }
+
+    // ---- Serving: scheduled vs unscheduled concurrency ----
+    if !args.skip_ssb {
+        serve_section(args.sf);
     }
 
     // ---- Insight verification ----

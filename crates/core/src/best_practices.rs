@@ -66,7 +66,11 @@ impl Insight {
 
     /// Insight number as printed in the paper.
     pub fn number(self) -> u8 {
-        Insight::ALL.iter().position(|i| *i == self).expect("listed") as u8 + 1
+        Insight::ALL
+            .iter()
+            .position(|i| *i == self)
+            .expect("listed") as u8
+            + 1
     }
 
     /// The bench target reproducing the measurement behind this insight.
@@ -129,15 +133,17 @@ impl BestPractice {
 
     /// Best-practice number as printed in §7.
     pub fn number(self) -> u8 {
-        BestPractice::ALL.iter().position(|b| *b == self).expect("listed") as u8 + 1
+        BestPractice::ALL
+            .iter()
+            .position(|b| *b == self)
+            .expect("listed") as u8
+            + 1
     }
 
     /// The insights this practice condenses (§7 lists them explicitly).
     pub fn insights(self) -> &'static [Insight] {
         match self {
-            BestPractice::DistinctRegions => {
-                &[Insight::ReadIndividualOr4K, Insight::Write4KOr256B]
-            }
+            BestPractice::DistinctRegions => &[Insight::ReadIndividualOr4K, Insight::Write4KOr256B],
             BestPractice::ScaleReadersLimitWriters => {
                 &[Insight::ReadWithAllCores, Insight::WriteFewThreads]
             }

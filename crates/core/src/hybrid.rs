@@ -105,7 +105,10 @@ impl HybridPlan {
 
     /// The tier of a named object.
     pub fn tier_of(&self, name: &str) -> Option<Tier> {
-        self.decisions.iter().find(|d| d.name == name).map(|d| d.tier)
+        self.decisions
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| d.tier)
     }
 }
 
@@ -144,7 +147,11 @@ impl HybridAdvisor {
             AccessProfile::SequentialScan { scans_per_query } => {
                 let spec = WorkloadSpec::seq_read(device, 4096, self.threads_per_socket)
                     .placement(self.placement());
-                let bw = self.sim.evaluate_steady(&spec).total_bandwidth.bytes_per_sec();
+                let bw = self
+                    .sim
+                    .evaluate_steady(&spec)
+                    .total_bandwidth
+                    .bytes_per_sec();
                 scans_per_query * object.bytes as f64 / bw
             }
             AccessProfile::RandomProbe {
@@ -159,12 +166,20 @@ impl HybridAdvisor {
                     object.bytes.max(1 << 20),
                 )
                 .placement(self.placement());
-                let bw = self.sim.evaluate_steady(&spec).total_bandwidth.bytes_per_sec();
+                let bw = self
+                    .sim
+                    .evaluate_steady(&spec)
+                    .total_bandwidth
+                    .bytes_per_sec();
                 probes_per_query * access_bytes as f64 / bw
             }
             AccessProfile::SequentialWrite { bytes_per_query } => {
                 let spec = WorkloadSpec::seq_write(device, 4096, 6).placement(self.placement());
-                let bw = self.sim.evaluate_steady(&spec).total_bandwidth.bytes_per_sec();
+                let bw = self
+                    .sim
+                    .evaluate_steady(&spec)
+                    .total_bandwidth
+                    .bytes_per_sec();
                 bytes_per_query as f64 / bw
             }
         }
@@ -236,7 +251,9 @@ impl HybridAdvisor {
             DataObject::new(
                 "lineorder (fact, row format)",
                 70 << 30,
-                AccessProfile::SequentialScan { scans_per_query: 1.0 },
+                AccessProfile::SequentialScan {
+                    scans_per_query: 1.0,
+                },
             ),
             DataObject::new(
                 "part hash index",
@@ -280,11 +297,20 @@ mod tests {
         // With only 4 GB of DRAM, the indexes and intermediates win the
         // budget; the 70 GB fact table cannot fit anyway.
         let objects = [
-            DataObject::new("fact", 70 << 30, AccessProfile::SequentialScan { scans_per_query: 1.0 }),
+            DataObject::new(
+                "fact",
+                70 << 30,
+                AccessProfile::SequentialScan {
+                    scans_per_query: 1.0,
+                },
+            ),
             DataObject::new(
                 "index",
                 96 << 20,
-                AccessProfile::RandomProbe { probes_per_query: 600e6, access_bytes: 256 },
+                AccessProfile::RandomProbe {
+                    probes_per_query: 600e6,
+                    access_bytes: 256,
+                },
             ),
         ];
         let plan = a.place(&objects, 4 << 30);
@@ -300,12 +326,17 @@ mod tests {
         let scan = DataObject::new(
             "scan",
             1 << 30,
-            AccessProfile::SequentialScan { scans_per_query: 1.0 },
+            AccessProfile::SequentialScan {
+                scans_per_query: 1.0,
+            },
         );
         let probe = DataObject::new(
             "probe",
             1 << 30,
-            AccessProfile::RandomProbe { probes_per_query: 100e6, access_bytes: 256 },
+            AccessProfile::RandomProbe {
+                probes_per_query: 100e6,
+                access_bytes: 256,
+            },
         );
         // Equal sizes, one DRAM slot: the probe-heavy object wins it.
         let plan = a.place(&[scan, probe], 1 << 30);
@@ -320,7 +351,9 @@ mod tests {
             &[DataObject::new(
                 "x",
                 1 << 20,
-                AccessProfile::SequentialScan { scans_per_query: 1.0 },
+                AccessProfile::SequentialScan {
+                    scans_per_query: 1.0,
+                },
             )],
             0,
         );
@@ -347,7 +380,10 @@ mod tests {
         let o = DataObject::new(
             "probe",
             1 << 30,
-            AccessProfile::RandomProbe { probes_per_query: 1e6, access_bytes: 256 },
+            AccessProfile::RandomProbe {
+                probes_per_query: 1e6,
+                access_bytes: 256,
+            },
         );
         let pmem = a.object_seconds(&o, DeviceClass::Pmem);
         let dram = a.object_seconds(&o, DeviceClass::Dram);

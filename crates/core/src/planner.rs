@@ -79,6 +79,19 @@ impl PlannedAccess {
     }
 }
 
+/// Per-socket thread budget for concurrent serving, derived from the
+/// paper's saturation points: writers cap at the 4–6 thread write
+/// saturation (Best Practice #2), readers get the remaining logical cores
+/// (the Figure 11 grid runs up to 30 readers next to 6 writers on a
+/// 18-core/36-thread socket).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcurrencyBudget {
+    /// Maximum concurrent reader threads per socket.
+    pub reader_threads: u32,
+    /// Maximum concurrent writer threads per socket.
+    pub writer_threads: u32,
+}
+
 /// Plans PMEM access per the paper's best practices.
 #[derive(Debug, Clone)]
 pub struct AccessPlanner {
@@ -104,6 +117,28 @@ impl AccessPlanner {
     /// The machine's physical cores per socket.
     fn cores(&self) -> u32 {
         self.sim.params().machine.cores_per_socket as u32
+    }
+
+    /// Sockets of the planned machine.
+    pub fn sockets(&self) -> u8 {
+        self.sockets
+    }
+
+    /// The simulation backing this planner's expectations, for callers that
+    /// need to price workloads under the same parameter set (e.g. a serving
+    /// scheduler converting admitted mixes into progress rates).
+    pub fn simulation(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Per-socket admission budget for concurrent serving.
+    pub fn concurrency_budget(&self) -> ConcurrencyBudget {
+        let writer_threads = self.plan(Intent::BulkWrite).threads_per_socket;
+        let logical = self.cores() * 2;
+        ConcurrencyBudget {
+            reader_threads: logical.saturating_sub(writer_threads),
+            writer_threads,
+        }
     }
 
     /// Dual-socket placement when the machine has one, per Best Practice #4
@@ -232,7 +267,18 @@ impl AccessPlanner {
     /// Advisory: is it better to serialize this mixed phase (Insight #11)?
     /// Returns true when running the reads and writes back-to-back moves
     /// the combined volume faster than running them concurrently.
-    pub fn should_serialize(&self, readers: u32, writers: u32, read_bytes: u64, write_bytes: u64) -> bool {
+    pub fn should_serialize(
+        &self,
+        readers: u32,
+        writers: u32,
+        read_bytes: u64,
+        write_bytes: u64,
+    ) -> bool {
+        // A one-sided phase is already serial: with no opposing threads (or
+        // no opposing volume) there is no mixed contention to avoid.
+        if readers == 0 || writers == 0 || read_bytes == 0 || write_bytes == 0 {
+            return false;
+        }
         let (r_bw, w_bw) = self.expected_mixed(readers, writers);
         let mixed_time = (read_bytes as f64 / r_bw.bytes_per_sec())
             .max(write_bytes as f64 / w_bw.bytes_per_sec());
@@ -288,7 +334,11 @@ mod tests {
         let p = planner();
         let plan = p.plan(Intent::LogAppend { record_bytes: 48 });
         assert_eq!(plan.access_size, 256, "sub-XPLine records round up");
-        assert_eq!(plan.pattern, Pattern::SequentialIndividual, "one log per worker");
+        assert_eq!(
+            plan.pattern,
+            Pattern::SequentialIndividual,
+            "one log per worker"
+        );
         let plan = p.plan(Intent::LogAppend { record_bytes: 700 });
         assert_eq!(plan.access_size % 256, 0);
     }
@@ -306,7 +356,10 @@ mod tests {
             .total_bandwidth
             .gib_s();
         let planned = p.expected_bandwidth(&plan, AccessKind::Read).gib_s();
-        assert!(planned > 1.5 * small_bw, "planned {planned} vs 64B {small_bw}");
+        assert!(
+            planned > 1.5 * small_bw,
+            "planned {planned} vs 64B {small_bw}"
+        );
     }
 
     #[test]
@@ -314,6 +367,73 @@ mod tests {
         let p = planner();
         // Symmetric large volumes: serialization wins (Insight #11).
         assert!(p.should_serialize(18, 6, 40 << 30, 40 << 30));
+    }
+
+    #[test]
+    fn one_sided_phases_never_ask_for_serialization() {
+        let p = planner();
+        // No writers / no write volume: the "mixed" phase is a pure read
+        // phase already.
+        assert!(!p.should_serialize(30, 0, 40 << 30, 0));
+        assert!(!p.should_serialize(30, 6, 40 << 30, 0));
+        // No readers / no read volume: pure write phase.
+        assert!(!p.should_serialize(0, 6, 0, 40 << 30));
+        assert!(!p.should_serialize(18, 6, 0, 40 << 30));
+        // Degenerate empty phase.
+        assert!(!p.should_serialize(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn expected_mixed_handles_empty_sides() {
+        let p = planner();
+        let (r, w) = p.expected_mixed(0, 0);
+        assert_eq!(r.bytes_per_sec(), 0.0);
+        assert_eq!(w.bytes_per_sec(), 0.0);
+
+        // Zero readers: the write side runs uncontended at its solo rate.
+        let (r, w) = p.expected_mixed(0, 6);
+        assert_eq!(r.bytes_per_sec(), 0.0);
+        assert!((11.0..14.0).contains(&w.gib_s()), "solo 6W {}", w.gib_s());
+
+        // Zero writers: the read side runs uncontended.
+        let (r, w) = p.expected_mixed(30, 0);
+        assert!((29.0..36.0).contains(&r.gib_s()), "solo 30R {}", r.gib_s());
+        assert_eq!(w.bytes_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn expected_mixed_stays_sane_past_the_figure_11_grid() {
+        let p = planner();
+        let (_, w_peak) = p.expected_mixed(0, 6);
+        // Figure 11 stops at 6 writers; deeper writer counts must not
+        // conjure bandwidth beyond the media write saturation, and the read
+        // side must stay positive but suppressed.
+        for writers in [8u32, 12, 18, 24] {
+            let (r, w) = p.expected_mixed(30, writers);
+            assert!(
+                w.gib_s() <= w_peak.gib_s() + 0.5,
+                "{writers} writers exceed saturation: {} vs {}",
+                w.gib_s(),
+                w_peak.gib_s()
+            );
+            assert!(r.gib_s() > 0.0, "reads starved at {writers} writers");
+            assert!(
+                r.gib_s() < p.expected_mixed(30, 0).0.gib_s(),
+                "reads unaffected by {writers} writers"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrency_budget_matches_saturation_points() {
+        let p = planner();
+        let budget = p.concurrency_budget();
+        // Best Practice #2: 4–6 writers saturate the media.
+        assert!((4..=6).contains(&budget.writer_threads));
+        // The remaining logical cores serve readers: 36 − 6 = 30, the top
+        // of the Figure 11 grid.
+        assert_eq!(budget.reader_threads, 30);
+        assert_eq!(p.sockets(), 2);
     }
 
     #[test]
@@ -325,11 +445,18 @@ mod tests {
             Intent::LogAppend { record_bytes: 64 },
             Intent::RandomRead { access_bytes: 512 },
             Intent::RandomWrite { access_bytes: 512 },
-            Intent::Mixed { readers: 18, writers: 4 },
+            Intent::Mixed {
+                readers: 18,
+                writers: 4,
+            },
         ] {
             let plan = p.plan(intent);
             assert!(!plan.applied.is_empty(), "{intent:?} cites nothing");
-            assert!(plan.applied.contains(&BestPractice::PinThreads) || intent == Intent::BulkRead || !plan.applied.is_empty());
+            assert!(
+                plan.applied.contains(&BestPractice::PinThreads)
+                    || intent == Intent::BulkRead
+                    || !plan.applied.is_empty()
+            );
         }
     }
 

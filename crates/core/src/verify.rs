@@ -187,11 +187,7 @@ mod tests {
     #[test]
     fn all_twelve_insights_hold_on_the_paper_machine() {
         for check in verify_all() {
-            assert!(
-                check.holds,
-                "{} failed: {}",
-                check.insight, check.evidence
-            );
+            assert!(check.holds, "{} failed: {}", check.insight, check.evidence);
             assert!(!check.evidence.is_empty());
         }
     }
@@ -213,6 +209,10 @@ mod tests {
         params.coherence.cold_far_read_frac = 1.0;
         let mut sim = Simulation::with_params(params);
         let check = verify_insight(&mut sim, Insight::ReadNearOnly);
-        assert!(!check.holds, "check must be falsifiable: {}", check.evidence);
+        assert!(
+            !check.holds,
+            "check must be falsifiable: {}",
+            check.evidence
+        );
     }
 }

@@ -65,7 +65,9 @@ impl BucketSnapshot {
 
     /// Iterate live `(slot, key, value)` triples.
     pub fn live(&self) -> impl Iterator<Item = (usize, u64, u64)> + '_ {
-        (0..SLOTS).filter(|&i| self.fps[i] != 0).map(|i| (i, self.records[i].0, self.records[i].1))
+        (0..SLOTS)
+            .filter(|&i| self.fps[i] != 0)
+            .map(|i| (i, self.records[i].0, self.records[i].1))
     }
 }
 
@@ -92,7 +94,9 @@ pub fn publish(region: &mut Region, bucket_off: u64, slot: usize, fp: u8, key: u
     let mut rec = [0u8; 16];
     rec[..8].copy_from_slice(&key.to_le_bytes());
     rec[8..].copy_from_slice(&value.to_le_bytes());
-    region.try_ntstore(rec_off, &rec, AccessHint::Random).expect("record in bounds");
+    region
+        .try_ntstore(rec_off, &rec, AccessHint::Random)
+        .expect("record in bounds");
     region.sfence();
     region
         .try_ntstore(bucket_off + slot as u64, &[fp], AccessHint::Random)
@@ -119,13 +123,7 @@ pub fn clear_slot(region: &mut Region, bucket_off: u64, slot: usize) {
 }
 
 /// Insert or update `key` within this bucket only.
-pub fn insert(
-    region: &mut Region,
-    bucket_off: u64,
-    fp: u8,
-    key: u64,
-    value: u64,
-) -> BucketInsert {
+pub fn insert(region: &mut Region, bucket_off: u64, fp: u8, key: u64, value: u64) -> BucketInsert {
     let snap = load(region, bucket_off);
     if let Some(slot) = snap.find(fp, key) {
         update_value(region, bucket_off, slot, value);
@@ -143,8 +141,8 @@ pub fn insert(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pmem_store::Namespace;
     use pmem_sim::topology::SocketId;
+    use pmem_store::Namespace;
 
     fn region() -> Region {
         Namespace::devdax(SocketId(0), 1 << 20)

@@ -89,7 +89,9 @@ mod tests {
             .collect();
         let first_bucket = bucket_index(same_dir[0], 64);
         assert!(
-            same_dir.iter().any(|h| bucket_index(*h, 64) != first_bucket),
+            same_dir
+                .iter()
+                .any(|h| bucket_index(*h, 64) != first_bucket),
             "bucket index must be independent of directory bits"
         );
     }

@@ -140,10 +140,10 @@ impl SegmentInner {
             if self.displace_one(victim_bucket)
                 && bucket::insert(&mut self.region, bucket_off(victim_bucket), fp, key, value)
                     == BucketInsert::Inserted
-                {
-                    self.count += 1;
-                    return SegmentInsert::Inserted;
-                }
+            {
+                self.count += 1;
+                return SegmentInsert::Inserted;
+            }
         }
 
         // Stash.
@@ -159,7 +159,14 @@ impl SegmentInner {
         SegmentInsert::NeedsSplit
     }
 
-    fn try_update(&mut self, fp: u8, key: u64, value: u64, b: u32, n: u32) -> Option<SegmentInsert> {
+    fn try_update(
+        &mut self,
+        fp: u8,
+        key: u64,
+        value: u64,
+        b: u32,
+        n: u32,
+    ) -> Option<SegmentInsert> {
         for off in [bucket_off(b), bucket_off(n)] {
             let snap = bucket::load(&self.region, off);
             if let Some(slot) = snap.find(fp, key) {
@@ -186,7 +193,11 @@ impl SegmentInner {
         for (slot, key, value) in snap.live() {
             let h = hash64(key);
             let home = hash::bucket_index(h, BUCKETS);
-            let alt = if home == from { (home + 1) % BUCKETS } else { home };
+            let alt = if home == from {
+                (home + 1) % BUCKETS
+            } else {
+                home
+            };
             if alt == from {
                 continue;
             }

@@ -60,7 +60,10 @@ impl DashTable {
     /// storms when the final cardinality is known (e.g. SSB dimension
     /// tables).
     pub fn with_initial_depth(ns: &Namespace, depth: u8) -> Result<Self> {
-        assert!(depth <= 28, "directory of 2^{depth} entries is unreasonable");
+        assert!(
+            depth <= 28,
+            "directory of 2^{depth} entries is unreasonable"
+        );
         let count = 1usize << depth;
         let mut entries = Vec::with_capacity(count);
         for _ in 0..count {
@@ -78,8 +81,7 @@ impl DashTable {
 
     /// Pick an initial depth for an expected number of records.
     pub fn with_capacity(ns: &Namespace, records: usize) -> Result<Self> {
-        let per_segment =
-            (crate::segment::SegmentInner::capacity() as f64 * 0.7) as usize;
+        let per_segment = (crate::segment::SegmentInner::capacity() as f64 * 0.7) as usize;
         let mut depth = 0u8;
         while (1usize << depth) * per_segment < records && depth < 28 {
             depth += 1;
@@ -163,7 +165,11 @@ impl DashTable {
         let mut slot = base;
         while slot < dir.entries.len() {
             let bit = (slot >> local) & 1;
-            dir.entries[slot] = if bit == 0 { Arc::clone(&zero) } else { Arc::clone(&one) };
+            dir.entries[slot] = if bit == 0 {
+                Arc::clone(&zero)
+            } else {
+                Arc::clone(&one)
+            };
             slot += stride;
         }
         Ok(())
@@ -331,7 +337,11 @@ mod tests {
         for k in 0..20_000u64 {
             t.insert(k, k).unwrap();
         }
-        assert_eq!(t.directory_size(), before, "presized table should not split");
+        assert_eq!(
+            t.directory_size(),
+            before,
+            "presized table should not split"
+        );
     }
 
     #[test]
@@ -408,6 +418,9 @@ mod tests {
                 break;
             }
         }
-        assert!(matches!(err, Some(pmem_store::StoreError::OutOfSpace { .. })));
+        assert!(matches!(
+            err,
+            Some(pmem_store::StoreError::OutOfSpace { .. })
+        ));
     }
 }

@@ -14,8 +14,7 @@ use pmem_sim::Simulation;
 use crate::figure::{format_bytes, Figure, Series};
 
 fn grouped_read(access: u64, threads: u32) -> WorkloadSpec {
-    WorkloadSpec::seq_read(DeviceClass::Pmem, access, threads)
-        .pattern(Pattern::SequentialGrouped)
+    WorkloadSpec::seq_read(DeviceClass::Pmem, access, threads).pattern(Pattern::SequentialGrouped)
 }
 
 /// Ablation 1 — the L2 hardware prefetcher (§3.1–3.2). With the prefetcher
@@ -39,7 +38,9 @@ pub fn prefetcher_ablation() -> Figure {
             .map(|&a| {
                 (
                     a as f64,
-                    sim.evaluate_steady(&grouped_read(a, 18)).total_bandwidth.gib_s(),
+                    sim.evaluate_steady(&grouped_read(a, 18))
+                        .total_bandwidth
+                        .gib_s(),
                 )
             })
             .collect();
@@ -67,11 +68,16 @@ pub fn interleave_ablation() -> Figure {
             .map(|&a| {
                 (
                     a as f64,
-                    sim.evaluate_steady(&grouped_read(a, 8)).total_bandwidth.gib_s(),
+                    sim.evaluate_steady(&grouped_read(a, 8))
+                        .total_bandwidth
+                        .gib_s(),
                 )
             })
             .collect();
-        fig.series.push(Series::new(format!("stripe {}", format_bytes(stripe)), points));
+        fig.series.push(Series::new(
+            format!("stripe {}", format_bytes(stripe)),
+            points,
+        ));
     }
     fig
 }
@@ -98,7 +104,10 @@ pub fn wc_buffer_ablation() -> Figure {
                 (a as f64, sim.evaluate_steady(&spec).total_bandwidth.gib_s())
             })
             .collect();
-        fig.series.push(Series::new(format!("buffer {}", format_bytes(buffer)), points));
+        fig.series.push(Series::new(
+            format!("buffer {}", format_bytes(buffer)),
+            points,
+        ));
     }
     fig
 }

@@ -14,7 +14,9 @@ pub const READ_THREADS: [u32; 8] = [1, 4, 8, 16, 18, 24, 32, 36];
 /// Thread counts of the write sweeps (paper Figure 7 legend).
 pub const WRITE_THREADS: [u32; 8] = [1, 2, 4, 6, 8, 18, 24, 36];
 /// Access sizes of the sequential sweeps (64 B – 64 KB).
-pub const ACCESS_SIZES: [u64; 11] = [64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536];
+pub const ACCESS_SIZES: [u64; 11] = [
+    64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+];
 /// Access sizes of the random sweeps (§5.2 stops at 8 KB — "we do not
 /// consider larger access sizes to be random anymore").
 pub const RANDOM_SIZES: [u64; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
@@ -24,9 +26,18 @@ pub const PIN_THREADS: [u32; 6] = [1, 4, 8, 18, 24, 36];
 pub const SOCKET_THREADS: [u32; 7] = [1, 4, 8, 18, 24, 32, 36];
 /// Writer/reader combinations of the mixed figure (paper Figure 11).
 pub const MIXED_COMBOS: [(u32, u32); 12] = [
-    (1, 1), (1, 8), (1, 18), (1, 30),
-    (4, 1), (4, 8), (4, 18), (4, 30),
-    (6, 1), (6, 8), (6, 18), (6, 30),
+    (1, 1),
+    (1, 8),
+    (1, 18),
+    (1, 30),
+    (4, 1),
+    (4, 8),
+    (4, 18),
+    (4, 30),
+    (6, 1),
+    (6, 8),
+    (6, 18),
+    (6, 30),
 ];
 /// Random-access region size (§5.2: "we limit the memory range to 2 GB,
 /// representing, e.g., a hash index").
@@ -89,8 +100,12 @@ fn pinning_figure(sim: &Simulation, id: &str, title: &str, write: bool) -> Figur
         let points = PIN_THREADS
             .iter()
             .map(|&t| {
-                let spec = if write { write_spec(4096, t) } else { read_spec(4096, t) }
-                    .pinning(pin);
+                let spec = if write {
+                    write_spec(4096, t)
+                } else {
+                    read_spec(4096, t)
+                }
+                .pinning(pin);
                 (t as f64, sim.evaluate_steady(&spec).total_bandwidth.gib_s())
             })
             .collect();
@@ -121,7 +136,12 @@ pub fn fig5_read_numa(sim: &mut Simulation) -> Figure {
             sim.evaluate(&read_spec(4096, t)).total_bandwidth.gib_s(),
         ));
     }
-    let mut fig = Figure::new("fig5", "Read NUMA effects", "Threads [#]", "Bandwidth [GB/s]");
+    let mut fig = Figure::new(
+        "fig5",
+        "Read NUMA effects",
+        "Threads [#]",
+        "Bandwidth [GB/s]",
+    );
     fig.series.push(Series::new("Far", far1));
     fig.series.push(Series::new("2nd Far", far2));
     fig.series.push(Series::new("Near", near));
@@ -218,8 +238,16 @@ pub fn fig8_write_heatmap(sim: &Simulation) -> (Figure, Figure) {
         fig
     };
     (
-        build("fig8a", "Write heatmap — grouped access", Pattern::SequentialGrouped),
-        build("fig8b", "Write heatmap — individual access", Pattern::SequentialIndividual),
+        build(
+            "fig8a",
+            "Write heatmap — grouped access",
+            Pattern::SequentialGrouped,
+        ),
+        build(
+            "fig8b",
+            "Write heatmap — individual access",
+            Pattern::SequentialIndividual,
+        ),
     )
 }
 
@@ -267,7 +295,13 @@ pub fn mixed_combo_label(i: usize) -> String {
     format!("{w}/{r}")
 }
 
-fn random_figure(sim: &Simulation, id: &str, title: &str, device: DeviceClass, kind: AccessKind) -> Figure {
+fn random_figure(
+    sim: &Simulation,
+    id: &str,
+    title: &str,
+    device: DeviceClass,
+    kind: AccessKind,
+) -> Figure {
     let threads: &[u32] = match kind {
         AccessKind::Read => &READ_THREADS,
         AccessKind::Write => &WRITE_THREADS,
@@ -289,16 +323,40 @@ fn random_figure(sim: &Simulation, id: &str, title: &str, device: DeviceClass, k
 /// Figure 12: random read bandwidth, PMEM (a) and DRAM (b), 2 GB region.
 pub fn fig12_random_read(sim: &Simulation) -> (Figure, Figure) {
     (
-        random_figure(sim, "fig12a", "Random read — PMEM", DeviceClass::Pmem, AccessKind::Read),
-        random_figure(sim, "fig12b", "Random read — DRAM", DeviceClass::Dram, AccessKind::Read),
+        random_figure(
+            sim,
+            "fig12a",
+            "Random read — PMEM",
+            DeviceClass::Pmem,
+            AccessKind::Read,
+        ),
+        random_figure(
+            sim,
+            "fig12b",
+            "Random read — DRAM",
+            DeviceClass::Dram,
+            AccessKind::Read,
+        ),
     )
 }
 
 /// Figure 13: random write bandwidth, PMEM (a) and DRAM (b), 2 GB region.
 pub fn fig13_random_write(sim: &Simulation) -> (Figure, Figure) {
     (
-        random_figure(sim, "fig13a", "Random write — PMEM", DeviceClass::Pmem, AccessKind::Write),
-        random_figure(sim, "fig13b", "Random write — DRAM", DeviceClass::Dram, AccessKind::Write),
+        random_figure(
+            sim,
+            "fig13a",
+            "Random write — PMEM",
+            DeviceClass::Pmem,
+            AccessKind::Write,
+        ),
+        random_figure(
+            sim,
+            "fig13b",
+            "Random write — DRAM",
+            DeviceClass::Dram,
+            AccessKind::Write,
+        ),
     )
 }
 
@@ -420,11 +478,7 @@ mod tests {
     fn fig7_write_shapes() {
         let (a, _b) = fig7_write_access_size(&sim());
         // Global maximum is grouped 4 KB (§4.1), reached by few threads.
-        let peak = a
-            .series
-            .iter()
-            .map(|s| s.peak())
-            .fold(0.0, f64::max);
+        let peak = a.series.iter().map(|s| s.peak()).fold(0.0, f64::max);
         assert!((11.5..13.5).contains(&peak), "write peak {peak}");
         // 36 threads peak at 256 B, not 4 KB.
         assert_eq!(a.series("36").unwrap().peak_x(), 256.0);

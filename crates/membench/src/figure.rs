@@ -34,7 +34,10 @@ impl Series {
     pub fn peak_x(&self) -> f64 {
         self.points
             .iter()
-            .fold((0.0, f64::MIN), |best, p| if p.1 > best.1 { *p } else { best })
+            .fold(
+                (0.0, f64::MIN),
+                |best, p| if p.1 > best.1 { *p } else { best },
+            )
             .0
     }
 
@@ -161,7 +164,8 @@ mod tests {
 
     fn figure() -> Figure {
         let mut f = Figure::new("figX", "Test", "x", "GB/s");
-        f.series.push(Series::new("a", vec![(1.0, 10.0), (2.0, 30.0)]));
+        f.series
+            .push(Series::new("a", vec![(1.0, 10.0), (2.0, 30.0)]));
         f.series.push(Series::new("b", vec![(1.0, 5.0)]));
         f
     }

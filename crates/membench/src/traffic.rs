@@ -248,7 +248,9 @@ mod tests {
         let ns = ns();
         let mut cfg = TrafficConfig::new(
             AccessKind::Read,
-            Pattern::Random { region_bytes: 1 << 20 },
+            Pattern::Random {
+                region_bytes: 1 << 20,
+            },
             256,
             4,
         );
@@ -282,7 +284,9 @@ mod tests {
         let ns = ns();
         let mut cfg = TrafficConfig::new(
             AccessKind::Write,
-            Pattern::Random { region_bytes: 1 << 20 },
+            Pattern::Random {
+                region_bytes: 1 << 20,
+            },
             256,
             2,
         );

@@ -1,0 +1,314 @@
+//! Admission control: who gets on the DIMMs, and when.
+//!
+//! The controller enforces the paper's two serving rules per socket:
+//!
+//! 1. **Writer cap** (Best Practice #2): concurrent sequential writers
+//!    saturate the media at 4–6 threads; additional writers only add
+//!    contention, so they queue.
+//! 2. **Serialize mixed phases** (Insight #11 / Best Practice #5): when
+//!    [`AccessPlanner::should_serialize`] projects that running the
+//!    outstanding read and write volumes back-to-back beats running them
+//!    concurrently, the late-coming side queues until the other side
+//!    drains — the mixed phase is shrunk to nothing.
+//!
+//! Reader admission is bounded by the remaining logical cores
+//! ([`AccessPlanner::concurrency_budget`]): reader threads beyond that
+//! would only multiplex without adding bandwidth.
+
+use pmem_olap::planner::AccessPlanner;
+
+use crate::job::Side;
+
+/// Why a job was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueReason {
+    /// Socket already runs the writer-saturation thread count.
+    WriterCap,
+    /// Socket already runs the reader thread budget.
+    ReaderCap,
+    /// The planner projects serializing beats mixing (Insight #11).
+    SerializeMixed,
+}
+
+impl QueueReason {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueReason::WriterCap => "writer-cap",
+            QueueReason::ReaderCap => "reader-cap",
+            QueueReason::SerializeMixed => "serialize-mixed",
+        }
+    }
+}
+
+/// One admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Admitted; records the socket's reader/writer thread occupancy
+    /// *after* the admit.
+    Admitted {
+        /// Reader threads now active on the socket.
+        readers: u32,
+        /// Writer threads now active on the socket.
+        writers: u32,
+    },
+    /// Left in the queue.
+    Queued {
+        /// Why.
+        reason: QueueReason,
+    },
+}
+
+impl Verdict {
+    /// Was the job admitted?
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Verdict::Admitted { .. })
+    }
+}
+
+/// Tunable admission rules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Max concurrent writer threads per socket.
+    pub writer_cap: u32,
+    /// Max concurrent reader threads per socket.
+    pub reader_cap: u32,
+    /// Defer a side when the planner advises serializing the mixed phase.
+    pub serialize_mixed: bool,
+}
+
+impl AdmissionPolicy {
+    /// The paper's policy: caps from the planner's saturation points,
+    /// mixed phases serialized on advice.
+    pub fn paper(planner: &AccessPlanner) -> Self {
+        let budget = planner.concurrency_budget();
+        AdmissionPolicy {
+            writer_cap: budget.writer_threads,
+            reader_cap: budget.reader_threads,
+            serialize_mixed: true,
+        }
+    }
+
+    /// Writer cap only — mixed execution allowed (used to isolate the cap's
+    /// effect, and by the Figure 11 style experiments).
+    pub fn cap_only(planner: &AccessPlanner) -> Self {
+        AdmissionPolicy {
+            serialize_mixed: false,
+            ..Self::paper(planner)
+        }
+    }
+
+    /// No admission control at all: everything runs the moment it arrives.
+    pub fn free_for_all() -> Self {
+        AdmissionPolicy {
+            writer_cap: u32::MAX,
+            reader_cap: u32::MAX,
+            serialize_mixed: false,
+        }
+    }
+}
+
+/// What one socket currently runs, as the controller sees it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SocketLoad {
+    /// Active reader threads.
+    pub reader_threads: u32,
+    /// Active writer threads.
+    pub writer_threads: u32,
+    /// Outstanding (remaining) read bytes across active reader jobs.
+    pub read_bytes: u64,
+    /// Outstanding (remaining) write bytes across active writer jobs.
+    pub write_bytes: u64,
+}
+
+/// Decides admission against a policy, consulting the planner for the
+/// serialize-vs-mix projection.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    policy: AdmissionPolicy,
+}
+
+impl AdmissionController {
+    /// Controller for a policy.
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        AdmissionController { policy }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &AdmissionPolicy {
+        &self.policy
+    }
+
+    /// Decide whether a job asking for `threads` on `side`, moving `bytes`,
+    /// may start on a socket currently at `load`.
+    pub fn decide(
+        &self,
+        planner: &AccessPlanner,
+        side: Side,
+        threads: u32,
+        bytes: u64,
+        load: &SocketLoad,
+    ) -> Verdict {
+        match side {
+            Side::Write => {
+                if load.writer_threads.saturating_add(threads) > self.policy.writer_cap {
+                    return Verdict::Queued {
+                        reason: QueueReason::WriterCap,
+                    };
+                }
+                if self.policy.serialize_mixed
+                    && load.reader_threads > 0
+                    && planner.should_serialize(
+                        load.reader_threads,
+                        load.writer_threads + threads,
+                        load.read_bytes,
+                        load.write_bytes.saturating_add(bytes),
+                    )
+                {
+                    return Verdict::Queued {
+                        reason: QueueReason::SerializeMixed,
+                    };
+                }
+                Verdict::Admitted {
+                    readers: load.reader_threads,
+                    writers: load.writer_threads + threads,
+                }
+            }
+            Side::Read => {
+                if load.reader_threads.saturating_add(threads) > self.policy.reader_cap {
+                    return Verdict::Queued {
+                        reason: QueueReason::ReaderCap,
+                    };
+                }
+                if self.policy.serialize_mixed
+                    && load.writer_threads > 0
+                    && planner.should_serialize(
+                        load.reader_threads + threads,
+                        load.writer_threads,
+                        load.read_bytes.saturating_add(bytes),
+                        load.write_bytes,
+                    )
+                {
+                    return Verdict::Queued {
+                        reason: QueueReason::SerializeMixed,
+                    };
+                }
+                Verdict::Admitted {
+                    readers: load.reader_threads + threads,
+                    writers: load.writer_threads,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: u64 = 1 << 30;
+
+    fn planner() -> AccessPlanner {
+        AccessPlanner::paper_default()
+    }
+
+    #[test]
+    fn paper_policy_uses_saturation_caps() {
+        let p = planner();
+        let policy = AdmissionPolicy::paper(&p);
+        assert!((4..=6).contains(&policy.writer_cap));
+        assert_eq!(policy.reader_cap, 30);
+        assert!(policy.serialize_mixed);
+    }
+
+    #[test]
+    fn writer_cap_queues_the_excess_writer() {
+        let p = planner();
+        let ctl = AdmissionController::new(AdmissionPolicy::cap_only(&p));
+        let cap = ctl.policy().writer_cap;
+        let mut load = SocketLoad::default();
+        for w in 1..=cap {
+            let v = ctl.decide(&p, Side::Write, 1, GIB, &load);
+            assert_eq!(
+                v,
+                Verdict::Admitted {
+                    readers: 0,
+                    writers: w
+                }
+            );
+            load.writer_threads = w;
+            load.write_bytes += GIB;
+        }
+        let v = ctl.decide(&p, Side::Write, 1, GIB, &load);
+        assert_eq!(
+            v,
+            Verdict::Queued {
+                reason: QueueReason::WriterCap
+            }
+        );
+    }
+
+    #[test]
+    fn reader_cap_queues_oversubscription() {
+        let p = planner();
+        let ctl = AdmissionController::new(AdmissionPolicy::paper(&p));
+        let load = SocketLoad {
+            reader_threads: 30,
+            read_bytes: 10 * GIB,
+            ..Default::default()
+        };
+        let v = ctl.decide(&p, Side::Read, 1, GIB, &load);
+        assert_eq!(
+            v,
+            Verdict::Queued {
+                reason: QueueReason::ReaderCap
+            }
+        );
+    }
+
+    #[test]
+    fn serialize_advice_defers_writers_under_heavy_reads() {
+        let p = planner();
+        let ctl = AdmissionController::new(AdmissionPolicy::paper(&p));
+        let load = SocketLoad {
+            reader_threads: 30,
+            read_bytes: 40 * GIB,
+            ..Default::default()
+        };
+        let v = ctl.decide(&p, Side::Write, 1, 4 * GIB, &load);
+        assert_eq!(
+            v,
+            Verdict::Queued {
+                reason: QueueReason::SerializeMixed
+            }
+        );
+        // Same situation with serialization disabled: the writer mixes in.
+        let capped = AdmissionController::new(AdmissionPolicy::cap_only(&p));
+        assert!(capped
+            .decide(&p, Side::Write, 1, 4 * GIB, &load)
+            .is_admitted());
+    }
+
+    #[test]
+    fn idle_socket_admits_either_side() {
+        let p = planner();
+        let ctl = AdmissionController::new(AdmissionPolicy::paper(&p));
+        let idle = SocketLoad::default();
+        assert!(ctl.decide(&p, Side::Read, 18, GIB, &idle).is_admitted());
+        assert!(ctl.decide(&p, Side::Write, 6, GIB, &idle).is_admitted());
+    }
+
+    #[test]
+    fn free_for_all_admits_everything() {
+        let p = planner();
+        let ctl = AdmissionController::new(AdmissionPolicy::free_for_all());
+        let load = SocketLoad {
+            reader_threads: 200,
+            writer_threads: 50,
+            read_bytes: 100 * GIB,
+            write_bytes: 100 * GIB,
+        };
+        assert!(ctl.decide(&p, Side::Write, 10, GIB, &load).is_admitted());
+        assert!(ctl.decide(&p, Side::Read, 10, GIB, &load).is_admitted());
+    }
+}

@@ -1,0 +1,183 @@
+//! Shared-scan batching: queries that arrive close together and scan the
+//! same fact table ride one physical scan.
+//!
+//! Every SSB query reads `lineorder` front to back; when several such
+//! queries are in flight on the same socket, re-reading the table once per
+//! query wastes the very bandwidth the scheduler is trying to protect. The
+//! batcher coalesces compatible scans inside an arrival window: the fact
+//! bytes are charged once per batch, each member still pays its own
+//! dimension/index traffic, and each member keeps its own result rows and
+//! operator counters.
+
+use pmem_sim::topology::SocketId;
+
+use crate::job::JobId;
+
+/// What the batcher needs to know about one scan job.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanJobInfo {
+    /// The job.
+    pub id: JobId,
+    /// Socket the job is routed to.
+    pub socket: SocketId,
+    /// Virtual arrival time.
+    pub arrival: f64,
+    /// Reader threads the job occupies.
+    pub threads: u32,
+    /// Total application read bytes of the job (fact + dimensions + index).
+    pub read_bytes: u64,
+    /// The fact-scan share of `read_bytes` — the part a shared scan dedups.
+    pub fact_bytes: u64,
+}
+
+/// A coalesced group of scans executing as one reader unit.
+#[derive(Debug, Clone)]
+pub struct ScanBatch {
+    /// Member jobs, in arrival order; the first is the batch leader.
+    pub members: Vec<ScanJobInfo>,
+    /// Socket the batch runs on.
+    pub socket: SocketId,
+    /// When the batch can start: the last member's arrival (the window is
+    /// the price of sharing).
+    pub ready_at: f64,
+    /// Reader threads the batch occupies (the widest member).
+    pub threads: u32,
+    /// Deduplicated byte demand: the largest fact scan once, plus every
+    /// member's non-fact traffic.
+    pub bytes: u64,
+    /// Fact bytes the sharing saved versus independent scans.
+    pub saved_bytes: u64,
+}
+
+/// Groups compatible scans into shared-scan batches.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanBatcher {
+    /// Arrival window in virtual seconds; jobs arriving within `window` of
+    /// the batch leader join its scan. Zero disables sharing.
+    pub window: f64,
+}
+
+impl ScanBatcher {
+    /// Batcher with the given arrival window.
+    pub fn new(window: f64) -> Self {
+        ScanBatcher {
+            window: window.max(0.0),
+        }
+    }
+
+    /// Coalesce jobs into batches. Jobs on different sockets never share a
+    /// scan (their fact partitions are different DIMMs).
+    pub fn coalesce(&self, jobs: &[ScanJobInfo]) -> Vec<ScanBatch> {
+        let mut sorted: Vec<ScanJobInfo> = jobs.to_vec();
+        sorted.sort_by(|a, b| {
+            a.arrival
+                .total_cmp(&b.arrival)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+
+        let mut batches: Vec<ScanBatch> = Vec::new();
+        for job in sorted {
+            let joinable = batches.iter_mut().find(|b| {
+                b.socket == job.socket
+                    && self.window > 0.0
+                    && job.arrival - b.members[0].arrival <= self.window
+            });
+            match joinable {
+                Some(batch) => batch.members.push(job),
+                None => batches.push(ScanBatch {
+                    members: vec![job],
+                    socket: job.socket,
+                    ready_at: 0.0,
+                    threads: 0,
+                    bytes: 0,
+                    saved_bytes: 0,
+                }),
+            }
+        }
+
+        for batch in &mut batches {
+            let fact_total: u64 = batch.members.iter().map(|m| m.fact_bytes).sum();
+            let fact_max = batch
+                .members
+                .iter()
+                .map(|m| m.fact_bytes)
+                .max()
+                .unwrap_or(0);
+            let non_fact: u64 = batch
+                .members
+                .iter()
+                .map(|m| m.read_bytes.saturating_sub(m.fact_bytes))
+                .sum();
+            batch.ready_at = batch
+                .members
+                .iter()
+                .map(|m| m.arrival)
+                .fold(0.0f64, f64::max);
+            batch.threads = batch.members.iter().map(|m| m.threads).max().unwrap_or(1);
+            batch.bytes = (fact_max + non_fact).max(1);
+            batch.saved_bytes = fact_total - fact_max;
+        }
+        batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, socket: u8, arrival: f64, fact: u64, extra: u64) -> ScanJobInfo {
+        ScanJobInfo {
+            id: JobId(id),
+            socket: SocketId(socket),
+            arrival,
+            threads: 1,
+            read_bytes: fact + extra,
+            fact_bytes: fact,
+        }
+    }
+
+    #[test]
+    fn window_groups_and_dedups_fact_bytes() {
+        let batches = ScanBatcher::new(0.010).coalesce(&[
+            job(1, 0, 0.000, 1000, 10),
+            job(2, 0, 0.004, 1000, 20),
+            job(3, 0, 0.009, 1000, 30),
+            job(4, 0, 0.050, 1000, 40), // outside the window: own batch
+        ]);
+        assert_eq!(batches.len(), 2);
+        let shared = &batches[0];
+        assert_eq!(shared.members.len(), 3);
+        // One fact scan + everyone's extras.
+        assert_eq!(shared.bytes, 1000 + 10 + 20 + 30);
+        assert_eq!(shared.saved_bytes, 2000);
+        assert_eq!(shared.ready_at, 0.009, "waits for the last member");
+        assert_eq!(batches[1].members.len(), 1);
+        assert_eq!(batches[1].saved_bytes, 0);
+    }
+
+    #[test]
+    fn different_sockets_never_share() {
+        let batches =
+            ScanBatcher::new(1.0).coalesce(&[job(1, 0, 0.0, 500, 0), job(2, 1, 0.0, 500, 0)]);
+        assert_eq!(batches.len(), 2);
+    }
+
+    #[test]
+    fn zero_window_disables_sharing() {
+        let batches =
+            ScanBatcher::new(0.0).coalesce(&[job(1, 0, 0.0, 500, 5), job(2, 0, 0.0, 500, 5)]);
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|b| b.saved_bytes == 0));
+    }
+
+    #[test]
+    fn widest_member_sets_batch_threads() {
+        let mut wide = job(2, 0, 0.001, 800, 0);
+        wide.threads = 4;
+        let batches = ScanBatcher::new(0.01).coalesce(&[job(1, 0, 0.0, 1000, 0), wide]);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].threads, 4);
+        // The *largest* fact scan is the one that survives dedup.
+        assert_eq!(batches[0].bytes, 1000);
+    }
+}

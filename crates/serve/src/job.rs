@@ -1,0 +1,175 @@
+//! Job descriptions: what tenants submit to the query server.
+//!
+//! A [`JobSpec`] is a value — `Clone` and independent of any server state —
+//! so the same spec can be resubmitted across runs; every submission gets a
+//! fresh [`JobId`] and its own accounting (operator counters, simulated
+//! stats, admission verdicts).
+
+use pmem_sim::topology::SocketId;
+use pmem_ssb::QueryId;
+
+/// Identifier of one submitted job (unique per server, monotonic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// Which side of the device a job occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Sequential-read dominated (fact-table scans).
+    Read,
+    /// Sequential-write dominated (bulk ingest).
+    Write,
+}
+
+impl Side {
+    /// Figure-legend style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Side::Read => "read",
+            Side::Write => "write",
+        }
+    }
+}
+
+/// What the job does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Run one SSB query (a fact-table scan plus dimension joins).
+    Query {
+        /// Which of the 13 queries.
+        query: QueryId,
+        /// Reader threads the job occupies on its socket.
+        threads: u32,
+    },
+    /// Bulk-ingest `bytes` of new fact data (sequential writes).
+    Ingest {
+        /// Application bytes to write.
+        bytes: u64,
+        /// Writer threads the job occupies on its socket.
+        threads: u32,
+    },
+}
+
+impl JobKind {
+    /// Device side this kind occupies.
+    pub fn side(&self) -> Side {
+        match self {
+            JobKind::Query { .. } => Side::Read,
+            JobKind::Ingest { .. } => Side::Write,
+        }
+    }
+
+    /// Threads the job occupies on its socket.
+    pub fn threads(&self) -> u32 {
+        match self {
+            JobKind::Query { threads, .. } | JobKind::Ingest { threads, .. } => *threads,
+        }
+    }
+
+    /// Human label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            JobKind::Query { query, .. } => query.name().to_string(),
+            JobKind::Ingest { bytes, .. } => format!("ingest {} MiB", bytes >> 20),
+        }
+    }
+}
+
+/// A resubmittable job description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// What to run.
+    pub kind: JobKind,
+    /// Virtual arrival time in seconds (0 = available immediately).
+    pub arrival: f64,
+    /// Tenant the job belongs to (accounting only).
+    pub tenant: u32,
+    /// Requested socket; `None` lets the server route (least-loaded).
+    pub socket: Option<SocketId>,
+}
+
+impl JobSpec {
+    /// A single-threaded query job arriving at time zero.
+    pub fn query(query: QueryId) -> Self {
+        JobSpec {
+            kind: JobKind::Query { query, threads: 1 },
+            arrival: 0.0,
+            tenant: 0,
+            socket: None,
+        }
+    }
+
+    /// A single-threaded bulk-ingest job arriving at time zero.
+    pub fn ingest(bytes: u64) -> Self {
+        JobSpec {
+            kind: JobKind::Ingest { bytes, threads: 1 },
+            arrival: 0.0,
+            tenant: 0,
+            socket: None,
+        }
+    }
+
+    /// Set the thread count the job occupies.
+    pub fn threads(mut self, threads: u32) -> Self {
+        let threads = threads.max(1);
+        match &mut self.kind {
+            JobKind::Query { threads: t, .. } | JobKind::Ingest { threads: t, .. } => *t = threads,
+        }
+        self
+    }
+
+    /// Set the virtual arrival time.
+    pub fn arrival(mut self, seconds: f64) -> Self {
+        self.arrival = seconds.max(0.0);
+        self
+    }
+
+    /// Set the owning tenant.
+    pub fn tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Pin the job to one socket.
+    pub fn socket(mut self, socket: SocketId) -> Self {
+        self.socket = Some(socket);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose_and_clamp() {
+        let spec = JobSpec::query(QueryId::Q1_1)
+            .threads(0)
+            .arrival(-3.0)
+            .tenant(7)
+            .socket(SocketId(1));
+        assert_eq!(spec.kind.threads(), 1, "threads clamp to at least one");
+        assert_eq!(spec.arrival, 0.0, "arrival clamps to now");
+        assert_eq!(spec.tenant, 7);
+        assert_eq!(spec.socket, Some(SocketId(1)));
+        assert_eq!(spec.kind.side(), Side::Read);
+
+        let ingest = JobSpec::ingest(64 << 20).threads(2);
+        assert_eq!(ingest.kind.side(), Side::Write);
+        assert_eq!(ingest.kind.threads(), 2);
+        assert_eq!(ingest.kind.label(), "ingest 64 MiB");
+    }
+
+    #[test]
+    fn specs_are_resubmittable_values() {
+        let spec = JobSpec::query(QueryId::Q3_2).threads(4);
+        let again = spec; // Copy: nothing ties a spec to a prior submission
+        assert_eq!(spec, again);
+    }
+}

@@ -1,0 +1,41 @@
+//! `pmem-serve`: a bandwidth-aware concurrent query scheduler with
+//! admission control over the simulated two-socket PMEM machine.
+//!
+//! OLAP serving on persistent memory dies by a thousand concurrent cuts:
+//! a handful of bulk writers saturates the media at 4–6 threads, mixed
+//! read/write phases crush scan bandwidth far below what either side gets
+//! alone, and unpinned threads forfeit most of the device's sequential
+//! read rate. This crate turns the planner's calibrated knowledge of
+//! those cliffs ([`pmem_olap::planner::AccessPlanner`]) into a serving
+//! policy:
+//!
+//! * **Admission control** ([`admission`]): per-socket writer caps at the
+//!   saturation point, reader caps at the core budget, and deferral of
+//!   whichever side [`AccessPlanner::should_serialize`] says should wait —
+//!   the mixed phase is shrunk to nothing (Insight #11, Best Practice #5).
+//! * **NUMA-pinned pools** ([`pool`]): one worker pool per socket, pinned
+//!   per the `sched` layout model, socket-affine routing.
+//! * **Shared scans** ([`batch`]): compatible fact-table scans arriving
+//!   within a window ride one physical scan.
+//! * **Accounting** ([`report`]): queue waits, simulated execution times,
+//!   admission verdicts, and merged device stats per run.
+//!
+//! The front door is [`QueryServer`]: submit [`JobSpec`]s, call
+//! [`QueryServer::run`], read the [`ServeReport`].
+//!
+//! [`AccessPlanner::should_serialize`]:
+//!     pmem_olap::planner::AccessPlanner::should_serialize
+
+pub mod admission;
+pub mod batch;
+pub mod job;
+pub mod pool;
+pub mod report;
+pub mod scheduler;
+
+pub use admission::{AdmissionController, AdmissionPolicy, QueueReason, SocketLoad, Verdict};
+pub use batch::{ScanBatch, ScanBatcher, ScanJobInfo};
+pub use job::{JobId, JobKind, JobSpec, Side};
+pub use pool::{PoolSet, WorkItem};
+pub use report::{JobRecord, ServeReport};
+pub use scheduler::{QueryServer, ServeConfig};

@@ -1,0 +1,201 @@
+//! NUMA-pinned worker pools: one pool per socket, socket-affine job
+//! routing, crossbeam scoped threads.
+//!
+//! The pool executes the *real* query computations (`pmem_ssb::run_query`)
+//! that produce each job's result rows, operator counters, and measured
+//! traffic. Core assignment follows the `sched` pinning model: each
+//! socket's workers take that socket's physical cores first, exactly as
+//! [`pmem_sim::sched::layout`] lays them out, so the virtual-time pricing
+//! (which assumes near, pinned access) matches what the workers model.
+
+use std::collections::HashMap;
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use pmem_sim::params::SystemParams;
+use pmem_sim::sched::{self, Pinning, ThreadLayout};
+use pmem_sim::topology::{Machine, SocketId};
+use pmem_ssb::{run_query, QueryId, QueryOutcome, SsbStore};
+use pmem_store::Result;
+
+use crate::job::JobId;
+
+/// One unit of pool work: run `query` with `threads` for job `id`.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkItem {
+    /// Job the result belongs to.
+    pub id: JobId,
+    /// Query to run.
+    pub query: QueryId,
+    /// Executor thread count for the query.
+    pub threads: u32,
+}
+
+/// Per-socket pools over a machine description.
+#[derive(Debug, Clone)]
+pub struct PoolSet {
+    machine: Machine,
+    pinning: Pinning,
+    workers_per_socket: u32,
+    oversub_eff: f64,
+}
+
+impl PoolSet {
+    /// Pools for a machine, `workers_per_socket` OS workers each.
+    pub fn new(machine: Machine, pinning: Pinning, workers_per_socket: u32) -> Self {
+        PoolSet {
+            machine,
+            pinning,
+            workers_per_socket: workers_per_socket.max(1),
+            oversub_eff: SystemParams::paper_default().cpu.numa_region_oversub_eff,
+        }
+    }
+
+    /// The modeled thread layout of one socket's pool — which cores the
+    /// workers occupy under the configured pinning.
+    pub fn layout(&self, socket: SocketId) -> ThreadLayout {
+        sched::layout(
+            &self.machine,
+            self.pinning,
+            socket,
+            self.workers_per_socket,
+            self.oversub_eff,
+        )
+    }
+
+    /// Execute all items, each on its routed socket's pool, and collect the
+    /// outcomes. Workers are crossbeam scoped threads pulling from their
+    /// socket's queue; a socket never steals another socket's work.
+    pub fn execute(
+        &self,
+        store: &SsbStore,
+        work: &[(SocketId, WorkItem)],
+    ) -> Result<HashMap<JobId, QueryOutcome>> {
+        let sockets: Vec<SocketId> = {
+            let mut s: Vec<SocketId> = work.iter().map(|(s, _)| *s).collect();
+            s.sort_by_key(|s| s.0);
+            s.dedup();
+            s
+        };
+        if sockets.is_empty() {
+            return Ok(HashMap::new());
+        }
+
+        // One queue per socket (socket-affine routing), one shared results
+        // channel back to the caller.
+        let mut queues: HashMap<SocketId, Mutex<channel::Receiver<WorkItem>>> = HashMap::new();
+        let mut senders: HashMap<SocketId, channel::Sender<WorkItem>> = HashMap::new();
+        for &socket in &sockets {
+            let (tx, rx) = channel::unbounded();
+            queues.insert(socket, Mutex::new(rx));
+            senders.insert(socket, tx);
+        }
+        for (socket, item) in work {
+            senders[socket].send(*item).expect("queue open");
+        }
+        drop(senders); // workers drain until their queue closes
+
+        let (result_tx, result_rx) = channel::unbounded::<(JobId, Result<QueryOutcome>)>();
+
+        // Query executions on one store are serialized: `run_query` meters
+        // its index-build scratch space and phase traffic through
+        // store-wide tracker deltas, so interleaved queries would corrupt
+        // each other's byte accounting. The pool's concurrency is in its
+        // structure (per-socket queues, socket-affine workers); overlap in
+        // *time* is the virtual plane's job.
+        let run_lock = Mutex::new(());
+
+        crossbeam::thread::scope(|scope| {
+            for &socket in &sockets {
+                let queue = &queues[&socket];
+                for _worker in 0..self.workers_per_socket {
+                    let results = result_tx.clone();
+                    let run_lock = &run_lock;
+                    scope.spawn(move |_| loop {
+                        // Hold the queue lock only to pop, never while running.
+                        let item = match queue.lock().try_recv() {
+                            Ok(item) => item,
+                            Err(_) => break,
+                        };
+                        let outcome = {
+                            let _serial = run_lock.lock();
+                            run_query(store, item.query, item.threads)
+                        };
+                        if results.send((item.id, outcome)).is_err() {
+                            break;
+                        }
+                    });
+                }
+            }
+        })
+        .expect("pool workers do not panic");
+        drop(result_tx);
+
+        let mut outcomes = HashMap::with_capacity(work.len());
+        for (id, outcome) in result_rx {
+            outcomes.insert(id, outcome?);
+        }
+        Ok(outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmem_ssb::{EngineMode, StorageDevice};
+
+    #[test]
+    fn pools_route_by_socket_and_return_every_outcome() {
+        let store =
+            SsbStore::generate_and_load(0.01, 414, EngineMode::Aware, StorageDevice::PmemFsdax)
+                .expect("store loads");
+        let pools = PoolSet::new(Machine::paper_default(), Pinning::Cores, 2);
+        let work: Vec<(SocketId, WorkItem)> = [
+            (0u8, QueryId::Q1_1),
+            (1, QueryId::Q1_2),
+            (0, QueryId::Q2_1),
+            (1, QueryId::Q3_1),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, q))| {
+            (
+                SocketId(s),
+                WorkItem {
+                    id: JobId(i as u64),
+                    query: q,
+                    threads: 2,
+                },
+            )
+        })
+        .collect();
+        let outcomes = pools.execute(&store, &work).expect("queries run");
+        assert_eq!(outcomes.len(), 4);
+        for (_, outcome) in outcomes {
+            assert!(outcome.counters.tuples_scanned > 0);
+            assert!(outcome.traffic.read_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn layout_pins_each_pool_to_its_socket() {
+        let machine = Machine::paper_default();
+        let pools = PoolSet::new(machine.clone(), Pinning::Cores, 4);
+        let l0 = pools.layout(SocketId(0));
+        let l1 = pools.layout(SocketId(1));
+        let c0 = l0.cores.expect("explicit cores");
+        let c1 = l1.cores.expect("explicit cores");
+        assert_eq!(c0.len(), 4);
+        assert!(c0.iter().all(|c| machine.socket_of_core(*c) == SocketId(0)));
+        assert!(c1.iter().all(|c| machine.socket_of_core(*c) == SocketId(1)));
+    }
+
+    #[test]
+    fn empty_work_is_a_no_op() {
+        let store =
+            SsbStore::generate_and_load(0.005, 7, EngineMode::Aware, StorageDevice::PmemFsdax)
+                .expect("store loads");
+        let pools = PoolSet::new(Machine::paper_default(), Pinning::Cores, 1);
+        assert!(pools.execute(&store, &[]).expect("ok").is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-query accounting and the server-wide [`ServeReport`].
+
+use pmem_sim::stats::SimStats;
+use pmem_sim::topology::SocketId;
+use pmem_ssb::OpCounters;
+
+use crate::admission::Verdict;
+use crate::job::{JobId, Side};
+
+/// Everything the server learned about one job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The job.
+    pub id: JobId,
+    /// Owning tenant.
+    pub tenant: u32,
+    /// Human label ("Q4.2", "ingest 256 MiB").
+    pub label: String,
+    /// Device side the job occupied.
+    pub side: Side,
+    /// Socket the job ran on.
+    pub socket: SocketId,
+    /// Virtual arrival time in seconds.
+    pub arrival: f64,
+    /// Virtual admission time.
+    pub admitted_at: f64,
+    /// Virtual completion time.
+    pub finished_at: f64,
+    /// Seconds spent queued before admission.
+    pub queue_wait_seconds: f64,
+    /// Simulated execution seconds (admission to completion).
+    pub exec_seconds: f64,
+    /// Logical bytes the job moved.
+    pub bytes: u64,
+    /// Result rows (queries; zero for ingest).
+    pub rows: u64,
+    /// Operator counters from the real execution (queries only).
+    pub counters: Option<OpCounters>,
+    /// Simulated device stats for the job's own traffic.
+    pub stats: SimStats,
+    /// Admission history: (virtual time, verdict) whenever it changed.
+    pub verdicts: Vec<(f64, Verdict)>,
+    /// How many other scans shared this job's batch.
+    pub batch_peers: u32,
+}
+
+impl JobRecord {
+    /// Was the job ever queued before admission?
+    pub fn was_queued(&self) -> bool {
+        self.verdicts.iter().any(|(_, v)| !v.is_admitted())
+    }
+}
+
+/// The server-wide outcome of one [`crate::QueryServer::run`].
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// One record per submitted job, in submission order.
+    pub jobs: Vec<JobRecord>,
+    /// Virtual seconds from first arrival to last completion.
+    pub makespan: f64,
+    /// Logical read bytes the device served.
+    pub read_bytes_moved: u64,
+    /// Logical write bytes the device absorbed.
+    pub write_bytes_moved: u64,
+    /// Virtual seconds during which at least one reader was active.
+    pub read_busy_seconds: f64,
+    /// Virtual seconds during which at least one writer was active.
+    pub write_busy_seconds: f64,
+    /// Most reader threads ever concurrent on one socket.
+    pub peak_concurrent_readers: u32,
+    /// Most writer threads ever concurrent on one socket.
+    pub peak_concurrent_writers: u32,
+    /// Scan batches formed (including singletons).
+    pub batches: usize,
+    /// Fact-scan bytes shared scans avoided re-reading.
+    pub shared_scan_bytes_saved: u64,
+    /// Device stats merged across every job.
+    pub stats: SimStats,
+}
+
+const GIB: f64 = (1u64 << 30) as f64;
+
+impl ServeReport {
+    /// Aggregate bandwidth over the whole run: all bytes / makespan.
+    pub fn aggregate_bandwidth_gib_s(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        (self.read_bytes_moved + self.write_bytes_moved) as f64 / GIB / self.makespan
+    }
+
+    /// Read bandwidth while reads were actually running: read bytes over
+    /// read-busy seconds. This is the number admission control protects —
+    /// a serialized write phase lengthens the makespan but must not drag
+    /// down what readers see while they run.
+    pub fn read_bandwidth_gib_s(&self) -> f64 {
+        if self.read_busy_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.read_bytes_moved as f64 / GIB / self.read_busy_seconds
+    }
+
+    /// Write bandwidth while writes were running.
+    pub fn write_bandwidth_gib_s(&self) -> f64 {
+        if self.write_busy_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.write_bytes_moved as f64 / GIB / self.write_busy_seconds
+    }
+
+    /// Mean queue wait across jobs.
+    pub fn mean_queue_wait_seconds(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(|j| j.queue_wait_seconds).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Jobs that spent time queued before admission.
+    pub fn queued_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.was_queued()).count()
+    }
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "serve report: {} jobs, makespan {:.3}s, {} batches ({} fact MiB shared)",
+            self.jobs.len(),
+            self.makespan,
+            self.batches,
+            self.shared_scan_bytes_saved >> 20,
+        )?;
+        writeln!(
+            f,
+            "  bandwidth: read {:.2} GiB/s (busy {:.3}s), write {:.2} GiB/s (busy {:.3}s), aggregate {:.2} GiB/s",
+            self.read_bandwidth_gib_s(),
+            self.read_busy_seconds,
+            self.write_bandwidth_gib_s(),
+            self.write_busy_seconds,
+            self.aggregate_bandwidth_gib_s(),
+        )?;
+        writeln!(
+            f,
+            "  peaks: {} readers / {} writers; queued jobs: {}; mean wait {:.3}s",
+            self.peak_concurrent_readers,
+            self.peak_concurrent_writers,
+            self.queued_jobs(),
+            self.mean_queue_wait_seconds(),
+        )?;
+        writeln!(
+            f,
+            "  {:>7} {:>6} {:<14} {:>5} {:>4} {:>9} {:>9} {:>9} {:>10} {:>6}",
+            "job", "tenant", "label", "side", "sock", "wait(s)", "exec(s)", "MiB", "rows", "peers"
+        )?;
+        for job in &self.jobs {
+            writeln!(
+                f,
+                "  {:>7} {:>6} {:<14} {:>5} {:>4} {:>9.3} {:>9.3} {:>9.1} {:>10} {:>6}",
+                job.id.to_string(),
+                job.tenant,
+                job.label,
+                job.side.label(),
+                job.socket.0,
+                job.queue_wait_seconds,
+                job.exec_seconds,
+                job.bytes as f64 / (1 << 20) as f64,
+                job.rows,
+                job.batch_peers,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, side: Side, bytes: u64, wait: f64) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            tenant: 0,
+            label: "test".into(),
+            side,
+            socket: SocketId(0),
+            arrival: 0.0,
+            admitted_at: wait,
+            finished_at: wait + 1.0,
+            queue_wait_seconds: wait,
+            exec_seconds: 1.0,
+            bytes,
+            rows: 3,
+            counters: None,
+            stats: SimStats::default(),
+            verdicts: Vec::new(),
+            batch_peers: 0,
+        }
+    }
+
+    #[test]
+    fn bandwidth_uses_busy_time_not_makespan() {
+        let gib = 1u64 << 30;
+        let report = ServeReport {
+            jobs: vec![record(0, Side::Read, 30 * gib, 0.0)],
+            makespan: 2.0,
+            read_bytes_moved: 30 * gib,
+            write_bytes_moved: 10 * gib,
+            read_busy_seconds: 1.0,
+            write_busy_seconds: 1.0,
+            peak_concurrent_readers: 30,
+            peak_concurrent_writers: 6,
+            batches: 1,
+            shared_scan_bytes_saved: 0,
+            stats: SimStats::default(),
+        };
+        assert!((report.read_bandwidth_gib_s() - 30.0).abs() < 1e-9);
+        assert!((report.write_bandwidth_gib_s() - 10.0).abs() < 1e-9);
+        assert!((report.aggregate_bandwidth_gib_s() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_reads_zero_everywhere() {
+        let report = ServeReport {
+            jobs: Vec::new(),
+            makespan: 0.0,
+            read_bytes_moved: 0,
+            write_bytes_moved: 0,
+            read_busy_seconds: 0.0,
+            write_busy_seconds: 0.0,
+            peak_concurrent_readers: 0,
+            peak_concurrent_writers: 0,
+            batches: 0,
+            shared_scan_bytes_saved: 0,
+            stats: SimStats::default(),
+        };
+        assert_eq!(report.read_bandwidth_gib_s(), 0.0);
+        assert_eq!(report.mean_queue_wait_seconds(), 0.0);
+        assert_eq!(report.queued_jobs(), 0);
+        let text = format!("{report}");
+        assert!(text.contains("0 jobs"));
+    }
+}

@@ -1,0 +1,615 @@
+//! The query server: admission, batching, socket routing, and a
+//! virtual-time execution loop priced by the bandwidth model.
+//!
+//! Execution happens on two planes. The *real* plane runs each query on
+//! the NUMA-pinned worker pools ([`crate::pool`]) to obtain its result
+//! rows, operator counters, and measured traffic. The *virtual* plane
+//! replays the jobs through a discrete-event loop: at every instant each
+//! socket's admitted reader/writer thread mix determines the progress
+//! rates via [`Simulation::evaluate_mixed`] (the Figure 11 surface), and
+//! the admission controller decides who may join the mix. Queue waits,
+//! execution times, and bandwidth figures all come from the virtual plane;
+//! rows and counters from the real one.
+
+use std::collections::HashMap;
+
+use pmem_olap::planner::AccessPlanner;
+use pmem_sim::sched::Pinning;
+use pmem_sim::stats::SimStats;
+use pmem_sim::topology::SocketId;
+use pmem_sim::workload::{MixedSpec, WorkloadSpec};
+use pmem_ssb::SsbStore;
+use pmem_store::Result;
+
+use crate::admission::{AdmissionController, AdmissionPolicy, Verdict};
+use crate::batch::{ScanBatcher, ScanJobInfo};
+use crate::job::{JobId, JobKind, JobSpec, Side};
+use crate::pool::{PoolSet, WorkItem};
+use crate::report::{JobRecord, ServeReport};
+
+/// Bytes below which a unit counts as finished (float-remainder guard).
+const DONE_EPSILON: f64 = 0.5;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission rules.
+    pub admission: AdmissionPolicy,
+    /// Thread pinning assumed for pricing and used by the pools.
+    pub pinning: Pinning,
+    /// Shared-scan batching window in virtual seconds (0 disables).
+    pub batch_window: f64,
+    /// OS workers per socket pool for the real query executions.
+    pub pool_workers: u32,
+}
+
+impl ServeConfig {
+    /// The paper's serving setup: saturation caps, serialized mixed
+    /// phases, core pinning, a 10 ms shared-scan window.
+    pub fn scheduled(planner: &AccessPlanner) -> Self {
+        ServeConfig {
+            admission: AdmissionPolicy::paper(planner),
+            pinning: Pinning::Cores,
+            batch_window: 0.010,
+            pool_workers: 2,
+        }
+    }
+
+    /// Caps without phase serialization — writers mix with readers up to
+    /// the saturation cap.
+    pub fn capped_mixed(planner: &AccessPlanner) -> Self {
+        ServeConfig {
+            admission: AdmissionPolicy::cap_only(planner),
+            ..Self::scheduled(planner)
+        }
+    }
+
+    /// The unscheduled baseline: no admission control, no pinning, no
+    /// shared scans — every job runs the moment it arrives, threads placed
+    /// by the OS scheduler.
+    pub fn free_for_all() -> Self {
+        ServeConfig {
+            admission: AdmissionPolicy::free_for_all(),
+            pinning: Pinning::None,
+            batch_window: 0.0,
+            pool_workers: 2,
+        }
+    }
+}
+
+/// A schedulable unit: one shared-scan batch or one ingest job.
+#[derive(Debug)]
+struct Unit {
+    side: Side,
+    socket: SocketId,
+    arrival: f64,
+    threads: u32,
+    bytes: u64,
+    /// Indices into the submission list.
+    members: Vec<usize>,
+    verdicts: Vec<(f64, Verdict)>,
+    admitted_at: f64,
+    finished_at: f64,
+}
+
+/// A unit currently holding device time.
+struct ActiveRun {
+    unit: usize,
+    remaining: f64,
+    rate: f64,
+}
+
+/// Multi-tenant query server over one loaded store.
+pub struct QueryServer<'s> {
+    store: &'s SsbStore,
+    planner: AccessPlanner,
+    config: ServeConfig,
+    pending: Vec<(JobId, JobSpec)>,
+    next_id: u64,
+    route_rr: u64,
+}
+
+impl<'s> QueryServer<'s> {
+    /// Server over a store with a configuration.
+    pub fn new(store: &'s SsbStore, config: ServeConfig) -> Self {
+        QueryServer {
+            store,
+            planner: AccessPlanner::paper_default(),
+            config,
+            pending: Vec::new(),
+            next_id: 0,
+            route_rr: 0,
+        }
+    }
+
+    /// The planner pricing this server's admissions.
+    pub fn planner(&self) -> &AccessPlanner {
+        &self.planner
+    }
+
+    /// Submit one job; returns its id. Thread demands are clamped to the
+    /// admission caps so every job is eventually admissible.
+    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let cap = match spec.kind.side() {
+            Side::Read => self.config.admission.reader_cap,
+            Side::Write => self.config.admission.writer_cap,
+        };
+        let spec = spec.threads(spec.kind.threads().min(cap.max(1)));
+        self.pending.push((id, spec));
+        id
+    }
+
+    /// Submit many jobs.
+    pub fn submit_all<I: IntoIterator<Item = JobSpec>>(&mut self, specs: I) -> Vec<JobId> {
+        specs.into_iter().map(|s| self.submit(s)).collect()
+    }
+
+    /// Jobs submitted and not yet run.
+    pub fn pending_jobs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Route a job to a socket: explicit pin, or round-robin.
+    fn route(&mut self, spec: &JobSpec) -> SocketId {
+        if let Some(socket) = spec.socket {
+            return socket;
+        }
+        let sockets = self.planner.sockets().max(1) as u64;
+        let s = (self.route_rr % sockets) as u8;
+        self.route_rr += 1;
+        SocketId(s)
+    }
+
+    /// Run every pending job to completion and report. The server stays
+    /// usable afterwards — resubmit specs for another round.
+    pub fn run(&mut self) -> Result<ServeReport> {
+        let submissions = std::mem::take(&mut self.pending);
+
+        // ---- Route ----
+        let routed: Vec<(JobId, JobSpec, SocketId)> = submissions
+            .into_iter()
+            .map(|(id, spec)| {
+                let socket = self.route(&spec);
+                (id, spec, socket)
+            })
+            .collect();
+
+        // ---- Real plane: run the queries on the pinned pools ----
+        let pool = PoolSet::new(
+            self.planner.simulation().params().machine.clone(),
+            self.config.pinning,
+            self.config.pool_workers,
+        );
+        let work: Vec<(SocketId, WorkItem)> = routed
+            .iter()
+            .filter_map(|(id, spec, socket)| match spec.kind {
+                JobKind::Query { query, threads } => (
+                    *socket,
+                    WorkItem {
+                        id: *id,
+                        query,
+                        threads,
+                    },
+                )
+                    .into(),
+                JobKind::Ingest { .. } => None,
+            })
+            .collect();
+        let outcomes = pool.execute(self.store, &work)?;
+
+        // ---- Batch compatible scans, build schedulable units ----
+        let scan_infos: Vec<ScanJobInfo> = routed
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, (id, spec, socket))| match spec.kind {
+                JobKind::Query { threads, .. } => {
+                    let traffic = &outcomes[id].traffic;
+                    Some(ScanJobInfo {
+                        id: JobId(idx as u64), // index into `routed`
+                        socket: *socket,
+                        arrival: spec.arrival,
+                        threads,
+                        read_bytes: traffic.read_bytes().max(1),
+                        fact_bytes: traffic.fact_read_bytes(),
+                    })
+                }
+                JobKind::Ingest { .. } => None,
+            })
+            .collect();
+        let batches = ScanBatcher::new(self.config.batch_window).coalesce(&scan_infos);
+
+        let mut units: Vec<Unit> = Vec::new();
+        let mut shared_scan_bytes_saved = 0u64;
+        for batch in &batches {
+            shared_scan_bytes_saved += batch.saved_bytes;
+            units.push(Unit {
+                side: Side::Read,
+                socket: batch.socket,
+                arrival: batch.ready_at,
+                threads: batch.threads,
+                bytes: batch.bytes,
+                members: batch.members.iter().map(|m| m.id.0 as usize).collect(),
+                verdicts: Vec::new(),
+                admitted_at: f64::NAN,
+                finished_at: f64::NAN,
+            });
+        }
+        for (idx, (_, spec, socket)) in routed.iter().enumerate() {
+            if let JobKind::Ingest { bytes, threads } = spec.kind {
+                units.push(Unit {
+                    side: Side::Write,
+                    socket: *socket,
+                    arrival: spec.arrival,
+                    threads,
+                    bytes: bytes.max(1),
+                    members: vec![idx],
+                    verdicts: Vec::new(),
+                    admitted_at: f64::NAN,
+                    finished_at: f64::NAN,
+                });
+            }
+        }
+
+        // ---- Virtual plane: discrete-event loop ----
+        let loop_out = self.event_loop(&mut units);
+
+        // ---- Records ----
+        let sim = self.planner.simulation();
+        let device = self.store.device.device_class();
+        let mut records: Vec<JobRecord> = Vec::with_capacity(routed.len());
+        let mut by_unit: HashMap<usize, usize> = HashMap::new(); // routed idx -> unit
+        for (u, unit) in units.iter().enumerate() {
+            for &m in &unit.members {
+                by_unit.insert(m, u);
+            }
+        }
+        for (idx, (id, spec, socket)) in routed.iter().enumerate() {
+            let unit = &units[by_unit[&idx]];
+            let (bytes, rows, counters) = match spec.kind {
+                JobKind::Query { .. } => {
+                    let o = &outcomes[id];
+                    (
+                        o.traffic.read_bytes().max(1),
+                        o.rows.len() as u64,
+                        Some(o.counters),
+                    )
+                }
+                JobKind::Ingest { bytes, .. } => (bytes.max(1), 0, None),
+            };
+            let wl = match spec.kind {
+                JobKind::Query { threads, .. } => {
+                    WorkloadSpec::seq_read(device, 4096, threads.max(1))
+                }
+                JobKind::Ingest { threads, .. } => {
+                    WorkloadSpec::seq_write(device, 4096, threads.max(1))
+                }
+            }
+            .pinning(self.config.pinning)
+            .total_bytes(bytes);
+            let stats = sim.evaluate_steady(&wl).stats;
+            records.push(JobRecord {
+                id: *id,
+                tenant: spec.tenant,
+                label: spec.kind.label(),
+                side: spec.kind.side(),
+                socket: *socket,
+                arrival: spec.arrival,
+                admitted_at: unit.admitted_at,
+                finished_at: unit.finished_at,
+                queue_wait_seconds: (unit.admitted_at - spec.arrival).max(0.0),
+                exec_seconds: unit.finished_at - unit.admitted_at,
+                bytes,
+                rows,
+                counters,
+                stats,
+                verdicts: unit.verdicts.clone(),
+                batch_peers: unit.members.len() as u32 - 1,
+            });
+        }
+        records.sort_by_key(|r| r.id);
+
+        let stats = SimStats::merged(records.iter().map(|r| &r.stats));
+        Ok(ServeReport {
+            jobs: records,
+            makespan: loop_out.makespan,
+            read_bytes_moved: loop_out.read_bytes_moved,
+            write_bytes_moved: loop_out.write_bytes_moved,
+            read_busy_seconds: loop_out.read_busy,
+            write_busy_seconds: loop_out.write_busy,
+            peak_concurrent_readers: loop_out.peak_readers,
+            peak_concurrent_writers: loop_out.peak_writers,
+            batches: batches.len(),
+            shared_scan_bytes_saved,
+            stats,
+        })
+    }
+
+    fn event_loop(&self, units: &mut [Unit]) -> LoopOutput {
+        let sim = self.planner.simulation();
+        let device = self.store.device.device_class();
+        let controller = AdmissionController::new(self.config.admission);
+
+        let mut order: Vec<usize> = (0..units.len()).collect();
+        order.sort_by(|&a, &b| {
+            units[a]
+                .arrival
+                .total_cmp(&units[b].arrival)
+                .then(a.cmp(&b))
+        });
+
+        let mut out = LoopOutput::default();
+        let mut waiting: Vec<usize> = Vec::new();
+        let mut active: Vec<ActiveRun> = Vec::new();
+        let mut ptr = 0usize;
+        let mut now = 0.0f64;
+
+        loop {
+            while ptr < order.len() && units[order[ptr]].arrival <= now + 1e-12 {
+                waiting.push(order[ptr]);
+                ptr += 1;
+            }
+
+            // Admission pass: FIFO with bypass — a queued unit does not
+            // block later-arriving admissible ones.
+            let mut i = 0;
+            while i < waiting.len() {
+                let u = waiting[i];
+                let load = socket_load(units, &active, units[u].socket);
+                let verdict = controller.decide(
+                    &self.planner,
+                    units[u].side,
+                    units[u].threads,
+                    units[u].bytes,
+                    &load,
+                );
+                if units[u].verdicts.last().map(|(_, v)| *v) != Some(verdict) {
+                    units[u].verdicts.push((now, verdict));
+                }
+                if verdict.is_admitted() {
+                    units[u].admitted_at = now;
+                    active.push(ActiveRun {
+                        unit: u,
+                        remaining: units[u].bytes as f64,
+                        rate: 0.0,
+                    });
+                    waiting.remove(i);
+                    let after = socket_load(units, &active, units[u].socket);
+                    out.peak_readers = out.peak_readers.max(after.reader_threads);
+                    out.peak_writers = out.peak_writers.max(after.writer_threads);
+                } else {
+                    i += 1;
+                }
+            }
+
+            if active.is_empty() {
+                if ptr < order.len() {
+                    now = units[order[ptr]].arrival;
+                    continue;
+                }
+                if let Some(&u) = waiting.first() {
+                    // Defensive: an idle machine always admits the head of
+                    // the queue; reaching here means a policy with caps
+                    // below the (clamped) demand — run it alone anyway.
+                    units[u].verdicts.push((
+                        now,
+                        Verdict::Admitted {
+                            readers: if units[u].side == Side::Read {
+                                units[u].threads
+                            } else {
+                                0
+                            },
+                            writers: if units[u].side == Side::Write {
+                                units[u].threads
+                            } else {
+                                0
+                            },
+                        },
+                    ));
+                    units[u].admitted_at = now;
+                    active.push(ActiveRun {
+                        unit: u,
+                        remaining: units[u].bytes as f64,
+                        rate: 0.0,
+                    });
+                    waiting.remove(0);
+                    continue;
+                }
+                break;
+            }
+
+            // Rates: per socket, the admitted mix prices both sides.
+            let mut socket_rates: HashMap<u8, (f64, f64)> = HashMap::new();
+            for socket in active
+                .iter()
+                .map(|a| units[a.unit].socket)
+                .collect::<std::collections::BTreeSet<_>>()
+            {
+                let load = socket_load(units, &active, socket);
+                let mut spec = MixedSpec::paper(device, load.writer_threads, load.reader_threads);
+                spec.pinning = self.config.pinning;
+                let eval = sim.evaluate_mixed(&spec);
+                let per_reader = if load.reader_threads > 0 {
+                    eval.read.bytes_per_sec() / load.reader_threads as f64
+                } else {
+                    0.0
+                };
+                let per_writer = if load.writer_threads > 0 {
+                    eval.write.bytes_per_sec() / load.writer_threads as f64
+                } else {
+                    0.0
+                };
+                socket_rates.insert(socket.0, (per_reader, per_writer));
+            }
+            for run in &mut active {
+                let unit = &units[run.unit];
+                let (per_reader, per_writer) = socket_rates[&unit.socket.0];
+                run.rate = unit.threads as f64
+                    * match unit.side {
+                        Side::Read => per_reader,
+                        Side::Write => per_writer,
+                    };
+            }
+
+            // Advance to the next event: a completion or an arrival.
+            let dt_done = active
+                .iter()
+                .map(|a| a.remaining / a.rate.max(1.0))
+                .fold(f64::INFINITY, f64::min);
+            let dt_arrival = if ptr < order.len() {
+                (units[order[ptr]].arrival - now).max(0.0)
+            } else {
+                f64::INFINITY
+            };
+            let dt = dt_done.min(dt_arrival);
+            debug_assert!(dt.is_finite(), "event loop must always have a next event");
+
+            let any_reader = active.iter().any(|a| units[a.unit].side == Side::Read);
+            let any_writer = active.iter().any(|a| units[a.unit].side == Side::Write);
+            if any_reader {
+                out.read_busy += dt;
+            }
+            if any_writer {
+                out.write_busy += dt;
+            }
+            now += dt;
+            for run in &mut active {
+                run.remaining -= run.rate * dt;
+            }
+            let mut k = 0;
+            while k < active.len() {
+                if active[k].remaining <= DONE_EPSILON {
+                    let u = active[k].unit;
+                    units[u].finished_at = now;
+                    match units[u].side {
+                        Side::Read => out.read_bytes_moved += units[u].bytes,
+                        Side::Write => out.write_bytes_moved += units[u].bytes,
+                    }
+                    active.swap_remove(k);
+                } else {
+                    k += 1;
+                }
+            }
+        }
+
+        out.makespan = now;
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct LoopOutput {
+    makespan: f64,
+    read_busy: f64,
+    write_busy: f64,
+    read_bytes_moved: u64,
+    write_bytes_moved: u64,
+    peak_readers: u32,
+    peak_writers: u32,
+}
+
+/// Sum the active reader/writer threads and outstanding bytes on a socket.
+fn socket_load(
+    units: &[Unit],
+    active: &[ActiveRun],
+    socket: SocketId,
+) -> crate::admission::SocketLoad {
+    let mut load = crate::admission::SocketLoad::default();
+    for run in active {
+        let unit = &units[run.unit];
+        if unit.socket != socket {
+            continue;
+        }
+        match unit.side {
+            Side::Read => {
+                load.reader_threads += unit.threads;
+                load.read_bytes += run.remaining as u64;
+            }
+            Side::Write => {
+                load.writer_threads += unit.threads;
+                load.write_bytes += run.remaining as u64;
+            }
+        }
+    }
+    load
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use pmem_ssb::{EngineMode, QueryId, StorageDevice};
+
+    fn store() -> SsbStore {
+        SsbStore::generate_and_load(0.005, 99, EngineMode::Aware, StorageDevice::PmemFsdax)
+            .expect("store loads")
+    }
+
+    #[test]
+    fn every_job_finishes_with_accounting() {
+        let store = store();
+        let mut server = QueryServer::new(&store, ServeConfig::scheduled(server_planner()));
+        server.submit_all([
+            JobSpec::query(QueryId::Q1_1).threads(4),
+            JobSpec::query(QueryId::Q2_2).threads(4).arrival(0.001),
+            JobSpec::ingest(32 << 20).threads(2).arrival(0.002),
+            JobSpec::query(QueryId::Q4_1).threads(4).arrival(0.003),
+        ]);
+        let report = server.run().expect("run succeeds");
+        assert_eq!(report.jobs.len(), 4);
+        assert!(report.makespan > 0.0);
+        for job in &report.jobs {
+            assert!(job.finished_at.is_finite(), "{} finished", job.id);
+            assert!(job.exec_seconds > 0.0, "{} took time", job.id);
+            assert!(job.queue_wait_seconds >= 0.0);
+            assert!(job.bytes > 0);
+            assert!(
+                job.stats.app_read_bytes + job.stats.app_write_bytes > 0,
+                "{} has device stats",
+                job.id
+            );
+        }
+        let queries = report.jobs.iter().filter(|j| j.side == Side::Read);
+        for q in queries {
+            assert!(q.counters.expect("queries carry counters").tuples_scanned > 0);
+        }
+        assert!(report.read_bytes_moved > 0);
+        assert!(report.write_bytes_moved >= 32 << 20);
+    }
+
+    #[test]
+    fn servers_are_reusable_across_runs() {
+        let store = store();
+        let mut server = QueryServer::new(&store, ServeConfig::free_for_all());
+        let spec = JobSpec::query(QueryId::Q1_3).threads(2);
+        server.submit(spec);
+        let first = server.run().expect("first run");
+        assert_eq!(server.pending_jobs(), 0);
+        server.submit(spec);
+        server.submit(spec);
+        let second = server.run().expect("second run");
+        assert_eq!(first.jobs.len(), 1);
+        assert_eq!(second.jobs.len(), 2);
+        // Fresh ids across runs.
+        assert!(second.jobs.iter().all(|j| j.id > first.jobs[0].id));
+    }
+
+    #[test]
+    fn explicit_socket_pins_are_honored() {
+        let store = store();
+        let mut server = QueryServer::new(&store, ServeConfig::scheduled(server_planner()));
+        let a = server.submit(JobSpec::query(QueryId::Q1_1).socket(SocketId(1)));
+        let b = server.submit(JobSpec::ingest(8 << 20).socket(SocketId(0)));
+        let report = server.run().expect("run");
+        let find = |id| report.jobs.iter().find(|j| j.id == id).unwrap();
+        assert_eq!(find(a).socket, SocketId(1));
+        assert_eq!(find(b).socket, SocketId(0));
+    }
+
+    fn server_planner() -> &'static AccessPlanner {
+        use std::sync::OnceLock;
+        static PLANNER: OnceLock<AccessPlanner> = OnceLock::new();
+        PLANNER.get_or_init(AccessPlanner::paper_default)
+    }
+}

@@ -104,9 +104,21 @@ fn solo(params: &SystemParams, spec: &MixedSpec, write_side: bool) -> Bandwidth 
         params.cpu.numa_region_oversub_eff,
     );
     if write_side {
-        write::sequential(params, &wl, &layout, /*far=*/ false, MappingState::Warm)
+        write::sequential(
+            params,
+            &wl,
+            &layout,
+            /*far=*/ false,
+            MappingState::Warm,
+        )
     } else {
-        read::sequential(params, &wl, &layout, /*far=*/ false, MappingState::Warm)
+        read::sequential(
+            params,
+            &wl,
+            &layout,
+            /*far=*/ false,
+            MappingState::Warm,
+        )
     }
 }
 
@@ -151,8 +163,14 @@ mod tests {
         // reduces the achieved read bandwidth to ~26 GB/s".
         let solo = eval(0, 30).read.gib_s();
         let with_writer = eval(1, 30).read.gib_s();
-        assert!((23.0..28.5).contains(&with_writer), "30R+1W read {with_writer}");
-        assert!(with_writer < solo - 2.0, "visible drop: {solo} -> {with_writer}");
+        assert!(
+            (23.0..28.5).contains(&with_writer),
+            "30R+1W read {with_writer}"
+        );
+        assert!(
+            with_writer < solo - 2.0,
+            "visible drop: {solo} -> {with_writer}"
+        );
     }
 
     #[test]
@@ -179,7 +197,10 @@ mod tests {
         // write bandwidth".
         let solo = eval(4, 0).write.gib_s();
         let contended = eval(4, 1).write.gib_s();
-        assert!(contended > 0.85 * solo, "4W+1R write {contended} vs solo {solo}");
+        assert!(
+            contended > 0.85 * solo,
+            "4W+1R write {contended} vs solo {solo}"
+        );
     }
 
     #[test]
@@ -208,8 +229,14 @@ mod tests {
         let pmem_drop = 1.0 - pmem_mixed / pmem_solo;
 
         let m = BandwidthModel::paper_default();
-        let dram_solo = m.mixed(&MixedSpec::paper(DeviceClass::Dram, 0, 30)).read.gib_s();
-        let dram_mixed = m.mixed(&MixedSpec::paper(DeviceClass::Dram, 1, 30)).read.gib_s();
+        let dram_solo = m
+            .mixed(&MixedSpec::paper(DeviceClass::Dram, 0, 30))
+            .read
+            .gib_s();
+        let dram_mixed = m
+            .mixed(&MixedSpec::paper(DeviceClass::Dram, 1, 30))
+            .read
+            .gib_s();
         let dram_drop = 1.0 - dram_mixed / dram_solo;
 
         assert!(

@@ -118,7 +118,11 @@ impl BandwidthModel {
                 // efficiency loss (paper measured 185, not 200 GB/s).
                 let s0 = self.single_socket(spec, SocketId(0), SocketId(0), MappingState::Warm);
                 let s1 = self.single_socket(spec, SocketId(1), SocketId(1), MappingState::Warm);
-                let eff = if spec.device == DeviceClass::Dram { 0.925 } else { 1.0 };
+                let eff = if spec.device == DeviceClass::Dram {
+                    0.925
+                } else {
+                    1.0
+                };
                 (s0 + s1).scale(eff)
             }
             Placement::BothFar => self.both_far(spec, coherence),
@@ -163,8 +167,18 @@ impl BandwidthModel {
     /// one direction or the other, so both directions saturate and total
     /// bandwidth flattens well below 2× near (§3.5 case iv, §4.5 case v).
     fn both_far(&self, spec: &WorkloadSpec, coherence: CoherenceView) -> Bandwidth {
-        let s0 = self.single_socket(spec, SocketId(0), SocketId(1), coherence.for_socket(SocketId(0)));
-        let s1 = self.single_socket(spec, SocketId(1), SocketId(0), coherence.for_socket(SocketId(1)));
+        let s0 = self.single_socket(
+            spec,
+            SocketId(0),
+            SocketId(1),
+            coherence.for_socket(SocketId(0)),
+        );
+        let s1 = self.single_socket(
+            spec,
+            SocketId(1),
+            SocketId(0),
+            coherence.for_socket(SocketId(1)),
+        );
         let raw = s0 + s1;
         match spec.kind {
             AccessKind::Read => {
@@ -197,12 +211,14 @@ impl BandwidthModel {
                 // "yields a very low bandwidth on PMEM": the coherence
                 // writes turn the workload into a mixed read/write stream
                 // and interrupt the 256 B buffer locality.
-                sum.min(Bandwidth::from_gib_s(12.0)).scale(contention_ramp(spec.threads))
+                sum.min(Bandwidth::from_gib_s(12.0))
+                    .scale(contention_ramp(spec.threads))
             }
             (DeviceClass::Pmem, AccessKind::Write) => {
                 // Figure 10 case iii peaks around 8 GB/s — worse than near-
                 // only writing.
-                sum.min(Bandwidth::from_gib_s(8.0)).scale(contention_ramp(spec.threads))
+                sum.min(Bandwidth::from_gib_s(8.0))
+                    .scale(contention_ramp(spec.threads))
             }
             (_, AccessKind::Read) => {
                 // DRAM: "nearly achieving the performance of only far access
@@ -279,8 +295,7 @@ pub fn memory_mode_bandwidth(
         pmem_bw = pmem_bw.scale(0.5);
     }
     // Harmonic blend: time per byte is hit/dram + miss/pmem.
-    let time_per_byte =
-        hit / dram_bw.bytes_per_sec() + (1.0 - hit) / pmem_bw.bytes_per_sec();
+    let time_per_byte = hit / dram_bw.bytes_per_sec() + (1.0 - hit) / pmem_bw.bytes_per_sec();
     Bandwidth::from_bytes_per_sec(1.0 / time_per_byte)
 }
 
@@ -330,8 +345,10 @@ mod tests {
         // §3.5: far access from both sockets peaks at only ~50 GB/s on PMEM
         // and ~60 GB/s on DRAM.
         let m = model();
-        let pmem = WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 18).placement(Placement::BothFar);
-        let dram = WorkloadSpec::seq_read(DeviceClass::Dram, 4096, 18).placement(Placement::BothFar);
+        let pmem =
+            WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 18).placement(Placement::BothFar);
+        let dram =
+            WorkloadSpec::seq_read(DeviceClass::Dram, 4096, 18).placement(Placement::BothFar);
         let p = m.bandwidth(&pmem, CoherenceView::WARM).gib_s();
         let d = m.bandwidth(&dram, CoherenceView::WARM).gib_s();
         assert!((45.0..55.0).contains(&p), "pmem both-far {p}");
@@ -372,7 +389,10 @@ mod tests {
         params.machine.sockets = 1;
         let m = BandwidthModel::new(params);
         let near = m
-            .bandwidth(&WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 18), CoherenceView::WARM)
+            .bandwidth(
+                &WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 18),
+                CoherenceView::WARM,
+            )
             .gib_s();
         for placement in [
             Placement::FAR,
@@ -402,7 +422,10 @@ mod tests {
         assert!((38.0..55.0).contains(&spilled), "spilled {spilled}");
         // Monotone in working-set size.
         let mid = memory_mode_bandwidth(&m, &spec, 192 << 30).gib_s();
-        assert!(cached > mid && mid > spilled, "{cached} > {mid} > {spilled}");
+        assert!(
+            cached > mid && mid > spilled,
+            "{cached} > {mid} > {spilled}"
+        );
     }
 
     #[test]
@@ -410,9 +433,7 @@ mod tests {
         let m = model();
         let spec = WorkloadSpec::seq_write(DeviceClass::Pmem, 4096, 6);
         let spilled = memory_mode_bandwidth(&m, &spec, 768 << 30).gib_s();
-        let pmem_direct = m
-            .bandwidth(&spec, CoherenceView::WARM)
-            .gib_s();
+        let pmem_direct = m.bandwidth(&spec, CoherenceView::WARM).gib_s();
         assert!(
             spilled < pmem_direct,
             "Memory-Mode write spill ({spilled}) must trail App Direct ({pmem_direct})"

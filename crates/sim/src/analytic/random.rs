@@ -36,7 +36,12 @@ pub(crate) fn read(
                 .optane
                 .per_thread_seq_read
                 .scale(0.4 * (a as f64 / 4096.0).powf(0.3).clamp(0.15, 1.0));
-            let demand = thread_demand(per_thread, spec.threads, params.machine.cores_per_socket as u32, 0.7);
+            let demand = thread_demand(
+                per_thread,
+                spec.threads,
+                params.machine.cores_per_socket as u32,
+                0.7,
+            );
             demand.min(cap).scale(layout.sched_efficiency)
         }
         DeviceClass::Dram => {
@@ -52,11 +57,19 @@ pub(crate) fn read(
                 .socket_seq_read
                 .scale(channel_frac * large_region_frac * dram_size_frac(a));
             let per_thread = params.dram.per_thread_seq_read.scale(0.5);
-            let demand = thread_demand(per_thread, spec.threads, params.machine.cores_per_socket as u32, 0.7);
+            let demand = thread_demand(
+                per_thread,
+                spec.threads,
+                params.machine.cores_per_socket as u32,
+                0.7,
+            );
             demand.min(cap).scale(layout.sched_efficiency)
         }
         DeviceClass::Ssd => {
-            let cap = params.ssd.rand_read_4k.scale((a as f64 / 4096.0).clamp(0.1, 1.28));
+            let cap = params
+                .ssd
+                .rand_read_4k
+                .scale((a as f64 / 4096.0).clamp(0.1, 1.28));
             Bandwidth::from_gib_s(0.25 * spec.threads as f64)
                 .min(cap)
                 .min(params.ssd.seq_read)
@@ -175,11 +188,23 @@ mod tests {
     }
 
     fn rr(device: DeviceClass, a: u64, t: u32, region: u64) -> f64 {
-        bw(&WorkloadSpec::random(device, AccessKind::Read, a, t, region))
+        bw(&WorkloadSpec::random(
+            device,
+            AccessKind::Read,
+            a,
+            t,
+            region,
+        ))
     }
 
     fn rw(device: DeviceClass, a: u64, t: u32, region: u64) -> f64 {
-        bw(&WorkloadSpec::random(device, AccessKind::Write, a, t, region))
+        bw(&WorkloadSpec::random(
+            device,
+            AccessKind::Write,
+            a,
+            t,
+            region,
+        ))
     }
 
     // ---- Figure 12: random reads ----
@@ -200,7 +225,10 @@ mod tests {
         let rand_max = rr(DeviceClass::Pmem, 4096, 36, REGION_2G);
         let rand = rr(DeviceClass::Pmem, 256, 36, REGION_2G);
         let ratio = rand / rand_max;
-        assert!((0.45..0.70).contains(&ratio), "256B/4K random ratio {ratio}");
+        assert!(
+            (0.45..0.70).contains(&ratio),
+            "256B/4K random ratio {ratio}"
+        );
     }
 
     #[test]

@@ -89,7 +89,11 @@ fn coverage_fraction(params: &SystemParams, spec: &WorkloadSpec) -> f64 {
             let covered = (window as f64 / il.stripe as f64).clamp(1.0, dimms);
             // 4 KB-aligned accesses distribute threads perfectly onto DIMM
             // boundaries; unaligned sizes straddle stripes and lose a bit.
-            let align = if spec.access_size.is_multiple_of(il.stripe) { 1.0 } else { 0.85 };
+            let align = if spec.access_size.is_multiple_of(il.stripe) {
+                1.0
+            } else {
+                0.85
+            };
             (covered / dimms) * align
         }
         Pattern::SequentialIndividual => {
@@ -123,14 +127,20 @@ fn prefetch_efficiency(params: &SystemParams, spec: &WorkloadSpec) -> f64 {
 /// Hyperthreading interacts with the prefetcher (§3.2): with prefetching,
 /// sibling threads pollute the shared L2; without it, 36 threads reach the
 /// peak but low thread counts lose the prefetch benefit.
-fn hyperthread_efficiency(params: &SystemParams, spec: &WorkloadSpec, layout: &ThreadLayout) -> f64 {
+fn hyperthread_efficiency(
+    params: &SystemParams,
+    spec: &WorkloadSpec,
+    layout: &ThreadLayout,
+) -> f64 {
     let using_ht = layout.hyperthreads > 0;
     if params.cpu.l2_prefetcher {
         if !using_ht {
             return 1.0;
         }
         let full_ht = spec.threads >= params.machine.logical_cores_per_socket() as u32;
-        let aligned = spec.access_size.is_multiple_of(params.machine.interleave_bytes);
+        let aligned = spec
+            .access_size
+            .is_multiple_of(params.machine.interleave_bytes);
         let individual = matches!(spec.pattern, Pattern::SequentialIndividual);
         // "36 threads achieve peak performance for certain access sizes":
         // fully-loaded siblings run in lockstep on aligned or independent
@@ -193,8 +203,8 @@ fn unpinned(params: &SystemParams, spec: &WorkloadSpec) -> Bandwidth {
     let dram = spec.device == DeviceClass::Dram;
     let peak = if dram { 40.0 } else { 9.0 };
     let per_thread = if dram { 6.0 } else { 2.2 };
-    let ramp = Bandwidth::from_gib_s(per_thread * spec.threads as f64)
-        .min(Bandwidth::from_gib_s(peak));
+    let ramp =
+        Bandwidth::from_gib_s(per_thread * spec.threads as f64).min(Bandwidth::from_gib_s(peak));
     let over = spec.threads.saturating_sub(8) as f64;
     let churn = 1.0 / (1.0 + 0.015 * over);
     let _ = params;
@@ -273,7 +283,9 @@ mod tests {
             "without prefetcher 1 KB ({b1k}) ≈ 256 B ({b256})"
         );
         // But low thread counts get worse (§3.2).
-        let low_off = m.bandwidth(&individual(4096, 4), CoherenceView::WARM).gib_s();
+        let low_off = m
+            .bandwidth(&individual(4096, 4), CoherenceView::WARM)
+            .gib_s();
         let low_on = bw(&individual(4096, 4));
         assert!(low_off < low_on);
     }
@@ -332,7 +344,10 @@ mod tests {
         let cores = bw(&individual(4096, 24).pinning(Pinning::Cores));
         let numa = bw(&individual(4096, 24).pinning(Pinning::NumaRegion));
         let none = bw(&individual(4096, 24).pinning(Pinning::None));
-        assert!(none < numa * 0.5, "None ({none}) drastically below NUMA ({numa})");
+        assert!(
+            none < numa * 0.5,
+            "None ({none}) drastically below NUMA ({numa})"
+        );
         assert!(numa <= cores + 1e-9, "NUMA ({numa}) ≤ Cores ({cores})");
     }
 
@@ -403,7 +418,8 @@ mod tests {
 
     #[test]
     fn dram_both_near_reaches_185() {
-        let b = bw(&WorkloadSpec::seq_read(DeviceClass::Dram, 4096, 18).placement(Placement::BothNear));
+        let b =
+            bw(&WorkloadSpec::seq_read(DeviceClass::Dram, 4096, 18).placement(Placement::BothNear));
         assert!((180.0..205.0).contains(&b), "DRAM 2-near {b}");
     }
 

@@ -61,7 +61,13 @@ fn pmem_near(params: &SystemParams, spec: &WorkloadSpec, layout: &ThreadLayout) 
     // Writes are posted into the WPQs, so hyperthread siblings add demand
     // almost like physical threads — but demand rarely matters past 4
     // threads anyway.
-    let demand = layout_demand(params, params.optane.per_thread_seq_write, spec.threads, layout, 0.6);
+    let demand = layout_demand(
+        params,
+        params.optane.per_thread_seq_write,
+        spec.threads,
+        layout,
+        0.6,
+    );
 
     let coverage = coverage_fraction(params, spec);
     let combine = sub_xpline_efficiency(params, spec);
@@ -144,8 +150,7 @@ fn buffer_pressure_efficiency(params: &SystemParams, spec: &WorkloadSpec) -> f64
 /// core count lets the scheduler split threads across the region's two NUMA
 /// nodes, whose separate iMCs combine writes less effectively (§4.3).
 fn numa_split_efficiency(params: &SystemParams, spec: &WorkloadSpec) -> f64 {
-    if spec.pinning == Pinning::NumaRegion
-        && spec.threads > params.machine.cores_per_socket as u32
+    if spec.pinning == Pinning::NumaRegion && spec.threads > params.machine.cores_per_socket as u32
     {
         0.93
     } else {
@@ -184,7 +189,13 @@ pub(crate) fn far_write_amplification(params: &SystemParams, threads: u32) -> f6
 /// DRAM, more threads result in higher bandwidth and we do not observe any
 /// decrease in performance for larger access sizes").
 fn dram_near(params: &SystemParams, spec: &WorkloadSpec, layout: &ThreadLayout) -> Bandwidth {
-    let demand = layout_demand(params, params.dram.per_thread_seq_write, spec.threads, layout, 0.8);
+    let demand = layout_demand(
+        params,
+        params.dram.per_thread_seq_write,
+        spec.threads,
+        layout,
+        0.8,
+    );
     demand
         .min(params.dram.socket_seq_write)
         .scale(layout.sched_efficiency)
@@ -265,8 +276,14 @@ mod tests {
         // counts above 18 achieve ~10 GB/s".
         let b256 = bw(&grouped(256, 36));
         assert!((9.0..12.5).contains(&b256), "256B/36T {b256}");
-        assert!(b256 > bw(&grouped(4096, 36)), "256 B beats 4 KB at 36 threads");
-        assert!(b256 > bw(&grouped(65536, 36)), "256 B beats 64 KB at 36 threads");
+        assert!(
+            b256 > bw(&grouped(4096, 36)),
+            "256 B beats 4 KB at 36 threads"
+        );
+        assert!(
+            b256 > bw(&grouped(65536, 36)),
+            "256 B beats 64 KB at 36 threads"
+        );
     }
 
     #[test]
@@ -283,7 +300,10 @@ mod tests {
         let b6 = bw(&individual(65536, 6));
         let b18 = bw(&individual(65536, 18));
         let b36 = bw(&individual(65536, 36));
-        assert!(b6 > b18 && b18 > b36, "decline expected: {b6} > {b18} > {b36}");
+        assert!(
+            b6 > b18 && b18 > b36,
+            "decline expected: {b6} > {b18} > {b36}"
+        );
     }
 
     #[test]
@@ -305,14 +325,20 @@ mod tests {
         // Figure 8: constant access size of 256 B–1 KB tolerates threads.
         let b6 = bw(&individual(256, 6));
         let b36 = bw(&individual(256, 36));
-        assert!(b36 > 0.75 * b6.max(bw(&individual(256, 18))), "256 B at 36T {b36} vs 6T {b6}");
+        assert!(
+            b36 > 0.75 * b6.max(bw(&individual(256, 18))),
+            "256 B at 36T {b36} vs 6T {b6}"
+        );
     }
 
     #[test]
     fn boomerang_scaling_both_collapses() {
         let small = bw(&individual(4096, 4));
         let both = bw(&individual(65536, 36));
-        assert!(both < 0.6 * small, "scaling both must collapse: {small} -> {both}");
+        assert!(
+            both < 0.6 * small,
+            "scaling both must collapse: {small} -> {both}"
+        );
     }
 
     // ---- Figure 9: pinning ----
@@ -323,7 +349,10 @@ mod tests {
         let numa = bw(&individual(4096, 24).pinning(Pinning::NumaRegion));
         let none = bw(&individual(4096, 24).pinning(Pinning::None));
         assert!(none < numa, "None ({none}) < NUMA ({numa})");
-        assert!(numa < cores, "NUMA ({numa}) < Cores ({cores}) beyond 18 threads");
+        assert!(
+            numa < cores,
+            "NUMA ({numa}) < Cores ({cores}) beyond 18 threads"
+        );
     }
 
     #[test]
@@ -347,14 +376,22 @@ mod tests {
             .map(|t| bw(&individual(4096, *t).pinning(Pinning::None)))
             .fold(0.0, f64::max);
         let w_ratio = w_pin / w_none;
-        assert!((1.5..2.8).contains(&w_ratio), "write pin/none ratio {w_ratio}");
+        assert!(
+            (1.5..2.8).contains(&w_ratio),
+            "write pin/none ratio {w_ratio}"
+        );
         let r_pin = bw(&WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 18));
         let r_none = [4u32, 8, 18, 36]
             .iter()
-            .map(|t| bw(&WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, *t).pinning(Pinning::None)))
+            .map(
+                |t| bw(&WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, *t).pinning(Pinning::None)),
+            )
             .fold(0.0, f64::max);
         let r_ratio = r_pin / r_none;
-        assert!((3.2..5.5).contains(&r_ratio), "read pin/none ratio {r_ratio}");
+        assert!(
+            (3.2..5.5).contains(&r_ratio),
+            "read pin/none ratio {r_ratio}"
+        );
     }
 
     // ---- Figure 10: NUMA / multi-socket ----
@@ -363,18 +400,29 @@ mod tests {
     fn far_writes_peak_near_7_and_need_more_threads() {
         let far = |t: u32| bw(&individual(4096, t).placement(Placement::FAR));
         let near = |t: u32| bw(&individual(4096, t));
-        let far_peak = [1u32, 4, 6, 8, 18, 36].iter().map(|t| far(*t)).fold(0.0, f64::max);
+        let far_peak = [1u32, 4, 6, 8, 18, 36]
+            .iter()
+            .map(|t| far(*t))
+            .fold(0.0, f64::max);
         assert!((6.0..8.0).contains(&far_peak), "far write peak {far_peak}");
         // §4.4: near peaks with 4 threads, far needs ≥6.
         assert!(near(4) > 0.93 * near(18).max(near(8)));
-        assert!(far(4) < 0.93 * far(8), "far needs more threads: {} vs {}", far(4), far(8));
+        assert!(
+            far(4) < 0.93 * far(8),
+            "far needs more threads: {} vs {}",
+            far(4),
+            far(8)
+        );
     }
 
     #[test]
     fn both_near_writes_double() {
         let one = bw(&individual(4096, 4));
         let two = bw(&individual(4096, 4).placement(Placement::BothNear));
-        assert!((two / one - 2.0).abs() < 0.05, "2-near writes {one} -> {two}");
+        assert!(
+            (two / one - 2.0).abs() < 0.05,
+            "2-near writes {one} -> {two}"
+        );
         assert!((23.0..28.0).contains(&two));
     }
 
@@ -405,7 +453,10 @@ mod tests {
     fn dram_writes_tolerate_large_access_sizes() {
         let b4k = bw(&WorkloadSpec::seq_write(DeviceClass::Dram, 4096, 18));
         let b32m = bw(&WorkloadSpec::seq_write(DeviceClass::Dram, 32 << 20, 18));
-        assert!((b4k - b32m).abs() < 1.0, "no DRAM size penalty: {b4k} vs {b32m}");
+        assert!(
+            (b4k - b32m).abs() < 1.0,
+            "no DRAM size penalty: {b4k} vs {b32m}"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl Bandwidth {
     /// Construct from raw bytes per second.
     #[inline]
     pub fn from_bytes_per_sec(bps: f64) -> Self {
-        debug_assert!(bps.is_finite() && bps >= 0.0, "bandwidth must be finite and non-negative: {bps}");
+        debug_assert!(
+            bps.is_finite() && bps >= 0.0,
+            "bandwidth must be finite and non-negative: {bps}"
+        );
         Bandwidth(bps.max(0.0))
     }
 

@@ -87,7 +87,8 @@ impl CoherenceDirectory {
     /// paper recommends changing "the assignment of address spaces to NUMA
     /// regions as rarely as possible" precisely because of this.
     pub fn reassign(&mut self, region: RegionId, new_owner: SocketId) {
-        self.warm.retain(|(r, s), _| *r != region || *s == new_owner);
+        self.warm
+            .retain(|(r, s), _| *r != region || *s == new_owner);
         self.warm.insert((region, new_owner), ());
         self.last_accessor.insert(region, new_owner);
     }

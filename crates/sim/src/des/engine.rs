@@ -151,7 +151,11 @@ impl<'a> Engine<'a> {
         } else {
             let wspec = crate::workload::WorkloadSpec {
                 kind: AccessKind::Write,
-                threads: if cfg.write_threads > 0 { cfg.write_threads } else { spec.threads },
+                threads: if cfg.write_threads > 0 {
+                    cfg.write_threads
+                } else {
+                    spec.threads
+                },
                 ..spec.clone()
             };
             1.0 / analytic::near_write_amplification_estimate(p, &wspec)
@@ -191,7 +195,8 @@ impl<'a> Engine<'a> {
             .collect();
 
         let volume = cfg.volume_bytes.max(line);
-        let per_thread_bytes = (volume / spec.threads.max(1) as u64).max(spec.access_size.max(line));
+        let per_thread_bytes =
+            (volume / spec.threads.max(1) as u64).max(spec.access_size.max(line));
         let region_bytes = match spec.pattern {
             Pattern::Random { region_bytes } => region_bytes.max(spec.access_size),
             _ => volume,
@@ -418,8 +423,7 @@ impl<'a> Engine<'a> {
             let start = self.upi_busy_until.max(arrival);
             self.upi_busy_until = start + occupancy;
             arrival = start + occupancy + upi.extra_latency;
-            self.stats.upi_bytes +=
-                (self.line as f64 / (1.0 - upi.metadata_fraction)) as u64;
+            self.stats.upi_bytes += (self.line as f64 / (1.0 - upi.metadata_fraction)) as u64;
         }
 
         let d = &mut self.dimms[dimm];

@@ -235,7 +235,11 @@ mod tests {
         // 3 of every 4 lines hit the buffer.
         let hit_rate = r.stats.read_buffer_hits as f64 / (r.stats.app_read_bytes / 64) as f64;
         assert!((0.6..0.8).contains(&hit_rate), "hit rate {hit_rate}");
-        assert!(r.stats.read_amplification() < 1.45, "{}", r.stats.read_amplification());
+        assert!(
+            r.stats.read_amplification() < 1.45,
+            "{}",
+            r.stats.read_amplification()
+        );
     }
 
     #[test]
@@ -252,8 +256,8 @@ mod tests {
     #[test]
     fn far_reads_are_slower_than_near_and_cold_slower_than_warm() {
         let near = des_bw(WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 18));
-        let far_spec =
-            WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 18).placement(crate::workload::Placement::FAR);
+        let far_spec = WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 18)
+            .placement(crate::workload::Placement::FAR);
         let warm = run(&DesConfig::new(far_spec.clone())).bandwidth.gib_s();
         let cold = run(&DesConfig::new(far_spec).cold()).bandwidth.gib_s();
         assert!(warm < near, "far warm {warm} < near {near}");
@@ -263,13 +267,21 @@ mod tests {
 
     #[test]
     fn write_latencies_do_not_pollute_read_histogram() {
-        let r = run(&DesConfig::new(WorkloadSpec::seq_write(DeviceClass::Pmem, 4096, 4)));
+        let r = run(&DesConfig::new(WorkloadSpec::seq_write(
+            DeviceClass::Pmem,
+            4096,
+            4,
+        )));
         assert_eq!(r.read_latency.count(), 0);
     }
 
     #[test]
     fn read_latency_distribution_is_plausible() {
-        let r = run(&DesConfig::new(WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 18)));
+        let r = run(&DesConfig::new(WorkloadSpec::seq_read(
+            DeviceClass::Pmem,
+            4096,
+            18,
+        )));
         let mean = r.read_latency.mean();
         // Idle latency is ~170 ns; loaded mean should sit above it but below
         // a few microseconds.
@@ -339,7 +351,10 @@ mod tests {
         assert!(des.read_bandwidth.gib_s() > des.write_bandwidth.gib_s());
         assert!(analytic.read.gib_s() > analytic.write.gib_s());
         let ratio = des.read_bandwidth.gib_s() / analytic.read.gib_s();
-        assert!((0.4..2.5).contains(&ratio), "read-side DES/analytic {ratio}");
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "read-side DES/analytic {ratio}"
+        );
     }
 
     #[test]
@@ -351,7 +366,11 @@ mod tests {
         let mut ops = Vec::new();
         for t in 0..8u64 {
             for i in 0..(per_thread / 4096) {
-                ops.push(ReplayOp { offset: t * per_thread + i * 4096, len: 4096, write: false });
+                ops.push(ReplayOp {
+                    offset: t * per_thread + i * 4096,
+                    len: 4096,
+                    write: false,
+                });
             }
         }
         // Interleave the per-thread streams the way 8 workers would issue
@@ -365,9 +384,11 @@ mod tests {
             }
         }
         let replayed = run(&DesConfig::replay(params.clone(), interleaved, 8));
-        let synthetic = run(&DesConfig::new(
-            WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 8),
-        ));
+        let synthetic = run(&DesConfig::new(WorkloadSpec::seq_read(
+            DeviceClass::Pmem,
+            4096,
+            8,
+        )));
         let rel = (replayed.bandwidth.gib_s() - synthetic.bandwidth.gib_s()).abs()
             / synthetic.bandwidth.gib_s();
         assert!(
@@ -382,9 +403,21 @@ mod tests {
     fn replay_handles_mixed_kinds_and_odd_sizes() {
         let params = SystemParams::paper_default();
         let ops = vec![
-            ReplayOp { offset: 0, len: 100, write: false },
-            ReplayOp { offset: 4096, len: 256, write: true },
-            ReplayOp { offset: 1 << 20, len: 64, write: false },
+            ReplayOp {
+                offset: 0,
+                len: 100,
+                write: false,
+            },
+            ReplayOp {
+                offset: 4096,
+                len: 256,
+                write: true,
+            },
+            ReplayOp {
+                offset: 1 << 20,
+                len: 64,
+                write: false,
+            },
         ];
         let r = run(&DesConfig::replay(params, ops, 2));
         assert!(r.stats.app_read_bytes >= 164, "reads counted");

@@ -136,11 +136,17 @@ impl Simulation {
                 }
             }
             Placement::BothFar => {
-                view.socket0 = self.directory.touch(self.socket_region(SocketId(1)), SocketId(0));
-                view.socket1 = self.directory.touch(self.socket_region(SocketId(0)), SocketId(1));
+                view.socket0 = self
+                    .directory
+                    .touch(self.socket_region(SocketId(1)), SocketId(0));
+                view.socket1 = self
+                    .directory
+                    .touch(self.socket_region(SocketId(0)), SocketId(1));
             }
             Placement::Contended => {
-                view.socket1 = self.directory.touch(self.socket_region(SocketId(0)), SocketId(1));
+                view.socket1 = self
+                    .directory
+                    .touch(self.socket_region(SocketId(0)), SocketId(1));
             }
             _ => {}
         }
@@ -175,8 +181,7 @@ impl Simulation {
                         // Sequential sub-XPLine reads are served from the
                         // controller's 256 B buffer — no amplification.
                         Pattern::SequentialGrouped | Pattern::SequentialIndividual => {
-                            stats.read_buffer_hits =
-                                app / spec.access_size.max(1) - app / xp;
+                            stats.read_buffer_hits = app / spec.access_size.max(1) - app / xp;
                             1.0
                         }
                         Pattern::Random { .. } => xp as f64 / spec.access_size as f64,
@@ -213,8 +218,7 @@ impl Simulation {
                 Placement::Single { .. } | Placement::Contended => app,
                 _ => app * 2,
             };
-            stats.upi_bytes =
-                (payload as f64 / (1.0 - params.upi.metadata_fraction)) as u64;
+            stats.upi_bytes = (payload as f64 / (1.0 - params.upi.metadata_fraction)) as u64;
         }
 
         let cold = |s: MappingState| s == MappingState::Cold;
@@ -282,7 +286,11 @@ mod tests {
         let expected = (70u64 << 30) as f64 / e.total_bandwidth.bytes_per_sec();
         assert!((e.elapsed_seconds - expected).abs() < 1e-9);
         // 70 GB at ~40 GB/s ≈ 1.7 s.
-        assert!((1.5..2.1).contains(&e.elapsed_seconds), "{}", e.elapsed_seconds);
+        assert!(
+            (1.5..2.1).contains(&e.elapsed_seconds),
+            "{}",
+            e.elapsed_seconds
+        );
     }
 
     #[test]

@@ -53,6 +53,19 @@ impl SimStats {
         }
     }
 
+    /// Merge a whole collection of counter sets (e.g. per-job partials from
+    /// a concurrent serving run) into one aggregate.
+    pub fn merged<'a, I>(parts: I) -> SimStats
+    where
+        I: IntoIterator<Item = &'a SimStats>,
+    {
+        let mut total = SimStats::default();
+        for part in parts {
+            total.merge(part);
+        }
+        total
+    }
+
     /// Merge counters from another evaluation (e.g. per-socket partials).
     pub fn merge(&mut self, other: &SimStats) {
         self.app_read_bytes += other.app_read_bytes;
@@ -103,6 +116,31 @@ mod tests {
             ..Default::default()
         };
         assert!((s.write_amplification() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_folds_a_collection() {
+        let parts = [
+            SimStats {
+                app_read_bytes: 10,
+                media_read_bytes: 12,
+                ..Default::default()
+            },
+            SimStats {
+                app_read_bytes: 30,
+                app_write_bytes: 5,
+                ..Default::default()
+            },
+            SimStats::default(),
+        ];
+        let total = SimStats::merged(&parts);
+        assert_eq!(total.app_read_bytes, 40);
+        assert_eq!(total.app_write_bytes, 5);
+        assert_eq!(total.media_read_bytes, 12);
+        assert_eq!(
+            SimStats::merged(std::iter::empty::<&SimStats>()),
+            SimStats::default()
+        );
     }
 
     #[test]

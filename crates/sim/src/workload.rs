@@ -263,7 +263,10 @@ mod tests {
     fn random_pattern_is_not_sequential() {
         assert!(Pattern::SequentialGrouped.is_sequential());
         assert!(Pattern::SequentialIndividual.is_sequential());
-        assert!(!Pattern::Random { region_bytes: 2 << 30 }.is_sequential());
+        assert!(!Pattern::Random {
+            region_bytes: 2 << 30
+        }
+        .is_sequential());
     }
 
     #[test]

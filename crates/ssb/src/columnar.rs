@@ -135,9 +135,7 @@ impl ColumnarFact {
                     Column::CustKey => buf.extend_from_slice(&lo.custkey.to_le_bytes()),
                     Column::Quantity => buf.push(lo.quantity),
                     Column::Discount => buf.push(lo.discount),
-                    Column::ExtendedPrice => {
-                        buf.extend_from_slice(&lo.extendedprice.to_le_bytes())
-                    }
+                    Column::ExtendedPrice => buf.extend_from_slice(&lo.extendedprice.to_le_bytes()),
                     Column::Revenue => buf.extend_from_slice(&lo.revenue.to_le_bytes()),
                     Column::SupplyCost => buf.extend_from_slice(&lo.supplycost.to_le_bytes()),
                 }
@@ -216,7 +214,10 @@ impl ColumnarFact {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("scan worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker"))
+                .collect()
         })
     }
 }
@@ -298,11 +299,18 @@ mod tests {
                 acc.1 += t.quantity as u64;
             },
         );
-        let (rev, qty) = sums
-            .into_iter()
-            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
-        assert_eq!(rev, data.lineorder.iter().map(|l| l.revenue as u64).sum::<u64>());
-        assert_eq!(qty, data.lineorder.iter().map(|l| l.quantity as u64).sum::<u64>());
+        let (rev, qty) = sums.into_iter().fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        assert_eq!(
+            rev,
+            data.lineorder.iter().map(|l| l.revenue as u64).sum::<u64>()
+        );
+        assert_eq!(
+            qty,
+            data.lineorder
+                .iter()
+                .map(|l| l.quantity as u64)
+                .sum::<u64>()
+        );
     }
 
     #[test]

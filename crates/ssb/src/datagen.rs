@@ -167,11 +167,9 @@ pub fn generate(sf: f64, seed: u64) -> SsbData {
             let quantity = rng.gen_range(1..=50u8);
             let discount = rng.gen_range(0..=10u8);
             let extendedprice: u32 = rng.gen_range(100..100_000);
-            let revenue =
-                (extendedprice as u64 * (100 - discount as u64) / 100) as u32;
+            let revenue = (extendedprice as u64 * (100 - discount as u64) / 100) as u32;
             // Commit date a few days after the order date (same calendar).
-            let commit = &dates[(date.daynuminyear as usize
-                + (date.year as usize - 1992) * 366)
+            let commit = &dates[(date.daynuminyear as usize + (date.year as usize - 1992) * 366)
                 .min(dates.len() - 1)
                 .saturating_sub(1)];
             lineorder.push(Lineorder {
@@ -260,8 +258,7 @@ mod tests {
             assert!((19920101..=19981231).contains(&lo.orderdate));
             assert!((1..=50).contains(&lo.quantity));
             assert!(lo.discount <= 10);
-            let expect =
-                (lo.extendedprice as u64 * (100 - lo.discount as u64) / 100) as u32;
+            let expect = (lo.extendedprice as u64 * (100 - lo.discount as u64) / 100) as u32;
             assert_eq!(lo.revenue, expect);
         }
     }

@@ -107,10 +107,10 @@ where
     E: Fn(&T) -> Option<(u64, u64)>,
 {
     let index = match mode {
-        EngineMode::Aware => JoinIndex::Dash(Box::new(DashTable::with_capacity(ns, capacity_hint)?)),
-        EngineMode::Unaware => {
-            JoinIndex::Chained(ChainedTable::with_capacity(ns, capacity_hint)?)
+        EngineMode::Aware => {
+            JoinIndex::Dash(Box::new(DashTable::with_capacity(ns, capacity_hint)?))
         }
+        EngineMode::Unaware => JoinIndex::Chained(ChainedTable::with_capacity(ns, capacity_hint)?),
     };
     let mut inserts = 0u64;
     let chunk_rows = SCAN_CHUNK_ROWS;
@@ -178,7 +178,10 @@ where
                 acc
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("scan worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker"))
+            .collect()
     })
 }
 
@@ -313,19 +316,37 @@ mod tests {
 
     #[test]
     fn payload_round_trips() {
-        let g = GeoDim { key: 1, city: 205, nation: 20, region: 4, mktsegment: 0 };
+        let g = GeoDim {
+            key: 1,
+            city: 205,
+            nation: 20,
+            region: 4,
+            mktsegment: 0,
+        };
         let p = geo_payload(&g);
         assert_eq!(geo_city(p), 205);
         assert_eq!(geo_nation(p), 20);
         assert_eq!(geo_region(p), 4);
 
-        let part = PartDim { partkey: 9, mfgr: 3, category: 14, brand: 533, ..Default::default() };
+        let part = PartDim {
+            partkey: 9,
+            mfgr: 3,
+            category: 14,
+            brand: 533,
+            ..Default::default()
+        };
         let p = part_payload(&part);
         assert_eq!(part_brand(p), 533);
         assert_eq!(part_category(p), 14);
         assert_eq!(part_mfgr(p), 3);
 
-        let d = DateDim { datekey: 19970601, year: 1997, weeknuminyear: 22, yearmonthnum: 199706, ..Default::default() };
+        let d = DateDim {
+            datekey: 19970601,
+            year: 1997,
+            weeknuminyear: 22,
+            yearmonthnum: 199706,
+            ..Default::default()
+        };
         let p = date_payload(&d);
         assert_eq!(date_year(p), 1997);
         assert_eq!(date_week(p), 22);

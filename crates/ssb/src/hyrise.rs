@@ -132,7 +132,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("stage worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stage worker"))
+            .collect()
     });
     let mut merged = OpCounters::default();
     let recs = outs
@@ -209,15 +212,37 @@ pub(crate) fn execute_unaware(store: &SsbStore, plan: &Plan, threads: u32) -> Re
         fn(&mut Rec, u64),
     );
     let stages: [Stage; 4] = [
-        (|i| &i.part, plan.part, |r| r.partkey as u64, |r, p| r.pp = p),
-        (|i| &i.supp, plan.supp, |r| r.suppkey as u64, |r, p| r.sp = p),
-        (|i| &i.cust, plan.cust, |r| r.custkey as u64, |r, p| r.cp = p),
-        (|i| &i.date, plan.date, |r| r.orderdate as u64, |r, p| r.dp = p),
+        (
+            |i| &i.part,
+            plan.part,
+            |r| r.partkey as u64,
+            |r, p| r.pp = p,
+        ),
+        (
+            |i| &i.supp,
+            plan.supp,
+            |r| r.suppkey as u64,
+            |r, p| r.sp = p,
+        ),
+        (
+            |i| &i.cust,
+            plan.cust,
+            |r| r.custkey as u64,
+            |r, p| r.cp = p,
+        ),
+        (
+            |i| &i.date,
+            plan.date,
+            |r| r.orderdate as u64,
+            |r, p| r.dp = p,
+        ),
     ];
 
     for (select, pred, key_of, set_payload) in stages {
         let Some(pred) = pred else { continue };
-        let idx = select(&indexes).as_ref().expect("index built for joined dim");
+        let idx = select(&indexes)
+            .as_ref()
+            .expect("index built for joined dim");
         let count = current.len() as u64;
         let (outs, stage_counters) = scan_intermediate(&region, count, threads, |rec, out, c| {
             c.probes += 1;
@@ -310,9 +335,13 @@ mod tests {
     #[test]
     fn unaware_executor_matches_aware_results() {
         let data = crate::datagen::generate(0.004, 31);
-        let aware =
-            crate::storage::SsbStore::load(&data, 0.004, EngineMode::Aware, StorageDevice::PmemDevdax)
-                .unwrap();
+        let aware = crate::storage::SsbStore::load(
+            &data,
+            0.004,
+            EngineMode::Aware,
+            StorageDevice::PmemDevdax,
+        )
+        .unwrap();
         let unaware = crate::storage::SsbStore::load(
             &data,
             0.004,

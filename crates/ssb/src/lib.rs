@@ -21,5 +21,6 @@ pub mod schema;
 pub mod storage;
 pub mod timing;
 
-pub use queries::{run_query, QueryId, QueryOutcome};
+pub use engine::OpCounters;
+pub use queries::{run_query, PhaseTraffic, QueryId, QueryOutcome};
 pub use storage::{EngineMode, SsbStore, StorageDevice};

@@ -121,6 +121,33 @@ pub struct PhaseTraffic {
     pub index_bytes_by_dim: [u64; 4],
 }
 
+impl PhaseTraffic {
+    /// All application-level bytes read across the phases (scan + build +
+    /// probe + intermediate) — the read demand a serving scheduler has to
+    /// price.
+    pub fn read_bytes(&self) -> u64 {
+        self.build.read_bytes()
+            + self.probe.read_bytes()
+            + self.fact.read_bytes()
+            + self.intermediate.read_bytes()
+    }
+
+    /// All application-level bytes written across the phases (index build,
+    /// aggregation spill).
+    pub fn write_bytes(&self) -> u64 {
+        self.build.write_bytes()
+            + self.probe.write_bytes()
+            + self.fact.write_bytes()
+            + self.intermediate.write_bytes()
+    }
+
+    /// Bytes read by the fact-table scan alone — the part a shared scan
+    /// amortizes across batched queries.
+    pub fn fact_read_bytes(&self) -> u64 {
+        self.fact.read_bytes()
+    }
+}
+
 /// Result of one query execution.
 #[derive(Debug)]
 pub struct QueryOutcome {
@@ -176,7 +203,11 @@ fn no_row_filter(_: &Lineorder) -> bool {
 /// dimension (key → payload), exactly like the paper's Dash-based joins:
 /// predicates are evaluated on the probed payload. Only the index structure
 /// differs per mode (Dash vs chained).
-pub(crate) fn build_for_plan(store: &SsbStore, shard: &SocketShard, plan: &Plan) -> Result<ShardIndexes> {
+pub(crate) fn build_for_plan(
+    store: &SsbStore,
+    shard: &SocketShard,
+    plan: &Plan,
+) -> Result<ShardIndexes> {
     let mode = store.mode;
     let mut out = ShardIndexes::default();
 
@@ -273,7 +304,12 @@ fn execute_plan(store: &SsbStore, plan: &Plan, threads: u32) -> Result<QueryOutc
             .fold(TrackerSnapshot::default(), |a, b| a.plus(&b))
     };
     let fact0 = snap(&|s| s.fact_ns.tracker().snapshot());
-    let dimidx0 = snap(&|s| s.dim_ns.tracker().snapshot().plus(&s.index_ns.tracker().snapshot()));
+    let dimidx0 = snap(&|s| {
+        s.dim_ns
+            .tracker()
+            .snapshot()
+            .plus(&s.index_ns.tracker().snapshot())
+    });
     let index_used0: u64 = store.shards.iter().map(|s| s.index_ns.used()).sum();
 
     // ---- Build phase (per shard, in parallel) ----
@@ -352,7 +388,10 @@ fn execute_plan(store: &SsbStore, plan: &Plan, threads: u32) -> Result<QueryOutc
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("scan worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker"))
+            .collect()
     });
 
     let mut agg = GroupAgg::default();
@@ -563,9 +602,7 @@ pub(crate) fn plan_for(query: QueryId) -> Plan {
             part: Some(|p| part_category(p) == CAT_MFGR14),
             row: no_row_filter,
             group: |d, _, s, p| {
-                ((date_year(d) as u64) << 32)
-                    | ((geo_city(s) as u64) << 16)
-                    | part_brand(p) as u64
+                ((date_year(d) as u64) << 32) | ((geo_city(s) as u64) << 16) | part_brand(p) as u64
             },
             value: |r| r.revenue as i64 - r.supplycost as i64,
         },
@@ -597,7 +634,11 @@ pub fn explain(query: QueryId, mode: EngineMode) -> String {
     format!(
         "{name}: scan lineorder{filter} -> probe [{dims}] -> group-aggregate\n  engine: {engine}",
         name = query.name(),
-        filter = if row_filter { " (with row predicate)" } else { "" },
+        filter = if row_filter {
+            " (with row predicate)"
+        } else {
+            ""
+        },
         dims = dims.join(", "),
     )
 }
@@ -620,8 +661,8 @@ mod tests {
     #[test]
     fn q1_1_matches_reference() {
         let data = crate::datagen::generate(0.005, 21);
-        let st = SsbStore::load(&data, 0.005, EngineMode::Aware, StorageDevice::PmemDevdax)
-            .unwrap();
+        let st =
+            SsbStore::load(&data, 0.005, EngineMode::Aware, StorageDevice::PmemDevdax).unwrap();
         let outcome = run_query(&st, QueryId::Q1_1, 4).unwrap();
         let expected: i64 = data
             .lineorder
@@ -663,12 +704,15 @@ mod tests {
         let u = run_query(&unaware, QueryId::Q2_1, 4).unwrap();
         // Unaware (chained) index traffic is dominated by sub-cacheline
         // pointer chases; aware (Dash) probes are 256 B bucket loads.
-        let mean_u = u.traffic.probe.rand_read_bytes as f64
-            / u.traffic.probe.read_ops.max(1) as f64;
+        let mean_u =
+            u.traffic.probe.rand_read_bytes as f64 / u.traffic.probe.read_ops.max(1) as f64;
         let mean_a =
             a.traffic.probe.rand_read_bytes as f64 / a.traffic.probe.read_ops.max(1) as f64;
         assert!(mean_u < 64.0, "unaware probe granule {mean_u}");
-        assert!((128.0..512.0).contains(&mean_a), "aware probe granule {mean_a}");
+        assert!(
+            (128.0..512.0).contains(&mean_a),
+            "aware probe granule {mean_a}"
+        );
         // The unaware engine materializes operator-at-a-time: large
         // intermediate write+read traffic the aware pipeline never creates.
         assert!(
@@ -722,7 +766,12 @@ mod tests {
         for q in QueryId::ALL {
             let outcome = run_query(&st, q, 4).unwrap();
             assert_eq!(outcome.query, q);
-            assert_eq!(outcome.counters.tuples_scanned, st.fact_rows(), "{}", q.name());
+            assert_eq!(
+                outcome.counters.tuples_scanned,
+                st.fact_rows(),
+                "{}",
+                q.name()
+            );
         }
     }
 
@@ -737,7 +786,11 @@ mod tests {
         assert!(q1.contains("row predicate"));
         assert!(q1.contains("materialized"));
         for q in QueryId::ALL {
-            assert!(explain(q, EngineMode::Aware).contains("date"), "{}", q.name());
+            assert!(
+                explain(q, EngineMode::Aware).contains("date"),
+                "{}",
+                q.name()
+            );
         }
     }
 

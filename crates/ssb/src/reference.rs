@@ -37,28 +37,34 @@ pub fn reference_query(data: &SsbData, query: QueryId) -> Vec<(u64, i64)> {
         .map(|p| (p.partkey as u64, part_payload(p)))
         .collect();
 
-    let lookup = |table: &HashMap<u64, u64>,
-                  pred: Option<fn(u64) -> bool>,
-                  key: u64|
-     -> Option<u64> {
-        match pred {
-            None => Some(0),
-            Some(pred) => {
-                let payload = *table.get(&key)?;
-                pred(payload).then_some(payload)
+    let lookup =
+        |table: &HashMap<u64, u64>, pred: Option<fn(u64) -> bool>, key: u64| -> Option<u64> {
+            match pred {
+                None => Some(0),
+                Some(pred) => {
+                    let payload = *table.get(&key)?;
+                    pred(payload).then_some(payload)
+                }
             }
-        }
-    };
+        };
 
     let mut agg = GroupAgg::default();
     for row in &data.lineorder {
         if !(plan.row)(row) {
             continue;
         }
-        let Some(pp) = lookup(&parts, plan.part, row.partkey as u64) else { continue };
-        let Some(sp) = lookup(&suppliers, plan.supp, row.suppkey as u64) else { continue };
-        let Some(cp) = lookup(&customers, plan.cust, row.custkey as u64) else { continue };
-        let Some(dp) = lookup(&dates, plan.date, row.orderdate as u64) else { continue };
+        let Some(pp) = lookup(&parts, plan.part, row.partkey as u64) else {
+            continue;
+        };
+        let Some(sp) = lookup(&suppliers, plan.supp, row.suppkey as u64) else {
+            continue;
+        };
+        let Some(cp) = lookup(&customers, plan.cust, row.custkey as u64) else {
+            continue;
+        };
+        let Some(dp) = lookup(&dates, plan.date, row.orderdate as u64) else {
+            continue;
+        };
         agg.add((plan.group)(dp, cp, sp, pp), (plan.value)(row));
     }
     agg.into_sorted()
@@ -79,7 +85,12 @@ mod tests {
         for q in QueryId::ALL {
             let engine = run_query(&store, q, 4).unwrap();
             let reference = reference_query(&data, q);
-            assert_eq!(engine.rows, reference, "{} diverges from reference", q.name());
+            assert_eq!(
+                engine.rows,
+                reference,
+                "{} diverges from reference",
+                q.name()
+            );
         }
     }
 
@@ -97,6 +108,9 @@ mod tests {
         let data = generate(0.01, 5);
         let q31 = reference_query(&data, QueryId::Q3_1).len();
         let q33 = reference_query(&data, QueryId::Q3_3).len();
-        assert!(q33 <= q31, "Q3.3 ({q33}) should have ≤ groups than Q3.1 ({q31})");
+        assert!(
+            q33 <= q31,
+            "Q3.3 ({q33}) should have ≤ groups than Q3.1 ({q31})"
+        );
     }
 }

@@ -55,7 +55,10 @@ impl SsbFigure {
 
     /// Best (min) per-query ratio.
     pub fn min_ratio(&self) -> f64 {
-        self.rows.iter().map(QueryTimes::ratio).fold(f64::MAX, f64::min)
+        self.rows
+            .iter()
+            .map(QueryTimes::ratio)
+            .fold(f64::MAX, f64::min)
     }
 
     /// Average PMEM/DRAM ratio per query flight (1–4), the granularity of
@@ -148,7 +151,14 @@ fn ssb_figure(
 /// Figure 14a: the PMEM-unaware (Hyrise-like) engine at sf 50.
 /// Paper: PMEM 5.3× slower on average (2.5×–7.7×).
 pub fn fig14a_unaware(run_sf: f64, run_threads: u32) -> Result<SsbFigure> {
-    ssb_figure("fig14a", EngineMode::Unaware, run_sf, 50.0, run_threads, 414)
+    ssb_figure(
+        "fig14a",
+        EngineMode::Unaware,
+        run_sf,
+        50.0,
+        run_threads,
+        414,
+    )
 }
 
 /// Figure 14b: the handcrafted PMEM-aware engine at sf 100.
@@ -171,12 +181,8 @@ pub struct LadderStep {
 /// Table 1: Q2.1 at sf 100 under the staged optimizations, plus the SSD
 /// configuration (paper: 22.8 s) as a final reference row.
 pub fn table1_ladder(run_sf: f64, run_threads: u32) -> Result<(Vec<LadderStep>, f64)> {
-    let store = SsbStore::generate_and_load(
-        run_sf,
-        414,
-        EngineMode::Aware,
-        StorageDevice::PmemFsdax,
-    )?;
+    let store =
+        SsbStore::generate_and_load(run_sf, 414, EngineMode::Aware, StorageDevice::PmemFsdax)?;
     store.reset_trackers();
     let outcome = run_query(&store, QueryId::Q2_1, run_threads)?;
     let sim = Simulation::paper_default();
@@ -212,8 +218,7 @@ pub fn table1_ladder(run_sf: f64, run_threads: u32) -> Result<(Vec<LadderStep>, 
         .sf(run_sf, 100.0)
         .parallelism(36, 2)
         .pinning(Pinning::Cores);
-    let ssd =
-        estimate_ssd(&outcome, EngineMode::Aware, &ssd_cfg, &sim, &params).total_seconds;
+    let ssd = estimate_ssd(&outcome, EngineMode::Aware, &ssd_cfg, &sim, &params).total_seconds;
     Ok((ladder, ssd))
 }
 
@@ -286,18 +291,14 @@ pub fn ingest_report(run_sf: f64, target_sf: f64) -> Result<Vec<IngestRow>> {
     use pmem_sim::workload::{Pattern, Placement, WorkloadSpec};
 
     // Execute the load for real so the traffic signature is verified…
-    let store = SsbStore::generate_and_load(
-        run_sf,
-        414,
-        EngineMode::Aware,
-        StorageDevice::PmemDevdax,
-    )?;
+    let store =
+        SsbStore::generate_and_load(run_sf, 414, EngineMode::Aware, StorageDevice::PmemDevdax)?;
     let snap = store.shards[0].fact_ns.tracker().snapshot();
     assert_eq!(snap.rand_write_bytes, 0, "ingest must be sequential");
 
     // …then price the paper-scale volume per configuration.
-    let bytes = (crate::datagen::cardinalities(target_sf).lineorder
-        * crate::schema::LINEORDER_ROW) as f64;
+    let bytes =
+        (crate::datagen::cardinalities(target_sf).lineorder * crate::schema::LINEORDER_ROW) as f64;
     let sim = Simulation::paper_default();
     let configs: [(&'static str, DeviceClass, u64, u32); 5] = [
         ("naive: 36 thr x 1 MB", DeviceClass::Pmem, 1 << 20, 18),
@@ -409,8 +410,16 @@ mod tests {
         }
         // Magnitudes: 1 thread in the hundreds of seconds, final single
         // digits (paper: 306.7 → 8.6 s).
-        assert!(ladder[0].pmem_seconds > 100.0, "1-thread {}", ladder[0].pmem_seconds);
-        assert!(ladder[4].pmem_seconds < 15.0, "final {}", ladder[4].pmem_seconds);
+        assert!(
+            ladder[0].pmem_seconds > 100.0,
+            "1-thread {}",
+            ladder[0].pmem_seconds
+        );
+        assert!(
+            ladder[4].pmem_seconds < 15.0,
+            "final {}",
+            ladder[4].pmem_seconds
+        );
         // SSD configuration is slower than optimized PMEM by >2×
         // (paper: 22.8 s vs 8.6 s = 2.6×).
         let ratio = ssd / ladder[4].pmem_seconds;

@@ -135,7 +135,10 @@ where
     let mut buf = vec![0u8; INGEST_CHUNK_ROWS * DIM_ROW as usize];
     for (chunk_idx, chunk) in rows.chunks(INGEST_CHUNK_ROWS).enumerate() {
         for (i, row) in chunk.iter().enumerate() {
-            encode(row, &mut buf[i * DIM_ROW as usize..(i + 1) * DIM_ROW as usize]);
+            encode(
+                row,
+                &mut buf[i * DIM_ROW as usize..(i + 1) * DIM_ROW as usize],
+            );
         }
         let offset = chunk_idx as u64 * (INGEST_CHUNK_ROWS as u64 * DIM_ROW);
         region.try_ntstore(
@@ -158,11 +161,10 @@ impl SsbStore {
         let partitions = sockets.len();
         let rows_per_partition = data.lineorder.len().div_ceil(partitions);
 
-        let dim_bytes: u64 = (data.dates.len()
-            + data.customers.len()
-            + data.suppliers.len()
-            + data.parts.len()) as u64
-            * DIM_ROW;
+        let dim_bytes: u64 =
+            (data.dates.len() + data.customers.len() + data.suppliers.len() + data.parts.len())
+                as u64
+                * DIM_ROW;
 
         let mut shards = Vec::with_capacity(partitions);
         for (p, &socket) in sockets.iter().enumerate() {
@@ -170,7 +172,8 @@ impl SsbStore {
             let end = ((p + 1) * rows_per_partition).min(data.lineorder.len());
             let part_rows = &data.lineorder[start..end];
 
-            let fact_ns = device.namespace(socket, part_rows.len() as u64 * LINEORDER_ROW + (1 << 20));
+            let fact_ns =
+                device.namespace(socket, part_rows.len() as u64 * LINEORDER_ROW + (1 << 20));
             let dim_ns = device.namespace(socket, dim_bytes * 2 + (1 << 20));
             // Index namespace: join indexes over the dimensions, generously
             // sized (Dash segments have slack).
@@ -259,19 +262,17 @@ mod tests {
         let total: u64 = store.fact_rows();
         assert_eq!(total, store.card.lineorder);
         // Partitions are balanced within one chunk.
-        let diff = store.shards[0].fact_rows.abs_diff(store.shards[1].fact_rows);
+        let diff = store.shards[0]
+            .fact_rows
+            .abs_diff(store.shards[1].fact_rows);
         assert!(diff <= 1, "unbalanced partitions: {diff}");
     }
 
     #[test]
     fn unaware_mode_uses_one_socket() {
-        let store = SsbStore::generate_and_load(
-            0.002,
-            11,
-            EngineMode::Unaware,
-            StorageDevice::PmemFsdax,
-        )
-        .unwrap();
+        let store =
+            SsbStore::generate_and_load(0.002, 11, EngineMode::Unaware, StorageDevice::PmemFsdax)
+                .unwrap();
         assert_eq!(store.shards.len(), 1);
         assert_eq!(store.fact_rows(), store.card.lineorder);
     }
@@ -279,8 +280,8 @@ mod tests {
     #[test]
     fn loaded_rows_decode_back() {
         let data = crate::datagen::generate(0.002, 11);
-        let store = SsbStore::load(&data, 0.002, EngineMode::Aware, StorageDevice::PmemDevdax)
-            .unwrap();
+        let store =
+            SsbStore::load(&data, 0.002, EngineMode::Aware, StorageDevice::PmemDevdax).unwrap();
         // First row of shard 0 is the first generated row.
         let bytes = store.shards[0]
             .fact
@@ -299,10 +300,7 @@ mod tests {
         let store = tiny();
         for shard in &store.shards {
             assert_eq!(shard.dates.len(), 2557 * DIM_ROW);
-            assert_eq!(
-                shard.parts.len(),
-                store.card.part as u64 * DIM_ROW
-            );
+            assert_eq!(shard.parts.len(), store.card.part as u64 * DIM_ROW);
         }
     }
 
@@ -330,8 +328,7 @@ mod tests {
     #[test]
     fn dram_store_is_not_persistent() {
         let store =
-            SsbStore::generate_and_load(0.002, 11, EngineMode::Aware, StorageDevice::Dram)
-                .unwrap();
+            SsbStore::generate_and_load(0.002, 11, EngineMode::Aware, StorageDevice::Dram).unwrap();
         assert!(!store.shards[0].fact.is_persistent());
     }
 }

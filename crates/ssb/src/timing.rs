@@ -239,11 +239,22 @@ fn rand_read_bw(
     sim.evaluate_steady(&spec).total_bandwidth
 }
 
-fn rand_write_bw(sim: &Simulation, device: DeviceClass, cfg: &TimingConfig, granule: u64) -> Bandwidth {
+fn rand_write_bw(
+    sim: &Simulation,
+    device: DeviceClass,
+    cfg: &TimingConfig,
+    granule: u64,
+) -> Bandwidth {
     let per_socket = (cfg.threads / cfg.sockets as u32).clamp(1, 6);
-    let spec = WorkloadSpec::random(device, AccessKind::Write, granule.max(64), per_socket, 1 << 30)
-        .placement(placement(cfg.sockets))
-        .pinning(Pinning::NumaRegion);
+    let spec = WorkloadSpec::random(
+        device,
+        AccessKind::Write,
+        granule.max(64),
+        per_socket,
+        1 << 30,
+    )
+    .placement(placement(cfg.sockets))
+    .pinning(Pinning::NumaRegion);
     sim.evaluate_steady(&spec).total_bandwidth
 }
 
@@ -330,10 +341,10 @@ pub fn estimate(
         + build_writes / rand_write_bw(sim, device, cfg, 256).bytes_per_sec();
 
     // ---- Intermediates ----
-    let inter_writes = (t.intermediate.seq_write_bytes + t.intermediate.rand_write_bytes) as f64
-        * scale;
-    let inter_reads = (t.intermediate.seq_read_bytes + t.intermediate.rand_read_bytes) as f64
-        * scale;
+    let inter_writes =
+        (t.intermediate.seq_write_bytes + t.intermediate.rand_write_bytes) as f64 * scale;
+    let inter_reads =
+        (t.intermediate.seq_read_bytes + t.intermediate.rand_read_bytes) as f64 * scale;
     let intermediate_seconds = inter_writes / seq_write_bw(sim, device, cfg).bytes_per_sec()
         + inter_reads / seq_read_bw(sim, device, cfg).bytes_per_sec();
 
@@ -352,7 +363,11 @@ pub fn estimate(
     // Explicit core pinning avoids migrations and hyperthread cache
     // conflicts relative to NUMA-region pinning (§4.3) — a small CPU-side
     // win that gives Table 1 its final "Pinning" step.
-    let cpu_pin_eff = if cfg.pinning == Pinning::Cores { 0.95 } else { 1.0 };
+    let cpu_pin_eff = if cfg.pinning == Pinning::Cores {
+        0.95
+    } else {
+        1.0
+    };
     let cpu_seconds = cpu_ns * cpu_pin_eff / 1e9 / cfg.threads.max(1) as f64;
 
     // ---- Compose ----
@@ -469,8 +484,7 @@ mod tests {
     #[test]
     fn unaware_ratio_is_much_larger_than_aware() {
         let data = crate::datagen::generate(SF, 77);
-        let aware =
-            SsbStore::load(&data, SF, EngineMode::Aware, StorageDevice::PmemFsdax).unwrap();
+        let aware = SsbStore::load(&data, SF, EngineMode::Aware, StorageDevice::PmemFsdax).unwrap();
         let unaware =
             SsbStore::load(&data, SF, EngineMode::Unaware, StorageDevice::PmemFsdax).unwrap();
         aware.reset_trackers();

@@ -72,11 +72,17 @@ impl Arena {
                 // allocated, remainder stays free.
                 self.free.remove(i);
                 if pad > 0 {
-                    self.insert_free(Extent { offset: e.offset, len: pad });
+                    self.insert_free(Extent {
+                        offset: e.offset,
+                        len: pad,
+                    });
                 }
                 let rest = e.len - pad - len;
                 if rest > 0 {
-                    self.insert_free(Extent { offset: start + len, len: rest });
+                    self.insert_free(Extent {
+                        offset: start + len,
+                        len: rest,
+                    });
                 }
                 self.allocated += len;
                 return Ok(start);
@@ -96,7 +102,10 @@ impl Arena {
             });
         }
         if pad > 0 {
-            self.insert_free(Extent { offset: self.next, len: pad });
+            self.insert_free(Extent {
+                offset: self.next,
+                len: pad,
+            });
         }
         self.next = end;
         self.allocated += len;
@@ -150,7 +159,10 @@ impl Arena {
             let (a, b) = (self.free[idx], self.free[idx + 1]);
             debug_assert!(a.offset + a.len <= b.offset, "double free detected");
             if a.offset + a.len == b.offset {
-                self.free[idx] = Extent { offset: a.offset, len: a.len + b.len };
+                self.free[idx] = Extent {
+                    offset: a.offset,
+                    len: a.len + b.len,
+                };
                 self.free.remove(idx + 1);
             }
         }
@@ -158,7 +170,10 @@ impl Arena {
             let (a, b) = (self.free[idx - 1], self.free[idx]);
             debug_assert!(a.offset + a.len <= b.offset, "double free detected");
             if a.offset + a.len == b.offset {
-                self.free[idx - 1] = Extent { offset: a.offset, len: a.len + b.len };
+                self.free[idx - 1] = Extent {
+                    offset: a.offset,
+                    len: a.len + b.len,
+                };
                 self.free.remove(idx);
             }
         }
@@ -240,7 +255,10 @@ mod tests {
     fn out_of_space_reports_availability() {
         let mut a = Arena::new(100);
         match a.alloc(200, 1) {
-            Err(StoreError::OutOfSpace { requested, available }) => {
+            Err(StoreError::OutOfSpace {
+                requested,
+                available,
+            }) => {
                 assert_eq!(requested, 200);
                 assert_eq!(available, 100);
             }

@@ -31,12 +31,22 @@ pub enum StoreError {
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StoreError::OutOfBounds { offset, len, capacity } => write!(
+            StoreError::OutOfBounds {
+                offset,
+                len,
+                capacity,
+            } => write!(
                 f,
                 "access [{offset}, {offset}+{len}) out of bounds for region of {capacity} bytes"
             ),
-            StoreError::OutOfSpace { requested, available } => {
-                write!(f, "allocation of {requested} bytes exceeds {available} available")
+            StoreError::OutOfSpace {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "allocation of {requested} bytes exceeds {available} available"
+                )
             }
             StoreError::BadAlignment(a) => write!(f, "alignment {a} is not a power of two"),
             StoreError::NotPersistent => {
@@ -54,11 +64,20 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = StoreError::OutOfBounds { offset: 10, len: 20, capacity: 16 };
+        let e = StoreError::OutOfBounds {
+            offset: 10,
+            len: 20,
+            capacity: 16,
+        };
         assert!(e.to_string().contains("out of bounds"));
-        let e = StoreError::OutOfSpace { requested: 100, available: 1 };
+        let e = StoreError::OutOfSpace {
+            requested: 100,
+            available: 1,
+        };
         assert!(e.to_string().contains("exceeds"));
-        assert!(StoreError::BadAlignment(3).to_string().contains("power of two"));
+        assert!(StoreError::BadAlignment(3)
+            .to_string()
+            .contains("power of two"));
         assert!(StoreError::NotPersistent.to_string().contains("App Direct"));
     }
 }

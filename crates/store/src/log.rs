@@ -165,8 +165,11 @@ impl WorkerLog {
     /// headers are zeroed and persisted so recovery cannot resurrect them.
     pub fn reset(&mut self) -> Result<()> {
         for i in 0..self.head {
-            self.region
-                .try_ntstore(i * LOG_SLOT, &[0u8; HEADER as usize], AccessHint::Sequential)?;
+            self.region.try_ntstore(
+                i * LOG_SLOT,
+                &[0u8; HEADER as usize],
+                AccessHint::Sequential,
+            )?;
         }
         self.region.sfence();
         self.head = 0;

@@ -199,7 +199,9 @@ impl Namespace {
     /// Return capacity from a dropped region (regions do not auto-return on
     /// drop; OLAP workloads allocate once and hold).
     pub fn release(&self, len: u64) {
-        self.inner.used.fetch_sub(len.min(self.used()), Ordering::Relaxed);
+        self.inner
+            .used
+            .fetch_sub(len.min(self.used()), Ordering::Relaxed);
     }
 }
 

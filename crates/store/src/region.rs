@@ -191,7 +191,8 @@ impl Region {
     /// Read `len` bytes at `offset`. Panics on out-of-bounds (see
     /// [`Region::try_read`] for the fallible variant).
     pub fn read(&self, offset: u64, len: u64, hint: AccessHint) -> &[u8] {
-        self.try_read(offset, len, hint).expect("region read out of bounds")
+        self.try_read(offset, len, hint)
+            .expect("region read out of bounds")
     }
 
     /// Fallible [`Region::read`].

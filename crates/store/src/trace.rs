@@ -76,7 +76,11 @@ mod tests {
     fn records_until_capacity() {
         let buf = TraceBuffer::shared(2);
         for i in 0..5 {
-            buf.record(TraceEntry { offset: i, len: 64, write: false });
+            buf.record(TraceEntry {
+                offset: i,
+                len: 64,
+                write: false,
+            });
         }
         assert!(buf.is_full());
         let taken = buf.take();

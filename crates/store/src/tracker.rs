@@ -123,8 +123,7 @@ impl TrackerSnapshot {
         }
         // Approximation: attribute all read ops proportionally.
         let total = self.read_bytes();
-        let rand_ops =
-            (self.read_ops as f64 * self.rand_read_bytes as f64 / total as f64).max(1.0);
+        let rand_ops = (self.read_ops as f64 * self.rand_read_bytes as f64 / total as f64).max(1.0);
         (self.rand_read_bytes as f64 / rand_ops) as u64
     }
 

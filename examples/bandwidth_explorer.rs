@@ -61,7 +61,9 @@ fn parse() -> Args {
                 args.pattern = match value(&mut it).as_str() {
                     "grouped" => Pattern::SequentialGrouped,
                     "individual" => Pattern::SequentialIndividual,
-                    "random" => Pattern::Random { region_bytes: 2 << 30 },
+                    "random" => Pattern::Random {
+                        region_bytes: 2 << 30,
+                    },
                     other => panic!("unknown pattern {other}"),
                 }
             }
@@ -120,22 +122,19 @@ fn main() {
         args.device, args.op, args.pattern, args.access, args.threads, args.placement, args.pinning
     );
     println!("  predicted bandwidth : {}", eval.total_bandwidth);
-    println!(
-        "  70 GB volume in     : {:.2} s",
-        eval.elapsed_seconds
-    );
+    println!("  70 GB volume in     : {:.2} s", eval.elapsed_seconds);
     println!("  device counters     : {}", eval.stats);
 
     // Best-practice advice when the configuration is off the paper's map.
     let planner = AccessPlanner::paper_default();
     let better = match (args.op, args.pattern) {
-        (AccessKind::Write, Pattern::Random { .. }) => {
-            Some(planner.plan(Intent::RandomWrite { access_bytes: args.access }))
-        }
+        (AccessKind::Write, Pattern::Random { .. }) => Some(planner.plan(Intent::RandomWrite {
+            access_bytes: args.access,
+        })),
         (AccessKind::Write, _) => Some(planner.plan(Intent::BulkWrite)),
-        (AccessKind::Read, Pattern::Random { .. }) => {
-            Some(planner.plan(Intent::RandomRead { access_bytes: args.access }))
-        }
+        (AccessKind::Read, Pattern::Random { .. }) => Some(planner.plan(Intent::RandomRead {
+            access_bytes: args.access,
+        })),
         (AccessKind::Read, _) => Some(planner.plan(Intent::BulkRead)),
     };
     if let Some(plan) = better {

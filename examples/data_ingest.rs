@@ -14,10 +14,10 @@
 use pmem_olap::membench::traffic::{run_traffic, TrafficConfig};
 use pmem_olap::planner::{AccessPlanner, Intent};
 use pmem_olap::sim::params::DeviceClass;
+use pmem_olap::sim::topology::SocketId;
 use pmem_olap::sim::workload::{AccessKind, Pattern, WorkloadSpec};
 use pmem_olap::sim::Simulation;
 use pmem_olap::store::Namespace;
-use pmem_olap::sim::topology::SocketId;
 
 fn main() {
     let sim = Simulation::paper_default();

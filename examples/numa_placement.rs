@@ -24,7 +24,10 @@ fn main() {
     let near_eval = sim.evaluate(&near);
     println!("first far read (cold mapping): {}", first.total_bandwidth);
     println!("second far read (warm):        {}", second.total_bandwidth);
-    println!("near read:                     {}", near_eval.total_bandwidth);
+    println!(
+        "near read:                     {}",
+        near_eval.total_bandwidth
+    );
     println!(
         "remap events observed: first run {}, second run {}",
         first.stats.remap_events, second.stats.remap_events

@@ -34,8 +34,8 @@ fn main() {
         data.parts.len()
     );
 
-    let store = SsbStore::load(&data, sf, EngineMode::Aware, StorageDevice::PmemFsdax)
-        .expect("load store");
+    let store =
+        SsbStore::load(&data, sf, EngineMode::Aware, StorageDevice::PmemFsdax).expect("load store");
     println!(
         "loaded {} MiB of fact data striped across {} socket(s)\n",
         store.fact_bytes() >> 20,

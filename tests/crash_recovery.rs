@@ -41,13 +41,8 @@ fn chained_table_loses_everything_the_paper_contrast() {
 
 #[test]
 fn ingested_fact_table_survives_power_loss() {
-    let store = SsbStore::generate_and_load(
-        0.002,
-        7,
-        EngineMode::Aware,
-        StorageDevice::PmemDevdax,
-    )
-    .expect("store");
+    let store = SsbStore::generate_and_load(0.002, 7, EngineMode::Aware, StorageDevice::PmemDevdax)
+        .expect("store");
     for shard in &store.shards {
         assert!(
             shard.fact.is_persisted(0, shard.fact.len()),
@@ -83,7 +78,10 @@ fn torn_multi_line_write_recovers_to_a_prefix_consistent_state() {
 
     let after = region.read(0, 192, AccessHint::Sequential);
     assert!(after[..64].iter().all(|b| *b == 0xBB), "fenced line is new");
-    assert!(after[64..].iter().all(|b| *b == 0xAA), "unfenced lines are old");
+    assert!(
+        after[64..].iter().all(|b| *b == 0xAA),
+        "unfenced lines are old"
+    );
 }
 
 #[test]

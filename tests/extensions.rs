@@ -25,7 +25,8 @@ fn one_log_per_worker_scales_and_recovers() {
         for (worker, log) in logs.iter_mut().enumerate() {
             scope.spawn(move || {
                 for i in 0..100u64 {
-                    log.append(format!("w{worker}:{i}").as_bytes()).expect("append");
+                    log.append(format!("w{worker}:{i}").as_bytes())
+                        .expect("append");
                 }
             });
         }
@@ -96,21 +97,35 @@ fn memory_mode_is_a_middle_ground_not_a_free_lunch() {
 fn hybrid_advisor_budget_sweep_is_monotone() {
     let advisor = HybridAdvisor::paper_default();
     let objects = [
-        DataObject::new("fact", 8 << 30, AccessProfile::SequentialScan { scans_per_query: 1.0 }),
+        DataObject::new(
+            "fact",
+            8 << 30,
+            AccessProfile::SequentialScan {
+                scans_per_query: 1.0,
+            },
+        ),
         DataObject::new(
             "hot index",
             64 << 20,
-            AccessProfile::RandomProbe { probes_per_query: 200e6, access_bytes: 256 },
+            AccessProfile::RandomProbe {
+                probes_per_query: 200e6,
+                access_bytes: 256,
+            },
         ),
         DataObject::new(
             "cold index",
             64 << 20,
-            AccessProfile::RandomProbe { probes_per_query: 1e6, access_bytes: 256 },
+            AccessProfile::RandomProbe {
+                probes_per_query: 1e6,
+                access_bytes: 256,
+            },
         ),
         DataObject::new(
             "spill",
             1 << 30,
-            AccessProfile::SequentialWrite { bytes_per_query: 1 << 30 },
+            AccessProfile::SequentialWrite {
+                bytes_per_query: 1 << 30,
+            },
         ),
     ];
     let mut last = 1.0;
@@ -196,9 +211,8 @@ fn explain_matches_measured_traffic() {
     use pmem_olap::ssb::queries::{explain, run_query};
     use pmem_olap::ssb::storage::{EngineMode, SsbStore, StorageDevice};
 
-    let store =
-        SsbStore::generate_and_load(0.003, 5, EngineMode::Aware, StorageDevice::PmemDevdax)
-            .unwrap();
+    let store = SsbStore::generate_and_load(0.003, 5, EngineMode::Aware, StorageDevice::PmemDevdax)
+        .unwrap();
     let text = explain(QueryId::Q3_1, EngineMode::Aware);
     assert!(text.contains("customer") && text.contains("supplier") && !text.contains("part,"));
     // A query whose plan names no part index must not read the part table.

@@ -92,9 +92,15 @@ fn claim_device_hierarchy() {
         .evaluate_steady(&WorkloadSpec::seq_read(DeviceClass::Ssd, 4096, 18))
         .total_bandwidth;
     let read_frac = pmem_read.gib_s() / dram_read.gib_s();
-    assert!((0.28..0.48).contains(&read_frac), "read fraction {read_frac}");
+    assert!(
+        (0.28..0.48).contains(&read_frac),
+        "read fraction {read_frac}"
+    );
     let write_frac = pmem_write.gib_s() / dram_read.gib_s();
-    assert!((0.1..0.2).contains(&write_frac), "write fraction {write_frac}");
+    assert!(
+        (0.1..0.2).contains(&write_frac),
+        "write fraction {write_frac}"
+    );
     assert!(pmem_read.gib_s() / ssd_read.gib_s() > 10.0);
 }
 
@@ -105,7 +111,10 @@ fn claim_reads_scale_like_dram_writes_do_not() {
     let model = pmem_olap::sim::analytic::BandwidthModel::paper_default();
     let read = |device, threads| {
         model
-            .bandwidth(&WorkloadSpec::seq_read(device, 4096, threads), CoherenceView::WARM)
+            .bandwidth(
+                &WorkloadSpec::seq_read(device, 4096, threads),
+                CoherenceView::WARM,
+            )
             .gib_s()
     };
     let write = |device, threads| {
@@ -152,8 +161,9 @@ fn claim_random_access_penalty() {
         .gib_s();
     let rand = sim
         .evaluate_steady(
-            &WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 36)
-                .pattern(Pattern::Random { region_bytes: 2 << 30 }),
+            &WorkloadSpec::seq_read(DeviceClass::Pmem, 4096, 36).pattern(Pattern::Random {
+                region_bytes: 2 << 30,
+            }),
         )
         .total_bandwidth
         .gib_s();

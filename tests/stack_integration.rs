@@ -31,7 +31,10 @@ fn planned_bulk_read_flows_through_store_and_prices_correctly() {
         * cfg.access_size;
     assert_eq!(report.bytes, assigned, "planned scan must cover its chunks");
     assert!(cfg.volume - assigned < plan.threads_per_socket as u64 * cfg.access_size);
-    assert_eq!(report.delta.rand_read_bytes, 0, "bulk read must stay sequential");
+    assert_eq!(
+        report.delta.rand_read_bytes, 0,
+        "bulk read must stay sequential"
+    );
     assert!(report.checksum > 0, "data flowed");
     let _ = expected_checksum(0);
 
@@ -49,7 +52,8 @@ fn planner_beats_naive_configurations_for_every_intent() {
     let sim = Simulation::paper_default();
 
     // Naive ingest: all cores, huge blocks.
-    let naive_write = pmem_olap::sim::workload::WorkloadSpec::seq_write(DeviceClass::Pmem, 1 << 20, 36);
+    let naive_write =
+        pmem_olap::sim::workload::WorkloadSpec::seq_write(DeviceClass::Pmem, 1 << 20, 36);
     let naive = sim.evaluate_steady(&naive_write).total_bandwidth;
     let planned = planner.expected_bandwidth(&planner.plan(Intent::BulkWrite), AccessKind::Write);
     assert!(planned.gib_s() > 1.5 * naive.gib_s());
@@ -82,7 +86,11 @@ fn fsdax_page_faults_show_up_in_real_traffic_and_in_the_model() {
     let devdax_ns = Namespace::devdax(SocketId(0), 64 << 20);
     let region = devdax_ns.alloc_region(8 << 20).expect("region");
     region.prefault();
-    assert_eq!(devdax_ns.tracker().snapshot().page_faults, 0, "devdax never faults");
+    assert_eq!(
+        devdax_ns.tracker().snapshot().page_faults,
+        0,
+        "devdax never faults"
+    );
 
     let fs_region = ns.alloc_region(8 << 20).expect("region");
     fs_region.prefault();
@@ -107,7 +115,12 @@ fn all_figures_generate_with_consistent_axes() {
     assert_eq!(figures.len(), 18);
     for fig in &figures {
         for series in &fig.series {
-            assert!(!series.points.is_empty(), "{}::{} empty", fig.id, series.label);
+            assert!(
+                !series.points.is_empty(),
+                "{}::{} empty",
+                fig.id,
+                series.label
+            );
             for (x, y) in &series.points {
                 assert!(x.is_finite() && y.is_finite(), "{} has NaN", fig.id);
                 assert!(*y >= 0.0, "{} negative bandwidth", fig.id);

@@ -1,0 +1,91 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! facade: the scoped-thread and channel APIs this workspace uses, built on
+//! `std::thread::scope` and `std::sync::mpsc`.
+
+/// Scoped threads (crossbeam's pre-1.63 claim to fame, now std-backed).
+pub mod thread {
+    /// Wrapper over [`std::thread::Scope`] exposing crossbeam's
+    /// closure-takes-scope spawn signature.
+    pub struct Scope<'scope, 'env>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread scoped to this scope. The closure receives the
+        /// scope again so it can spawn siblings, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            inner.spawn(move || f(&Scope(inner)))
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads; joins all spawned
+    /// threads before returning. Unlike crossbeam, a panicking child
+    /// re-panics here instead of surfacing through the `Result` (std
+    /// semantics); the `Result` wrapper is kept for signature parity.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+}
+
+/// Multi-producer channels with crossbeam's constructor names.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, TryRecvError};
+
+    /// Crossbeam-style sender: mpsc `SyncSender` (bounded) is not unified
+    /// with `Sender` in std, so this stand-in only offers the unbounded
+    /// flavor the workspace needs.
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let n = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn unbounded_channel_round_trip() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+}

@@ -1,0 +1,13 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde)
+//! facade. The workspace only *derives* the traits (no serializer is ever
+//! driven — figure/CSV output is hand-rolled), so marker traits plus no-op
+//! derive macros are sufficient. Swap for the real crates if serialization
+//! is ever actually performed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
