@@ -92,6 +92,27 @@ pub struct ConcurrencyBudget {
     pub writer_threads: u32,
 }
 
+impl ConcurrencyBudget {
+    /// Shrink the budget proportionally to observed bandwidth degradation.
+    ///
+    /// The saturation points the budget encodes scale with the media's drain
+    /// rate: a DIMM that throttles its write path to 30% is saturated by
+    /// ~30% of the writer threads, and admitting the full healthy budget
+    /// only deepens the WPQ backlog without moving more bytes. Each cap is
+    /// floored at one thread so a degraded socket still makes progress.
+    pub fn scaled(self, read_scale: f64, write_scale: f64) -> ConcurrencyBudget {
+        let shrink = |threads: u32, scale: f64| -> u32 {
+            ((f64::from(threads)) * scale.clamp(0.0, 1.0))
+                .floor()
+                .max(1.0) as u32
+        };
+        ConcurrencyBudget {
+            reader_threads: shrink(self.reader_threads, read_scale),
+            writer_threads: shrink(self.writer_threads, write_scale),
+        }
+    }
+}
+
 /// Plans PMEM access per the paper's best practices.
 #[derive(Debug, Clone)]
 pub struct AccessPlanner {
@@ -139,6 +160,14 @@ impl AccessPlanner {
             reader_threads: logical.saturating_sub(writer_threads),
             writer_threads,
         }
+    }
+
+    /// Re-calibrated admission budget for a socket whose observed bandwidth
+    /// has drifted from the healthy calibration — e.g. under injected
+    /// thermal throttling or a DIMM dropout. `read_scale`/`write_scale` are
+    /// the observed-over-expected bandwidth ratios (1.0 = healthy).
+    pub fn degraded_budget(&self, read_scale: f64, write_scale: f64) -> ConcurrencyBudget {
+        self.concurrency_budget().scaled(read_scale, write_scale)
     }
 
     /// Dual-socket placement when the machine has one, per Best Practice #4
@@ -434,6 +463,33 @@ mod tests {
         // of the Figure 11 grid.
         assert_eq!(budget.reader_threads, 30);
         assert_eq!(p.sockets(), 2);
+    }
+
+    #[test]
+    fn degraded_budget_shrinks_with_observed_bandwidth() {
+        let p = planner();
+        let healthy = p.concurrency_budget();
+
+        // Write throttling to 30% shrinks the writer cap proportionally but
+        // leaves the reader budget intact.
+        let throttled = p.degraded_budget(1.0, 0.3);
+        assert_eq!(throttled.reader_threads, healthy.reader_threads);
+        assert!(throttled.writer_threads < healthy.writer_threads);
+        assert!(throttled.writer_threads >= 1);
+
+        // A DIMM dropout (both directions at 4/6) shrinks both caps.
+        let dropped = p.degraded_budget(4.0 / 6.0, 4.0 / 6.0);
+        assert!(dropped.reader_threads < healthy.reader_threads);
+        assert_eq!(dropped.reader_threads, 20);
+
+        // Even a near-total stall keeps one thread per side so the socket
+        // drains rather than deadlocks.
+        let stalled = p.degraded_budget(0.01, 0.01);
+        assert_eq!(stalled.reader_threads, 1);
+        assert_eq!(stalled.writer_threads, 1);
+
+        // A healthy socket re-derives the healthy budget exactly.
+        assert_eq!(p.degraded_budget(1.0, 1.0), healthy);
     }
 
     #[test]

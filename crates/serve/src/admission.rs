@@ -15,7 +15,7 @@
 //! ([`AccessPlanner::concurrency_budget`]): reader threads beyond that
 //! would only multiplex without adding bandwidth.
 
-use pmem_olap::planner::AccessPlanner;
+use pmem_olap::planner::{AccessPlanner, ConcurrencyBudget};
 
 use crate::job::Side;
 
@@ -28,6 +28,10 @@ pub enum QueueReason {
     ReaderCap,
     /// The planner projects serializing beats mixing (Insight #11).
     SerializeMixed,
+    /// The socket's budget was re-planned down because its observed
+    /// bandwidth drifted from the healthy calibration; the job would fit
+    /// the healthy caps but not the degraded ones.
+    Degraded,
 }
 
 impl QueueReason {
@@ -37,6 +41,28 @@ impl QueueReason {
             QueueReason::WriterCap => "writer-cap",
             QueueReason::ReaderCap => "reader-cap",
             QueueReason::SerializeMixed => "serialize-mixed",
+            QueueReason::Degraded => "degraded",
+        }
+    }
+}
+
+/// Why a job was shed instead of queued further.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The machine is healthy but carries more load than the job's
+    /// deadline leaves room for.
+    Overloaded,
+    /// The job's socket is running degraded; even the healthy-rate
+    /// projection cannot meet the deadline from here.
+    Degraded,
+}
+
+impl ShedReason {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::Overloaded => "overloaded",
+            ShedReason::Degraded => "degraded",
         }
     }
 }
@@ -56,6 +82,12 @@ pub enum Verdict {
     Queued {
         /// Why.
         reason: QueueReason,
+    },
+    /// Dropped instead of queued: the deadline is unreachable, so holding
+    /// the job would only waste queue space and device time.
+    Shed {
+        /// Why.
+        reason: ShedReason,
     },
 }
 
@@ -140,7 +172,7 @@ impl AdmissionController {
     }
 
     /// Decide whether a job asking for `threads` on `side`, moving `bytes`,
-    /// may start on a socket currently at `load`.
+    /// may start on a socket currently at `load`, under the healthy caps.
     pub fn decide(
         &self,
         planner: &AccessPlanner,
@@ -149,12 +181,40 @@ impl AdmissionController {
         bytes: u64,
         load: &SocketLoad,
     ) -> Verdict {
+        let healthy = ConcurrencyBudget {
+            reader_threads: self.policy.reader_cap,
+            writer_threads: self.policy.writer_cap,
+        };
+        self.decide_with_caps(planner, side, threads, bytes, load, healthy)
+    }
+
+    /// Decide admission under explicitly re-planned per-socket caps — the
+    /// degraded budget a resilient scheduler derives when a socket's
+    /// observed bandwidth drifts from the calibration. The effective cap
+    /// for each side is the smaller of the policy cap and the re-planned
+    /// one; a job that fits the policy cap but not the re-planned cap is
+    /// queued as [`QueueReason::Degraded`] so reports can tell fault-driven
+    /// queueing from ordinary saturation queueing.
+    pub fn decide_with_caps(
+        &self,
+        planner: &AccessPlanner,
+        side: Side,
+        threads: u32,
+        bytes: u64,
+        load: &SocketLoad,
+        caps: ConcurrencyBudget,
+    ) -> Verdict {
         match side {
             Side::Write => {
-                if load.writer_threads.saturating_add(threads) > self.policy.writer_cap {
-                    return Verdict::Queued {
-                        reason: QueueReason::WriterCap,
-                    };
+                let cap = self.policy.writer_cap.min(caps.writer_threads);
+                if load.writer_threads.saturating_add(threads) > cap {
+                    let reason =
+                        if load.writer_threads.saturating_add(threads) <= self.policy.writer_cap {
+                            QueueReason::Degraded
+                        } else {
+                            QueueReason::WriterCap
+                        };
+                    return Verdict::Queued { reason };
                 }
                 if self.policy.serialize_mixed
                     && load.reader_threads > 0
@@ -175,10 +235,15 @@ impl AdmissionController {
                 }
             }
             Side::Read => {
-                if load.reader_threads.saturating_add(threads) > self.policy.reader_cap {
-                    return Verdict::Queued {
-                        reason: QueueReason::ReaderCap,
-                    };
+                let cap = self.policy.reader_cap.min(caps.reader_threads);
+                if load.reader_threads.saturating_add(threads) > cap {
+                    let reason =
+                        if load.reader_threads.saturating_add(threads) <= self.policy.reader_cap {
+                            QueueReason::Degraded
+                        } else {
+                            QueueReason::ReaderCap
+                        };
+                    return Verdict::Queued { reason };
                 }
                 if self.policy.serialize_mixed
                     && load.writer_threads > 0
@@ -296,6 +361,77 @@ mod tests {
         let idle = SocketLoad::default();
         assert!(ctl.decide(&p, Side::Read, 18, GIB, &idle).is_admitted());
         assert!(ctl.decide(&p, Side::Write, 6, GIB, &idle).is_admitted());
+    }
+
+    #[test]
+    fn degraded_caps_queue_with_a_degraded_reason() {
+        let p = planner();
+        let ctl = AdmissionController::new(AdmissionPolicy::cap_only(&p));
+        // A throttled socket re-planned down to 2 writer threads.
+        let degraded = p.degraded_budget(1.0, 0.3);
+        assert!(degraded.writer_threads < ctl.policy().writer_cap);
+        let load = SocketLoad {
+            writer_threads: degraded.writer_threads,
+            write_bytes: GIB,
+            ..Default::default()
+        };
+        // Fits the healthy cap, not the degraded one: queued as Degraded.
+        let v = ctl.decide_with_caps(&p, Side::Write, 1, GIB, &load, degraded);
+        assert_eq!(
+            v,
+            Verdict::Queued {
+                reason: QueueReason::Degraded
+            }
+        );
+        // Beyond even the healthy cap: plain WriterCap, not Degraded.
+        let full = SocketLoad {
+            writer_threads: ctl.policy().writer_cap,
+            write_bytes: GIB,
+            ..Default::default()
+        };
+        let v = ctl.decide_with_caps(&p, Side::Write, 1, GIB, &full, degraded);
+        assert_eq!(
+            v,
+            Verdict::Queued {
+                reason: QueueReason::WriterCap
+            }
+        );
+        // Healthy caps passed explicitly reproduce `decide`.
+        let idle = SocketLoad::default();
+        assert_eq!(
+            ctl.decide_with_caps(&p, Side::Write, 1, GIB, &idle, p.concurrency_budget()),
+            ctl.decide(&p, Side::Write, 1, GIB, &idle)
+        );
+    }
+
+    #[test]
+    fn degraded_reader_caps_also_queue_typed() {
+        let p = planner();
+        let ctl = AdmissionController::new(AdmissionPolicy::paper(&p));
+        let degraded = p.degraded_budget(0.5, 1.0);
+        let load = SocketLoad {
+            reader_threads: degraded.reader_threads,
+            read_bytes: GIB,
+            ..Default::default()
+        };
+        let v = ctl.decide_with_caps(&p, Side::Read, 1, GIB, &load, degraded);
+        assert_eq!(
+            v,
+            Verdict::Queued {
+                reason: QueueReason::Degraded
+            }
+        );
+    }
+
+    #[test]
+    fn shed_verdicts_are_not_admissions() {
+        let shed = Verdict::Shed {
+            reason: ShedReason::Overloaded,
+        };
+        assert!(!shed.is_admitted());
+        assert_eq!(ShedReason::Overloaded.label(), "overloaded");
+        assert_eq!(ShedReason::Degraded.label(), "degraded");
+        assert_eq!(QueueReason::Degraded.label(), "degraded");
     }
 
     #[test]

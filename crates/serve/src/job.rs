@@ -92,6 +92,10 @@ pub struct JobSpec {
     pub tenant: u32,
     /// Requested socket; `None` lets the server route (least-loaded).
     pub socket: Option<SocketId>,
+    /// Completion deadline in virtual seconds *after arrival*; `None`
+    /// means best-effort. A resilient scheduler cancels, retries, or sheds
+    /// jobs around their deadlines; a plain scheduler records the miss.
+    pub deadline: Option<f64>,
 }
 
 impl JobSpec {
@@ -102,6 +106,7 @@ impl JobSpec {
             arrival: 0.0,
             tenant: 0,
             socket: None,
+            deadline: None,
         }
     }
 
@@ -112,6 +117,7 @@ impl JobSpec {
             arrival: 0.0,
             tenant: 0,
             socket: None,
+            deadline: None,
         }
     }
 
@@ -141,6 +147,17 @@ impl JobSpec {
         self.socket = Some(socket);
         self
     }
+
+    /// Require completion within `seconds` of arrival (must be positive).
+    pub fn deadline(mut self, seconds: f64) -> Self {
+        self.deadline = (seconds > 0.0).then_some(seconds);
+        self
+    }
+
+    /// The absolute virtual deadline, if one was set.
+    pub fn deadline_at(&self) -> Option<f64> {
+        self.deadline.map(|d| self.arrival + d)
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +181,16 @@ mod tests {
         assert_eq!(ingest.kind.side(), Side::Write);
         assert_eq!(ingest.kind.threads(), 2);
         assert_eq!(ingest.kind.label(), "ingest 64 MiB");
+    }
+
+    #[test]
+    fn deadlines_are_relative_and_clamp_out_nonsense() {
+        let spec = JobSpec::query(QueryId::Q1_1).arrival(0.5).deadline(2.0);
+        assert_eq!(spec.deadline, Some(2.0));
+        assert_eq!(spec.deadline_at(), Some(2.5));
+        let none = JobSpec::query(QueryId::Q1_1).deadline(-1.0);
+        assert_eq!(none.deadline, None, "non-positive deadlines are dropped");
+        assert_eq!(none.deadline_at(), None);
     }
 
     #[test]

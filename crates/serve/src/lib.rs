@@ -19,6 +19,11 @@
 //!   within a window ride one physical scan.
 //! * **Accounting** ([`report`]): queue waits, simulated execution times,
 //!   admission verdicts, and merged device stats per run.
+//! * **Graceful degradation** ([`resilience`]): under an injected
+//!   [`pmem_sim::faults::FaultPlan`], per-job deadlines with cancel-and-
+//!   retry, admission re-planning against the degraded budget, routing
+//!   away from sick sockets, and typed load shedding — the report carries
+//!   a [`ServeHealth`] verdict instead of an unbounded queue.
 //!
 //! The front door is [`QueryServer`]: submit [`JobSpec`]s, call
 //! [`QueryServer::run`], read the [`ServeReport`].
@@ -26,16 +31,22 @@
 //! [`AccessPlanner::should_serialize`]:
 //!     pmem_olap::planner::AccessPlanner::should_serialize
 
+#![deny(clippy::unwrap_used)]
+
 pub mod admission;
 pub mod batch;
 pub mod job;
 pub mod pool;
 pub mod report;
+pub mod resilience;
 pub mod scheduler;
 
-pub use admission::{AdmissionController, AdmissionPolicy, QueueReason, SocketLoad, Verdict};
+pub use admission::{
+    AdmissionController, AdmissionPolicy, QueueReason, ShedReason, SocketLoad, Verdict,
+};
 pub use batch::{ScanBatch, ScanBatcher, ScanJobInfo};
 pub use job::{JobId, JobKind, JobSpec, Side};
 pub use pool::{PoolSet, WorkItem};
-pub use report::{JobRecord, ServeReport};
+pub use report::{JobOutcome, JobRecord, ServeHealth, ServeReport};
+pub use resilience::ResiliencePolicy;
 pub use scheduler::{QueryServer, ServeConfig};

@@ -66,6 +66,11 @@ impl PoolSet {
     /// Execute all items, each on its routed socket's pool, and collect the
     /// outcomes. Workers are crossbeam scoped threads pulling from their
     /// socket's queue; a socket never steals another socket's work.
+    ///
+    /// Faults live in the *virtual* plane only: a job the scheduler
+    /// cancels, retries, or restarts after a simulated power loss is not
+    /// re-executed here. Its real computation runs exactly once — the
+    /// scheduler replays only the virtual timing of the extra attempts.
     pub fn execute(
         &self,
         store: &SsbStore,

@@ -4,8 +4,60 @@ use pmem_sim::stats::SimStats;
 use pmem_sim::topology::SocketId;
 use pmem_ssb::OpCounters;
 
-use crate::admission::Verdict;
+use crate::admission::{ShedReason, Verdict};
 use crate::job::{JobId, Side};
+
+/// How a job left the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Ran to completion (possibly after retries, possibly past deadline).
+    Completed,
+    /// Dropped by load shedding before it ran to completion.
+    Shed(ShedReason),
+    /// Cancelled after exhausting its retry budget.
+    Failed,
+}
+
+impl JobOutcome {
+    /// Did the job produce its result?
+    pub fn is_completed(&self) -> bool {
+        matches!(self, JobOutcome::Completed)
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobOutcome::Completed => "done",
+            JobOutcome::Shed(ShedReason::Overloaded) => "shed/over",
+            JobOutcome::Shed(ShedReason::Degraded) => "shed/degr",
+            JobOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// The server's overall health verdict for one run — the typed summary
+/// the tentpole asks for in place of unbounded queueing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeHealth {
+    /// No faults observed, nothing shed.
+    Healthy,
+    /// The run crossed degraded windows (throttling, dropouts, stalls,
+    /// power loss) but load stayed within what shedding/retries absorb.
+    Degraded,
+    /// Load exceeded capacity: jobs were shed for overload.
+    Overloaded,
+}
+
+impl ServeHealth {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeHealth::Healthy => "healthy",
+            ServeHealth::Degraded => "degraded",
+            ServeHealth::Overloaded => "overloaded",
+        }
+    }
+}
 
 /// Everything the server learned about one job.
 #[derive(Debug, Clone)]
@@ -42,12 +94,25 @@ pub struct JobRecord {
     pub verdicts: Vec<(f64, Verdict)>,
     /// How many other scans shared this job's batch.
     pub batch_peers: u32,
+    /// Absolute virtual deadline, if the spec set one.
+    pub deadline: Option<f64>,
+    /// Times the job was cancelled and re-run (power loss, deadline blow).
+    pub retries: u32,
+    /// How the job left the server.
+    pub outcome: JobOutcome,
 }
 
 impl JobRecord {
     /// Was the job ever queued before admission?
     pub fn was_queued(&self) -> bool {
         self.verdicts.iter().any(|(_, v)| !v.is_admitted())
+    }
+
+    /// Did the job complete within its original deadline? Jobs without a
+    /// deadline meet it trivially; shed and failed jobs never do.
+    pub fn met_deadline(&self) -> bool {
+        // MSRV 1.75: `!is_some_and` in place of the younger `is_none_or`.
+        self.outcome.is_completed() && !self.deadline.is_some_and(|d| self.finished_at > d + 1e-9)
     }
 }
 
@@ -76,6 +141,16 @@ pub struct ServeReport {
     pub shared_scan_bytes_saved: u64,
     /// Device stats merged across every job.
     pub stats: SimStats,
+    /// The run's typed health verdict.
+    pub health: ServeHealth,
+    /// Times a socket's admission budget was re-planned because observed
+    /// bandwidth drifted from the calibration.
+    pub replan_events: u32,
+    /// Injected power-loss events the run absorbed.
+    pub power_loss_events: u32,
+    /// Virtual seconds the machine ran work while some component was
+    /// degraded by an injected fault.
+    pub degraded_seconds: f64,
 }
 
 const GIB: f64 = (1u64 << 30) as f64;
@@ -120,6 +195,45 @@ impl ServeReport {
     pub fn queued_jobs(&self) -> usize {
         self.jobs.iter().filter(|j| j.was_queued()).count()
     }
+
+    /// Jobs dropped by load shedding.
+    pub fn shed_jobs(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.outcome, JobOutcome::Shed(_)))
+            .count()
+    }
+
+    /// Jobs that exhausted their retry budget.
+    pub fn failed_jobs(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.outcome == JobOutcome::Failed)
+            .count()
+    }
+
+    /// Jobs that were cancelled and re-run at least once.
+    pub fn retried_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.retries > 0).count()
+    }
+
+    /// Jobs with a deadline that completed past it (shed/failed included).
+    pub fn deadline_misses(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.deadline.is_some() && !j.met_deadline())
+            .count()
+    }
+
+    /// Fraction of deadline-carrying jobs that completed within their
+    /// deadline. `1.0` when no job carries a deadline.
+    pub fn deadline_met_fraction(&self) -> f64 {
+        let with: Vec<_> = self.jobs.iter().filter(|j| j.deadline.is_some()).collect();
+        if with.is_empty() {
+            return 1.0;
+        }
+        with.iter().filter(|j| j.met_deadline()).count() as f64 / with.len() as f64
+    }
 }
 
 impl std::fmt::Display for ServeReport {
@@ -148,6 +262,19 @@ impl std::fmt::Display for ServeReport {
             self.peak_concurrent_writers,
             self.queued_jobs(),
             self.mean_queue_wait_seconds(),
+        )?;
+        writeln!(
+            f,
+            "  health: {} — {} shed, {} failed, {} retried, {} deadline misses; \
+             {} replans, {} power losses, degraded {:.3}s",
+            self.health.label(),
+            self.shed_jobs(),
+            self.failed_jobs(),
+            self.retried_jobs(),
+            self.deadline_misses(),
+            self.replan_events,
+            self.power_loss_events,
+            self.degraded_seconds,
         )?;
         writeln!(
             f,
@@ -196,6 +323,9 @@ mod tests {
             stats: SimStats::default(),
             verdicts: Vec::new(),
             batch_peers: 0,
+            deadline: None,
+            retries: 0,
+            outcome: JobOutcome::Completed,
         }
     }
 
@@ -214,6 +344,10 @@ mod tests {
             batches: 1,
             shared_scan_bytes_saved: 0,
             stats: SimStats::default(),
+            health: ServeHealth::Healthy,
+            replan_events: 0,
+            power_loss_events: 0,
+            degraded_seconds: 0.0,
         };
         assert!((report.read_bandwidth_gib_s() - 30.0).abs() < 1e-9);
         assert!((report.write_bandwidth_gib_s() - 10.0).abs() < 1e-9);
@@ -234,11 +368,63 @@ mod tests {
             batches: 0,
             shared_scan_bytes_saved: 0,
             stats: SimStats::default(),
+            health: ServeHealth::Healthy,
+            replan_events: 0,
+            power_loss_events: 0,
+            degraded_seconds: 0.0,
         };
         assert_eq!(report.read_bandwidth_gib_s(), 0.0);
         assert_eq!(report.mean_queue_wait_seconds(), 0.0);
         assert_eq!(report.queued_jobs(), 0);
+        assert_eq!(report.deadline_met_fraction(), 1.0, "no deadlines set");
+        assert_eq!(report.shed_jobs(), 0);
         let text = format!("{report}");
         assert!(text.contains("0 jobs"));
+        assert!(text.contains("healthy"));
+    }
+
+    #[test]
+    fn deadline_accounting_distinguishes_outcomes() {
+        let gib = 1u64 << 30;
+        let mut met = record(0, Side::Read, gib, 0.0);
+        met.deadline = Some(2.0); // finished_at = 1.0 <= 2.0
+        let mut missed = record(1, Side::Read, gib, 0.0);
+        missed.deadline = Some(0.5); // finished_at = 1.0 > 0.5
+        let mut shed = record(2, Side::Write, gib, 0.0);
+        shed.deadline = Some(10.0);
+        shed.outcome = JobOutcome::Shed(ShedReason::Degraded);
+        let mut retried = record(3, Side::Write, gib, 0.0);
+        retried.retries = 2;
+        retried.deadline = Some(2.0);
+
+        assert!(met.met_deadline());
+        assert!(!missed.met_deadline());
+        assert!(!shed.met_deadline(), "shed jobs never meet deadlines");
+        assert!(retried.met_deadline(), "retries may still land in time");
+
+        let report = ServeReport {
+            jobs: vec![met, missed, shed, retried],
+            makespan: 1.0,
+            read_bytes_moved: 2 * gib,
+            write_bytes_moved: gib,
+            read_busy_seconds: 1.0,
+            write_busy_seconds: 1.0,
+            peak_concurrent_readers: 2,
+            peak_concurrent_writers: 2,
+            batches: 0,
+            shared_scan_bytes_saved: 0,
+            stats: SimStats::default(),
+            health: ServeHealth::Degraded,
+            replan_events: 1,
+            power_loss_events: 1,
+            degraded_seconds: 0.25,
+        };
+        assert_eq!(report.shed_jobs(), 1);
+        assert_eq!(report.retried_jobs(), 1);
+        assert_eq!(report.deadline_misses(), 2);
+        assert!((report.deadline_met_fraction() - 0.5).abs() < 1e-12);
+        let text = format!("{report}");
+        assert!(text.contains("degraded"));
+        assert!(text.contains("1 shed"));
     }
 }

@@ -1,0 +1,104 @@
+//! Resilience policy: how the server degrades gracefully instead of
+//! collapsing when the machine misbehaves.
+//!
+//! With resilience *disabled* (the PR-1 behavior), the scheduler under an
+//! injected [`pmem_sim::faults::FaultPlan`] simply grinds: jobs on a
+//! throttled socket run at the throttled rate, power loss resets their
+//! progress, deadlines are recorded but never acted on, and the queue
+//! grows without bound. With resilience *enabled* the scheduler:
+//!
+//! * routes arriving jobs away from sockets the fault state marks
+//!   degraded (unless explicitly pinned);
+//! * re-plans the per-socket admission budget when observed bandwidth
+//!   drifts past [`ResiliencePolicy::replan_drift`] — a throttled socket
+//!   is saturated by proportionally fewer threads, so admitting the
+//!   healthy budget only deepens its queues;
+//! * cancels jobs that blow their deadline and retries them — with
+//!   exponential backoff and a fresh working deadline — up to
+//!   [`ResiliencePolicy::max_retries`] times, after which they fail;
+//! * retries jobs whose socket lost power (progress is gone either way;
+//!   the retry lands after backoff, usually on a healthier socket);
+//! * sheds queued jobs whose deadline is unreachable even at the healthy
+//!   solo rate, with a typed `Overloaded`/`Degraded` verdict, instead of
+//!   queueing them into certain failure.
+
+/// Knobs for graceful degradation. Construct via
+/// [`ResiliencePolicy::paper`] or [`ResiliencePolicy::disabled`] and
+/// override fields as needed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Master switch. When false every other knob is inert and the
+    /// scheduler behaves exactly like the PR-1 version.
+    pub enabled: bool,
+    /// Maximum retries per job after a failure or deadline blow.
+    pub max_retries: u32,
+    /// First retry delay in virtual seconds.
+    pub backoff_base: f64,
+    /// Multiplier applied to the delay for each further retry.
+    pub backoff_factor: f64,
+    /// Bandwidth drift (1 − observed/expected) beyond which a socket's
+    /// admission budget is re-planned down.
+    pub replan_drift: f64,
+    /// Shed queued jobs whose deadline is unreachable even at the healthy
+    /// solo rate, instead of queueing them into certain failure.
+    pub shed_hopeless: bool,
+}
+
+impl ResiliencePolicy {
+    /// Resilience off: the PR-1 scheduler, byte for byte.
+    pub fn disabled() -> Self {
+        ResiliencePolicy {
+            enabled: false,
+            max_retries: 0,
+            backoff_base: 0.0,
+            backoff_factor: 1.0,
+            replan_drift: f64::INFINITY,
+            shed_hopeless: false,
+        }
+    }
+
+    /// The defaults the resilience experiments use: three retries starting
+    /// at 5 ms and doubling, re-plan at 10% drift, hopeless jobs shed.
+    pub fn paper() -> Self {
+        ResiliencePolicy {
+            enabled: true,
+            max_retries: 3,
+            backoff_base: 0.005,
+            backoff_factor: 2.0,
+            replan_drift: 0.10,
+            shed_hopeless: true,
+        }
+    }
+
+    /// The backoff delay before retry number `retry` (1-based): the base
+    /// delay grows exponentially with each attempt.
+    pub fn backoff_before(&self, retry: u32) -> f64 {
+        if retry == 0 {
+            return 0.0;
+        }
+        self.backoff_base * self.backoff_factor.powi(retry as i32 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_policy_is_fully_inert() {
+        let p = ResiliencePolicy::disabled();
+        assert!(!p.enabled);
+        assert_eq!(p.max_retries, 0);
+        assert!(!p.shed_hopeless);
+        assert_eq!(p.backoff_before(1), 0.0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = ResiliencePolicy::paper();
+        assert_eq!(p.backoff_before(0), 0.0);
+        assert!((p.backoff_before(1) - 0.005).abs() < 1e-12);
+        assert!((p.backoff_before(2) - 0.010).abs() < 1e-12);
+        assert!((p.backoff_before(3) - 0.020).abs() < 1e-12);
+    }
+}

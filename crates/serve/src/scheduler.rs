@@ -13,19 +13,21 @@
 
 use std::collections::HashMap;
 
-use pmem_olap::planner::AccessPlanner;
+use pmem_olap::planner::{AccessPlanner, ConcurrencyBudget};
+use pmem_sim::faults::FaultPlan;
 use pmem_sim::sched::Pinning;
 use pmem_sim::stats::SimStats;
-use pmem_sim::topology::SocketId;
+use pmem_sim::topology::{Machine, SocketId};
 use pmem_sim::workload::{MixedSpec, WorkloadSpec};
 use pmem_ssb::SsbStore;
 use pmem_store::Result;
 
-use crate::admission::{AdmissionController, AdmissionPolicy, Verdict};
+use crate::admission::{AdmissionController, AdmissionPolicy, ShedReason, Verdict};
 use crate::batch::{ScanBatcher, ScanJobInfo};
 use crate::job::{JobId, JobKind, JobSpec, Side};
 use crate::pool::{PoolSet, WorkItem};
-use crate::report::{JobRecord, ServeReport};
+use crate::report::{JobOutcome, JobRecord, ServeHealth, ServeReport};
+use crate::resilience::ResiliencePolicy;
 
 /// Bytes below which a unit counts as finished (float-remainder guard).
 const DONE_EPSILON: f64 = 0.5;
@@ -41,6 +43,11 @@ pub struct ServeConfig {
     pub batch_window: f64,
     /// OS workers per socket pool for the real query executions.
     pub pool_workers: u32,
+    /// Injected fault schedule the virtual plane replays (empty = healthy
+    /// machine).
+    pub faults: FaultPlan,
+    /// Graceful-degradation behavior under faults and deadline pressure.
+    pub resilience: ResiliencePolicy,
 }
 
 impl ServeConfig {
@@ -52,7 +59,21 @@ impl ServeConfig {
             pinning: Pinning::Cores,
             batch_window: 0.010,
             pool_workers: 2,
+            faults: FaultPlan::none(),
+            resilience: ResiliencePolicy::disabled(),
         }
+    }
+
+    /// Replay an injected fault schedule during the virtual plane.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enable (or reconfigure) graceful degradation.
+    pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
+        self.resilience = resilience;
+        self
     }
 
     /// Caps without phase serialization — writers mix with readers up to
@@ -73,6 +94,8 @@ impl ServeConfig {
             pinning: Pinning::None,
             batch_window: 0.0,
             pool_workers: 2,
+            faults: FaultPlan::none(),
+            resilience: ResiliencePolicy::disabled(),
         }
     }
 }
@@ -90,6 +113,18 @@ struct Unit {
     verdicts: Vec<(f64, Verdict)>,
     admitted_at: f64,
     finished_at: f64,
+    /// Whether any member pinned its socket explicitly (blocks re-routing).
+    pinned: bool,
+    /// Tightest member deadline, relative to (re)start.
+    deadline_rel: Option<f64>,
+    /// Working absolute deadline; retries re-arm it from their restart.
+    deadline_at: Option<f64>,
+    /// Earliest virtual time the unit may be (re)admitted.
+    ready_at: f64,
+    /// Cancel-and-retry count so far.
+    retries: u32,
+    /// How the unit left the loop.
+    outcome: JobOutcome,
 }
 
 /// A unit currently holding device time.
@@ -151,15 +186,33 @@ impl<'s> QueryServer<'s> {
         self.pending.len()
     }
 
-    /// Route a job to a socket: explicit pin, or round-robin.
+    /// Route a job to a socket: explicit pin; otherwise, when resilience
+    /// is on and faults are scheduled, the socket whose fault state leaves
+    /// the most bandwidth for the job's side at its arrival (round-robin
+    /// breaks ties); plain round-robin otherwise.
     fn route(&mut self, spec: &JobSpec) -> SocketId {
         if let Some(socket) = spec.socket {
             return socket;
         }
-        let sockets = self.planner.sockets().max(1) as u64;
-        let s = (self.route_rr % sockets) as u8;
+        let sockets = self.planner.sockets().max(1);
+        let rr = SocketId((self.route_rr % u64::from(sockets)) as u8);
         self.route_rr += 1;
-        SocketId(s)
+        if self.config.resilience.enabled && !self.config.faults.is_empty() {
+            let machine = self.planner.simulation().params().machine.clone();
+            let state = self.config.faults.state_at(&machine, spec.arrival);
+            let side = spec.kind.side();
+            let mut best = rr;
+            let mut best_scale = side_scale(state.socket(rr), side);
+            for s in 0..sockets {
+                let scale = side_scale(state.socket(SocketId(s)), side);
+                if scale > best_scale + 1e-9 {
+                    best = SocketId(s);
+                    best_scale = scale;
+                }
+            }
+            return best;
+        }
+        rr
     }
 
     /// Run every pending job to completion and report. The server stays
@@ -224,6 +277,16 @@ impl<'s> QueryServer<'s> {
         let mut shared_scan_bytes_saved = 0u64;
         for batch in &batches {
             shared_scan_bytes_saved += batch.saved_bytes;
+            let deadline_rel = batch
+                .members
+                .iter()
+                .filter_map(|m| routed[m.id.0 as usize].1.deadline)
+                .fold(f64::INFINITY, f64::min);
+            let deadline_at = batch
+                .members
+                .iter()
+                .filter_map(|m| routed[m.id.0 as usize].1.deadline_at())
+                .fold(f64::INFINITY, f64::min);
             units.push(Unit {
                 side: Side::Read,
                 socket: batch.socket,
@@ -234,6 +297,15 @@ impl<'s> QueryServer<'s> {
                 verdicts: Vec::new(),
                 admitted_at: f64::NAN,
                 finished_at: f64::NAN,
+                pinned: batch
+                    .members
+                    .iter()
+                    .any(|m| routed[m.id.0 as usize].1.socket.is_some()),
+                deadline_rel: deadline_rel.is_finite().then_some(deadline_rel),
+                deadline_at: deadline_at.is_finite().then_some(deadline_at),
+                ready_at: batch.ready_at,
+                retries: 0,
+                outcome: JobOutcome::Completed,
             });
         }
         for (idx, (_, spec, socket)) in routed.iter().enumerate() {
@@ -248,6 +320,12 @@ impl<'s> QueryServer<'s> {
                     verdicts: Vec::new(),
                     admitted_at: f64::NAN,
                     finished_at: f64::NAN,
+                    pinned: spec.socket.is_some(),
+                    deadline_rel: spec.deadline,
+                    deadline_at: spec.deadline_at(),
+                    ready_at: spec.arrival,
+                    retries: 0,
+                    outcome: JobOutcome::Completed,
                 });
             }
         }
@@ -265,7 +343,7 @@ impl<'s> QueryServer<'s> {
                 by_unit.insert(m, u);
             }
         }
-        for (idx, (id, spec, socket)) in routed.iter().enumerate() {
+        for (idx, (id, spec, _)) in routed.iter().enumerate() {
             let unit = &units[by_unit[&idx]];
             let (bytes, rows, counters) = match spec.kind {
                 JobKind::Query { .. } => {
@@ -288,29 +366,52 @@ impl<'s> QueryServer<'s> {
             }
             .pinning(self.config.pinning)
             .total_bytes(bytes);
-            let stats = sim.evaluate_steady(&wl).stats;
+            // Shed and failed jobs never moved their traffic; pricing their
+            // device stats would overstate what the machine actually did.
+            let stats = if unit.outcome.is_completed() {
+                sim.evaluate_steady(&wl).stats
+            } else {
+                SimStats::default()
+            };
             records.push(JobRecord {
                 id: *id,
                 tenant: spec.tenant,
                 label: spec.kind.label(),
                 side: spec.kind.side(),
-                socket: *socket,
+                socket: unit.socket,
                 arrival: spec.arrival,
                 admitted_at: unit.admitted_at,
                 finished_at: unit.finished_at,
                 queue_wait_seconds: (unit.admitted_at - spec.arrival).max(0.0),
-                exec_seconds: unit.finished_at - unit.admitted_at,
+                exec_seconds: (unit.finished_at - unit.admitted_at).max(0.0),
                 bytes,
                 rows,
                 counters,
                 stats,
                 verdicts: unit.verdicts.clone(),
                 batch_peers: unit.members.len() as u32 - 1,
+                deadline: spec.deadline_at(),
+                retries: unit.retries,
+                outcome: unit.outcome,
             });
         }
         records.sort_by_key(|r| r.id);
 
         let stats = SimStats::merged(records.iter().map(|r| &r.stats));
+        let shed_overloaded = records
+            .iter()
+            .any(|r| r.outcome == JobOutcome::Shed(ShedReason::Overloaded));
+        let troubled = loop_out.degraded_seconds > 0.0
+            || loop_out.power_loss_events > 0
+            || loop_out.replan_events > 0
+            || records.iter().any(|r| !r.outcome.is_completed());
+        let health = if shed_overloaded {
+            ServeHealth::Overloaded
+        } else if troubled {
+            ServeHealth::Degraded
+        } else {
+            ServeHealth::Healthy
+        };
         Ok(ServeReport {
             jobs: records,
             makespan: loop_out.makespan,
@@ -322,6 +423,10 @@ impl<'s> QueryServer<'s> {
             peak_concurrent_writers: loop_out.peak_writers,
             batches: batches.len(),
             shared_scan_bytes_saved,
+            health,
+            replan_events: loop_out.replan_events,
+            power_loss_events: loop_out.power_loss_events,
+            degraded_seconds: loop_out.degraded_seconds,
             stats,
         })
     }
@@ -330,6 +435,43 @@ impl<'s> QueryServer<'s> {
         let sim = self.planner.simulation();
         let device = self.store.device.device_class();
         let controller = AdmissionController::new(self.config.admission);
+        let machine = sim.params().machine.clone();
+        let faults = &self.config.faults;
+        let res = self.config.resilience;
+        let sockets = self.planner.sockets().max(1);
+        // With no re-planning in force the effective caps are exactly the
+        // policy caps (decide_with_caps takes the min of the two).
+        let policy_caps = ConcurrencyBudget {
+            reader_threads: self.config.admission.reader_cap,
+            writer_threads: self.config.admission.writer_cap,
+        };
+
+        // Optimistic solo execution time per unit on a healthy machine:
+        // prices the "can this still make its deadline at all?" shed check.
+        let min_exec: Vec<f64> = if res.enabled && res.shed_hopeless {
+            units
+                .iter()
+                .map(|u| {
+                    let mut spec = match u.side {
+                        Side::Read => MixedSpec::paper(device, 0, u.threads),
+                        Side::Write => MixedSpec::paper(device, u.threads, 0),
+                    };
+                    spec.pinning = self.config.pinning;
+                    let eval = sim.evaluate_mixed(&spec);
+                    let rate = match u.side {
+                        Side::Read => eval.read.bytes_per_sec(),
+                        Side::Write => eval.write.bytes_per_sec(),
+                    };
+                    if rate > 0.0 {
+                        u.bytes as f64 / rate
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         let mut order: Vec<usize> = (0..units.len()).collect();
         order.sort_by(|&a, &b| {
@@ -344,6 +486,7 @@ impl<'s> QueryServer<'s> {
         let mut active: Vec<ActiveRun> = Vec::new();
         let mut ptr = 0usize;
         let mut now = 0.0f64;
+        let mut last_caps: HashMap<u8, ConcurrencyBudget> = HashMap::new();
 
         loop {
             while ptr < order.len() && units[order[ptr]].arrival <= now + 1e-12 {
@@ -351,18 +494,97 @@ impl<'s> QueryServer<'s> {
                 ptr += 1;
             }
 
+            let fstate = faults.state_at(&machine, now);
+
+            // Deadline enforcement (resilient only): cancel active units
+            // that blew their working deadline; retry with backoff on the
+            // healthiest socket, or fail once retries are exhausted.
+            if res.enabled {
+                let mut k = 0;
+                while k < active.len() {
+                    let u = active[k].unit;
+                    let blown = units[u].deadline_at.is_some_and(|d| now >= d - 1e-9);
+                    if !blown {
+                        k += 1;
+                        continue;
+                    }
+                    active.swap_remove(k);
+                    retry_or_fail(units, &mut waiting, u, now, &res, faults, &machine, sockets);
+                }
+            }
+
+            // Shed pass: a queued job whose deadline is unreachable even at
+            // the healthy solo rate gets a typed refusal now instead of
+            // queueing into certain failure.
+            if res.enabled && res.shed_hopeless {
+                let mut i = 0;
+                while i < waiting.len() {
+                    let u = waiting[i];
+                    let eligible = units[u].ready_at <= now + 1e-12;
+                    let hopeless = eligible
+                        && units[u]
+                            .deadline_at
+                            .is_some_and(|d| now + min_exec[u] > d + 1e-9);
+                    if !hopeless {
+                        i += 1;
+                        continue;
+                    }
+                    let reason = if fstate.socket(units[u].socket).is_degraded() {
+                        ShedReason::Degraded
+                    } else {
+                        ShedReason::Overloaded
+                    };
+                    units[u].verdicts.push((now, Verdict::Shed { reason }));
+                    units[u].outcome = JobOutcome::Shed(reason);
+                    units[u].admitted_at = now;
+                    units[u].finished_at = now;
+                    waiting.remove(i);
+                }
+            }
+
+            // Re-planned admission budgets: when a socket's observed
+            // bandwidth drifts past the threshold, its saturation points
+            // shrink — admitting the healthy thread count would only deepen
+            // the queues, so the budget shrinks with it.
+            let mut caps_by_socket: HashMap<u8, ConcurrencyBudget> = HashMap::new();
+            for s in 0..sockets {
+                let sf = fstate.socket(SocketId(s));
+                let drift = (1.0 - sf.read_scale).max(1.0 - sf.write_scale);
+                let caps = if res.enabled && drift > res.replan_drift {
+                    self.planner.degraded_budget(sf.read_scale, sf.write_scale)
+                } else {
+                    policy_caps
+                };
+                let prev = last_caps.insert(s, caps);
+                if res.enabled && prev.unwrap_or(policy_caps) != caps {
+                    out.replan_events += 1;
+                }
+                caps_by_socket.insert(s, caps);
+            }
+
             // Admission pass: FIFO with bypass — a queued unit does not
-            // block later-arriving admissible ones.
+            // block later-arriving admissible ones. Units backing off
+            // (ready_at in the future) are not yet eligible.
             let mut i = 0;
             while i < waiting.len() {
                 let u = waiting[i];
-                let load = socket_load(units, &active, units[u].socket);
-                let verdict = controller.decide(
+                if units[u].ready_at > now + 1e-12 {
+                    i += 1;
+                    continue;
+                }
+                let socket = units[u].socket;
+                let load = socket_load(units, &active, socket);
+                let caps = caps_by_socket
+                    .get(&socket.0)
+                    .copied()
+                    .unwrap_or(policy_caps);
+                let verdict = controller.decide_with_caps(
                     &self.planner,
                     units[u].side,
                     units[u].threads,
                     units[u].bytes,
                     &load,
+                    caps,
                 );
                 if units[u].verdicts.last().map(|(_, v)| *v) != Some(verdict) {
                     units[u].verdicts.push((now, verdict));
@@ -375,7 +597,7 @@ impl<'s> QueryServer<'s> {
                         rate: 0.0,
                     });
                     waiting.remove(i);
-                    let after = socket_load(units, &active, units[u].socket);
+                    let after = socket_load(units, &active, socket);
                     out.peak_readers = out.peak_readers.max(after.reader_threads);
                     out.peak_writers = out.peak_writers.max(after.writer_threads);
                 } else {
@@ -384,14 +606,23 @@ impl<'s> QueryServer<'s> {
             }
 
             if active.is_empty() {
+                let next_ready = waiting
+                    .iter()
+                    .map(|&u| units[u].ready_at)
+                    .filter(|&r| r > now + 1e-12)
+                    .fold(f64::INFINITY, f64::min);
                 if ptr < order.len() {
-                    now = units[order[ptr]].arrival;
+                    now = units[order[ptr]].arrival.min(next_ready);
                     continue;
                 }
-                if let Some(&u) = waiting.first() {
+                if let Some(pos) = waiting
+                    .iter()
+                    .position(|&u| units[u].ready_at <= now + 1e-12)
+                {
                     // Defensive: an idle machine always admits the head of
-                    // the queue; reaching here means a policy with caps
-                    // below the (clamped) demand — run it alone anyway.
+                    // the eligible queue; reaching here means a policy with
+                    // caps below the (clamped) demand — run it alone anyway.
+                    let u = waiting[pos];
                     units[u].verdicts.push((
                         now,
                         Verdict::Admitted {
@@ -413,13 +644,20 @@ impl<'s> QueryServer<'s> {
                         remaining: units[u].bytes as f64,
                         rate: 0.0,
                     });
-                    waiting.remove(0);
+                    waiting.remove(pos);
+                    continue;
+                }
+                if next_ready.is_finite() {
+                    now = next_ready;
                     continue;
                 }
                 break;
             }
 
-            // Rates: per socket, the admitted mix prices both sides.
+            // Rates: per socket, the admitted mix prices both sides; the
+            // fault state scales each side's achievable bandwidth. A
+            // degraded UPI link additionally taxes unpinned threads, whose
+            // placement makes roughly half their traffic cross the link.
             let mut socket_rates: HashMap<u8, (f64, f64)> = HashMap::new();
             for socket in active
                 .iter()
@@ -429,7 +667,12 @@ impl<'s> QueryServer<'s> {
                 let load = socket_load(units, &active, socket);
                 let mut spec = MixedSpec::paper(device, load.writer_threads, load.reader_threads);
                 spec.pinning = self.config.pinning;
-                let eval = sim.evaluate_mixed(&spec);
+                let mut eval = sim.evaluate_mixed_degraded(&spec, &fstate.socket(socket));
+                if self.config.pinning == Pinning::None && fstate.upi_scale < 1.0 {
+                    let haircut = 0.5 + 0.5 * fstate.upi_scale;
+                    eval.read = eval.read.degrade(haircut);
+                    eval.write = eval.write.degrade(haircut);
+                }
                 let per_reader = if load.reader_threads > 0 {
                     eval.read.bytes_per_sec() / load.reader_threads as f64
                 } else {
@@ -452,7 +695,9 @@ impl<'s> QueryServer<'s> {
                     };
             }
 
-            // Advance to the next event: a completion or an arrival.
+            // Advance to the next event: a completion, an arrival, a fault
+            // transition (rates are piecewise-constant between them), a
+            // backoff expiry, or a deadline the resilient path must enforce.
             let dt_done = active
                 .iter()
                 .map(|a| a.remaining / a.rate.max(1.0))
@@ -462,8 +707,35 @@ impl<'s> QueryServer<'s> {
             } else {
                 f64::INFINITY
             };
-            let dt = dt_done.min(dt_arrival);
+            let dt_fault = faults
+                .next_transition_after(now)
+                .map_or(f64::INFINITY, |t| (t - now).max(0.0));
+            let dt_ready = waiting
+                .iter()
+                .map(|&u| units[u].ready_at - now)
+                .filter(|&d| d > 1e-12)
+                .fold(f64::INFINITY, f64::min);
+            let dt_deadline = if res.enabled {
+                active
+                    .iter()
+                    .filter_map(|a| units[a.unit].deadline_at)
+                    .map(|d| d - now)
+                    .filter(|&d| d > 1e-9)
+                    .fold(f64::INFINITY, f64::min)
+            } else {
+                f64::INFINITY
+            };
+            let mut dt = dt_done
+                .min(dt_arrival)
+                .min(dt_fault)
+                .min(dt_ready)
+                .min(dt_deadline);
             debug_assert!(dt.is_finite(), "event loop must always have a next event");
+            // A power loss inside the step truncates it to the loss instant.
+            let loss = faults.power_losses_in(now, now + dt).into_iter().next();
+            if let Some((t, _)) = loss {
+                dt = (t - now).max(0.0);
+            }
 
             let any_reader = active.iter().any(|a| units[a.unit].side == Side::Read);
             let any_writer = active.iter().any(|a| units[a.unit].side == Side::Write);
@@ -472,6 +744,9 @@ impl<'s> QueryServer<'s> {
             }
             if any_writer {
                 out.write_busy += dt;
+            }
+            if fstate.is_degraded() && !active.is_empty() {
+                out.degraded_seconds += dt;
             }
             now += dt;
             for run in &mut active {
@@ -491,10 +766,82 @@ impl<'s> QueryServer<'s> {
                     k += 1;
                 }
             }
+
+            // The power loss lands exactly at `now`: everything mid-flight
+            // on that socket loses its progress. The resilient path retries
+            // (usually onto the healthy peer); the baseline grinds the job
+            // from scratch at whatever rate the faults leave it.
+            if let Some((_, lost_socket)) = loss {
+                out.power_loss_events += 1;
+                let mut k = 0;
+                while k < active.len() {
+                    let u = active[k].unit;
+                    if units[u].socket != lost_socket {
+                        k += 1;
+                        continue;
+                    }
+                    if res.enabled {
+                        active.swap_remove(k);
+                        retry_or_fail(units, &mut waiting, u, now, &res, faults, &machine, sockets);
+                    } else {
+                        active[k].remaining = units[u].bytes as f64;
+                        k += 1;
+                    }
+                }
+            }
         }
 
         out.makespan = now;
         out
+    }
+}
+
+/// Cancel a unit at `now`: schedule a backed-off retry — re-routed to the
+/// healthiest socket for its side unless pinned, with a re-armed working
+/// deadline — or mark it failed once retries are exhausted.
+#[allow(clippy::too_many_arguments)]
+fn retry_or_fail(
+    units: &mut [Unit],
+    waiting: &mut Vec<usize>,
+    u: usize,
+    now: f64,
+    res: &ResiliencePolicy,
+    faults: &FaultPlan,
+    machine: &Machine,
+    sockets: u8,
+) {
+    if units[u].retries < res.max_retries {
+        units[u].retries += 1;
+        units[u].ready_at = now + res.backoff_before(units[u].retries);
+        units[u].deadline_at = units[u].deadline_rel.map(|d| units[u].ready_at + d);
+        if !units[u].pinned {
+            let state = faults.state_at(machine, units[u].ready_at);
+            let mut best = units[u].socket;
+            let mut best_scale = side_scale(state.socket(best), units[u].side);
+            for s in 0..sockets {
+                let scale = side_scale(state.socket(SocketId(s)), units[u].side);
+                if scale > best_scale + 1e-9 {
+                    best = SocketId(s);
+                    best_scale = scale;
+                }
+            }
+            units[u].socket = best;
+        }
+        waiting.push(u);
+    } else {
+        units[u].outcome = JobOutcome::Failed;
+        units[u].finished_at = now;
+        if units[u].admitted_at.is_nan() {
+            units[u].admitted_at = now;
+        }
+    }
+}
+
+/// The fault scale relevant to a job's side.
+fn side_scale(state: pmem_sim::faults::SocketFaultState, side: Side) -> f64 {
+    match side {
+        Side::Read => state.read_scale,
+        Side::Write => state.write_scale,
     }
 }
 
@@ -507,6 +854,9 @@ struct LoopOutput {
     write_bytes_moved: u64,
     peak_readers: u32,
     peak_writers: u32,
+    replan_events: u32,
+    power_loss_events: u32,
+    degraded_seconds: f64,
 }
 
 /// Sum the active reader/writer threads and outstanding bytes on a socket.
@@ -602,7 +952,13 @@ mod tests {
         let a = server.submit(JobSpec::query(QueryId::Q1_1).socket(SocketId(1)));
         let b = server.submit(JobSpec::ingest(8 << 20).socket(SocketId(0)));
         let report = server.run().expect("run");
-        let find = |id| report.jobs.iter().find(|j| j.id == id).unwrap();
+        let find = |id| {
+            report
+                .jobs
+                .iter()
+                .find(|j| j.id == id)
+                .expect("submitted job is reported")
+        };
         assert_eq!(find(a).socket, SocketId(1));
         assert_eq!(find(b).socket, SocketId(0));
     }

@@ -84,6 +84,16 @@ impl Bandwidth {
     pub fn scale(self, factor: f64) -> Bandwidth {
         Bandwidth::from_bytes_per_sec(self.0 * factor)
     }
+
+    /// Apply a fault-injection degradation factor. Unlike [`scale`], the
+    /// factor is clamped to `[0, 1]`: a fault can only take bandwidth away,
+    /// never create it.
+    ///
+    /// [`scale`]: Bandwidth::scale
+    #[inline]
+    pub fn degrade(self, factor: f64) -> Bandwidth {
+        self.scale(factor.clamp(0.0, 1.0))
+    }
 }
 
 impl fmt::Display for Bandwidth {

@@ -1,0 +1,607 @@
+//! Deterministic fault injection for the simulated machine.
+//!
+//! The paper's bandwidth model assumes a healthy server, but the mechanisms
+//! it calibrates — per-DIMM write-combining buffers, RPQ/WPQ queues, UPI
+//! capacity — are exactly what degrades in production. Optane DIMMs
+//! thermally throttle their write path, a DIMM can drop out of the
+//! interleave set, the UPI link loses lanes, and queues stall for bursts at
+//! a time (the early-evaluation studies report all four). This module
+//! expresses those degradations as a *seeded, deterministic* schedule so
+//! resilience experiments are exactly reproducible: the same seed always
+//! yields the same fault timeline.
+//!
+//! A [`FaultPlan`] is a list of timed [`FaultEvent`]s. Consumers fold the
+//! events active at a virtual time `t` into a [`MachineFaultState`] — a pair
+//! of per-socket read/write bandwidth scale factors plus a UPI capacity
+//! scale — via [`FaultPlan::state_at`], and chop their simulation steps at
+//! [`FaultPlan::next_transition_after`] so rates stay piecewise-constant.
+//! Power-loss events are instantaneous and surfaced separately through
+//! [`FaultPlan::power_losses_in`]; the storage layer maps them onto
+//! `Region::crash`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::topology::{Machine, SocketId};
+
+/// Bandwidth scale applied to a socket while one of its iMC queues is
+/// stalled: the queue drains almost nothing, but forward progress never
+/// fully stops (retries trickle through), which keeps simulated completion
+/// times finite.
+pub const STALL_SCALE: f64 = 0.05;
+
+/// One kind of injected hardware degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Thermal write throttling on one socket's DIMMs: the WPQ drain rate —
+    /// and with it the achievable write bandwidth — is scaled by `factor`.
+    WriteThrottle {
+        /// Socket whose DIMMs throttle.
+        socket: SocketId,
+        /// WPQ drain-rate scale in `(0, 1)`.
+        factor: f64,
+    },
+    /// `dimms` DIMMs of one socket's interleave set stop serving traffic.
+    /// Both read and write bandwidth shrink with the lost channel share.
+    DimmDropout {
+        /// Socket losing DIMMs.
+        socket: SocketId,
+        /// Number of DIMMs lost (clamped below the socket's channel count).
+        dimms: u8,
+    },
+    /// The UPI link degrades (lane failure / retraining): cross-socket
+    /// capacity is scaled by `factor`.
+    UpiDegrade {
+        /// Remaining fraction of UPI capacity in `(0, 1)`.
+        factor: f64,
+    },
+    /// A transient RPQ/WPQ stall burst on one socket: both directions drop
+    /// to [`STALL_SCALE`] for the duration.
+    QueueStall {
+        /// Socket whose iMC queues stall.
+        socket: SocketId,
+    },
+    /// An instantaneous power-loss event on one socket. Carries no duration;
+    /// the storage layer replays it as `Region::crash` (unfenced lines are
+    /// lost) and the serving layer fails the jobs running there.
+    PowerLoss {
+        /// Socket that loses power.
+        socket: SocketId,
+    },
+}
+
+impl FaultKind {
+    /// The socket this fault degrades, if it is socket-local.
+    pub fn socket(&self) -> Option<SocketId> {
+        match *self {
+            FaultKind::WriteThrottle { socket, .. }
+            | FaultKind::DimmDropout { socket, .. }
+            | FaultKind::QueueStall { socket }
+            | FaultKind::PowerLoss { socket } => Some(socket),
+            FaultKind::UpiDegrade { .. } => None,
+        }
+    }
+}
+
+/// A fault with its active window `[start, end)` in virtual seconds.
+/// Power-loss events are instantaneous: `end == start`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Virtual time the fault begins.
+    pub start: f64,
+    /// Virtual time the fault clears (equal to `start` for power loss).
+    pub end: f64,
+    /// What degrades.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Whether the fault's window covers time `t`.
+    pub fn active_at(&self, t: f64) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether this is an instantaneous power-loss event.
+    pub fn is_power_loss(&self) -> bool {
+        matches!(self.kind, FaultKind::PowerLoss { .. })
+    }
+}
+
+/// Bandwidth scale factors for one socket at a point in virtual time.
+/// `1.0` is healthy; multiple active faults multiply together.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SocketFaultState {
+    /// Scale on the socket's achievable read bandwidth.
+    pub read_scale: f64,
+    /// Scale on the socket's achievable write bandwidth (WPQ drain rate).
+    pub write_scale: f64,
+}
+
+impl SocketFaultState {
+    /// A healthy socket: both scales at 1.0.
+    pub const HEALTHY: SocketFaultState = SocketFaultState {
+        read_scale: 1.0,
+        write_scale: 1.0,
+    };
+
+    /// Whether any meaningful degradation applies.
+    pub fn is_degraded(&self) -> bool {
+        self.read_scale < 0.999 || self.write_scale < 0.999
+    }
+
+    fn apply(&mut self, kind: &FaultKind, machine: &Machine) {
+        match *kind {
+            FaultKind::WriteThrottle { factor, .. } => {
+                self.write_scale *= factor.clamp(0.0, 1.0);
+            }
+            FaultKind::DimmDropout { dimms, .. } => {
+                let channels = machine.channels_per_socket().max(1);
+                let lost = dimms.min(channels - 1);
+                let share = f64::from(channels - lost) / f64::from(channels);
+                self.read_scale *= share;
+                self.write_scale *= share;
+            }
+            FaultKind::QueueStall { .. } => {
+                self.read_scale *= STALL_SCALE;
+                self.write_scale *= STALL_SCALE;
+            }
+            FaultKind::UpiDegrade { .. } | FaultKind::PowerLoss { .. } => {}
+        }
+    }
+}
+
+impl Default for SocketFaultState {
+    fn default() -> Self {
+        SocketFaultState::HEALTHY
+    }
+}
+
+/// The machine-wide fault state at a point in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineFaultState {
+    /// Per-socket degradation (index = `SocketId.0`).
+    pub sockets: [SocketFaultState; 2],
+    /// Remaining fraction of UPI capacity (1.0 = healthy link).
+    pub upi_scale: f64,
+}
+
+impl MachineFaultState {
+    /// A fully healthy machine.
+    pub const HEALTHY: MachineFaultState = MachineFaultState {
+        sockets: [SocketFaultState::HEALTHY, SocketFaultState::HEALTHY],
+        upi_scale: 1.0,
+    };
+
+    /// The fault state of one socket.
+    pub fn socket(&self, socket: SocketId) -> SocketFaultState {
+        self.sockets[socket.0 as usize % 2]
+    }
+
+    /// Whether anything on the machine is degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.upi_scale < 0.999 || self.sockets.iter().any(|s| s.is_degraded())
+    }
+}
+
+impl Default for MachineFaultState {
+    fn default() -> Self {
+        MachineFaultState::HEALTHY
+    }
+}
+
+/// Shape of a generated fault schedule: how many of each fault kind to
+/// draw and over what horizon. All draws come from one seeded generator,
+/// so a `(seed, config)` pair fully determines the timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultScheduleConfig {
+    /// Virtual-time horizon the faults are scattered over, in seconds.
+    pub horizon: f64,
+    /// Concentrate socket-local faults on this socket instead of drawing
+    /// the victim uniformly. Useful for experiments that contrast a
+    /// degraded socket against a healthy peer.
+    pub victim: Option<SocketId>,
+    /// Number of thermal write-throttling windows.
+    pub write_throttles: u32,
+    /// Range the throttle factor is drawn from.
+    pub throttle_factor: (f64, f64),
+    /// Number of DIMM-dropout windows (1–2 DIMMs each).
+    pub dimm_dropouts: u32,
+    /// Number of UPI degradation windows.
+    pub upi_degrades: u32,
+    /// Range the UPI capacity factor is drawn from.
+    pub upi_factor: (f64, f64),
+    /// Number of transient queue-stall bursts.
+    pub stall_bursts: u32,
+    /// Range a stall burst's duration is drawn from, in seconds.
+    pub stall_duration: (f64, f64),
+    /// Number of instantaneous power-loss events.
+    pub power_losses: u32,
+}
+
+impl FaultScheduleConfig {
+    /// A moderately hostile default over the given horizon: a couple of
+    /// throttle windows, one dropout, one UPI degradation, a few stall
+    /// bursts, and one power loss.
+    pub fn over(horizon: f64) -> Self {
+        FaultScheduleConfig {
+            horizon,
+            victim: None,
+            write_throttles: 2,
+            throttle_factor: (0.1, 0.4),
+            dimm_dropouts: 1,
+            upi_degrades: 1,
+            upi_factor: (0.3, 0.7),
+            stall_bursts: 3,
+            stall_duration: (0.01, 0.05),
+            power_losses: 1,
+        }
+    }
+}
+
+impl Default for FaultScheduleConfig {
+    fn default() -> Self {
+        FaultScheduleConfig::over(1.0)
+    }
+}
+
+/// A deterministic schedule of fault events over virtual time.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a healthy machine forever.
+    pub fn none() -> Self {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// Build a plan from explicit events (sorted by start time).
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by(|a, b| a.start.total_cmp(&b.start));
+        FaultPlan { events }
+    }
+
+    /// Generate a schedule from a seed. Identical `(seed, config)` pairs
+    /// produce identical plans — the seed drives a [`SmallRng`] and every
+    /// draw happens in a fixed order.
+    pub fn generate(seed: u64, config: &FaultScheduleConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let horizon = config.horizon.max(1e-6);
+        let mut events = Vec::new();
+
+        let victim = |rng: &mut SmallRng| {
+            config
+                .victim
+                .unwrap_or_else(|| SocketId(if rng.gen_bool(0.5) { 0 } else { 1 }))
+        };
+        let range = |rng: &mut SmallRng, (lo, hi): (f64, f64)| {
+            if hi > lo {
+                rng.gen_range(lo..hi)
+            } else {
+                lo
+            }
+        };
+
+        for _ in 0..config.write_throttles {
+            let socket = victim(&mut rng);
+            let factor = range(&mut rng, config.throttle_factor);
+            let start = rng.gen_range(0.0..horizon * 0.5);
+            let len = rng.gen_range(horizon * 0.2..horizon * 0.6);
+            events.push(FaultEvent {
+                start,
+                end: (start + len).min(horizon),
+                kind: FaultKind::WriteThrottle { socket, factor },
+            });
+        }
+        for _ in 0..config.dimm_dropouts {
+            let socket = victim(&mut rng);
+            let dimms = if rng.gen_bool(0.7) { 1 } else { 2 };
+            let start = rng.gen_range(0.0..horizon * 0.7);
+            let len = rng.gen_range(horizon * 0.1..horizon * 0.3);
+            events.push(FaultEvent {
+                start,
+                end: (start + len).min(horizon),
+                kind: FaultKind::DimmDropout { socket, dimms },
+            });
+        }
+        for _ in 0..config.upi_degrades {
+            let factor = range(&mut rng, config.upi_factor);
+            let start = rng.gen_range(0.0..horizon * 0.7);
+            let len = rng.gen_range(horizon * 0.1..horizon * 0.4);
+            events.push(FaultEvent {
+                start,
+                end: (start + len).min(horizon),
+                kind: FaultKind::UpiDegrade { factor },
+            });
+        }
+        for _ in 0..config.stall_bursts {
+            let socket = victim(&mut rng);
+            let start = rng.gen_range(0.0..horizon * 0.9);
+            let len = range(&mut rng, config.stall_duration);
+            events.push(FaultEvent {
+                start,
+                end: (start + len).min(horizon),
+                kind: FaultKind::QueueStall { socket },
+            });
+        }
+        for _ in 0..config.power_losses {
+            let socket = victim(&mut rng);
+            let at = rng.gen_range(horizon * 0.1..horizon * 0.9);
+            events.push(FaultEvent {
+                start: at,
+                end: at,
+                kind: FaultKind::PowerLoss { socket },
+            });
+        }
+
+        Self::from_events(events)
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events, sorted by start time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Fold the events active at time `t` into a machine-wide fault state.
+    /// The `machine` supplies the channel count that prices DIMM dropouts.
+    pub fn state_at(&self, machine: &Machine, t: f64) -> MachineFaultState {
+        let mut state = MachineFaultState::HEALTHY;
+        for event in &self.events {
+            if !event.active_at(t) {
+                continue;
+            }
+            if let FaultKind::UpiDegrade { factor } = event.kind {
+                state.upi_scale *= factor.clamp(0.0, 1.0);
+            } else if let Some(socket) = event.kind.socket() {
+                state.sockets[socket.0 as usize % 2].apply(&event.kind, machine);
+            }
+        }
+        state
+    }
+
+    /// The earliest event boundary (start or end) strictly after `t`, if
+    /// any. Simulation loops chop their steps here so rates stay
+    /// piecewise-constant within a step.
+    pub fn next_transition_after(&self, t: f64) -> Option<f64> {
+        self.events
+            .iter()
+            .flat_map(|e| [e.start, e.end])
+            .filter(|&b| b > t)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Power-loss events with `after < time <= until`, in time order.
+    pub fn power_losses_in(&self, after: f64, until: f64) -> Vec<(f64, SocketId)> {
+        let mut losses: Vec<(f64, SocketId)> = self
+            .events
+            .iter()
+            .filter(|e| e.is_power_loss() && e.start > after && e.start <= until)
+            .filter_map(|e| e.kind.socket().map(|s| (e.start, s)))
+            .collect();
+        losses.sort_by(|a, b| a.0.total_cmp(&b.0));
+        losses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::paper_default()
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_timelines() {
+        let cfg = FaultScheduleConfig::over(2.0);
+        let a = FaultPlan::generate(42, &cfg);
+        let b = FaultPlan::generate(42, &cfg);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = FaultScheduleConfig::over(2.0);
+        assert_ne!(FaultPlan::generate(1, &cfg), FaultPlan::generate(2, &cfg));
+    }
+
+    #[test]
+    fn empty_plan_is_always_healthy() {
+        let plan = FaultPlan::none();
+        let state = plan.state_at(&machine(), 0.5);
+        assert_eq!(state, MachineFaultState::HEALTHY);
+        assert!(!state.is_degraded());
+        assert_eq!(plan.next_transition_after(0.0), None);
+        assert!(plan.power_losses_in(0.0, 100.0).is_empty());
+    }
+
+    #[test]
+    fn write_throttle_scales_only_writes() {
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            start: 1.0,
+            end: 2.0,
+            kind: FaultKind::WriteThrottle {
+                socket: SocketId(0),
+                factor: 0.25,
+            },
+        }]);
+        let m = machine();
+        assert!(!plan.state_at(&m, 0.5).is_degraded(), "before the window");
+        let during = plan.state_at(&m, 1.5);
+        let s0 = during.socket(SocketId(0));
+        assert!((s0.write_scale - 0.25).abs() < 1e-12);
+        assert!((s0.read_scale - 1.0).abs() < 1e-12);
+        assert!(!during.socket(SocketId(1)).is_degraded(), "peer is healthy");
+        assert!(!plan.state_at(&m, 2.0).is_degraded(), "window is half-open");
+    }
+
+    #[test]
+    fn dimm_dropout_prices_the_lost_channel_share() {
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            start: 0.0,
+            end: 1.0,
+            kind: FaultKind::DimmDropout {
+                socket: SocketId(1),
+                dimms: 2,
+            },
+        }]);
+        let s1 = plan.state_at(&machine(), 0.5).socket(SocketId(1));
+        // 6 channels per socket, 2 lost -> 4/6 of the bandwidth remains.
+        assert!((s1.read_scale - 4.0 / 6.0).abs() < 1e-12);
+        assert!((s1.write_scale - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropout_never_zeroes_a_socket() {
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            start: 0.0,
+            end: 1.0,
+            kind: FaultKind::DimmDropout {
+                socket: SocketId(0),
+                dimms: 200,
+            },
+        }]);
+        let s0 = plan.state_at(&machine(), 0.5).socket(SocketId(0));
+        assert!(s0.read_scale > 0.0, "at least one channel survives");
+    }
+
+    #[test]
+    fn queue_stall_collapses_both_directions() {
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            start: 0.0,
+            end: 0.1,
+            kind: FaultKind::QueueStall {
+                socket: SocketId(0),
+            },
+        }]);
+        let s0 = plan.state_at(&machine(), 0.05).socket(SocketId(0));
+        assert!((s0.read_scale - STALL_SCALE).abs() < 1e-12);
+        assert!((s0.write_scale - STALL_SCALE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_faults_multiply() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                start: 0.0,
+                end: 1.0,
+                kind: FaultKind::WriteThrottle {
+                    socket: SocketId(0),
+                    factor: 0.5,
+                },
+            },
+            FaultEvent {
+                start: 0.0,
+                end: 1.0,
+                kind: FaultKind::DimmDropout {
+                    socket: SocketId(0),
+                    dimms: 3,
+                },
+            },
+        ]);
+        let s0 = plan.state_at(&machine(), 0.5).socket(SocketId(0));
+        assert!((s0.write_scale - 0.5 * 0.5).abs() < 1e-12);
+        assert!((s0.read_scale - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upi_degrade_is_machine_wide() {
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            start: 0.0,
+            end: 1.0,
+            kind: FaultKind::UpiDegrade { factor: 0.4 },
+        }]);
+        let state = plan.state_at(&machine(), 0.5);
+        assert!((state.upi_scale - 0.4).abs() < 1e-12);
+        assert!(state.is_degraded());
+        assert!(!state.socket(SocketId(0)).is_degraded());
+    }
+
+    #[test]
+    fn transitions_come_back_in_order() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                start: 0.5,
+                end: 1.5,
+                kind: FaultKind::QueueStall {
+                    socket: SocketId(0),
+                },
+            },
+            FaultEvent {
+                start: 1.0,
+                end: 2.0,
+                kind: FaultKind::UpiDegrade { factor: 0.5 },
+            },
+        ]);
+        assert_eq!(plan.next_transition_after(0.0), Some(0.5));
+        assert_eq!(plan.next_transition_after(0.5), Some(1.0));
+        assert_eq!(plan.next_transition_after(1.0), Some(1.5));
+        assert_eq!(plan.next_transition_after(1.5), Some(2.0));
+        assert_eq!(plan.next_transition_after(2.0), None);
+    }
+
+    #[test]
+    fn power_losses_report_in_half_open_windows() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                start: 0.3,
+                end: 0.3,
+                kind: FaultKind::PowerLoss {
+                    socket: SocketId(1),
+                },
+            },
+            FaultEvent {
+                start: 0.7,
+                end: 0.7,
+                kind: FaultKind::PowerLoss {
+                    socket: SocketId(0),
+                },
+            },
+        ]);
+        assert_eq!(
+            plan.power_losses_in(0.0, 0.5),
+            vec![(0.3, SocketId(1))],
+            "only the first loss falls in (0, 0.5]"
+        );
+        assert_eq!(plan.power_losses_in(0.3, 1.0), vec![(0.7, SocketId(0))]);
+        assert!(plan.power_losses_in(0.7, 1.0).is_empty());
+        // Power losses never alter the rate state.
+        assert!(!plan.state_at(&machine(), 0.3).is_degraded());
+    }
+
+    #[test]
+    fn victim_config_concentrates_socket_faults() {
+        let cfg = FaultScheduleConfig {
+            victim: Some(SocketId(0)),
+            ..FaultScheduleConfig::over(2.0)
+        };
+        let plan = FaultPlan::generate(7, &cfg);
+        for event in plan.events() {
+            if let Some(socket) = event.kind.socket() {
+                assert_eq!(socket, SocketId(0));
+            }
+        }
+    }
+
+    #[test]
+    fn generated_events_respect_the_horizon() {
+        let cfg = FaultScheduleConfig::over(3.0);
+        let plan = FaultPlan::generate(99, &cfg);
+        for event in plan.events() {
+            assert!(event.start >= 0.0 && event.start <= 3.0);
+            assert!(event.end >= event.start && event.end <= 3.0);
+        }
+        // Sorted by start.
+        for pair in plan.events().windows(2) {
+            assert!(pair[0].start <= pair[1].start);
+        }
+    }
+}

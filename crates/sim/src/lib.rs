@@ -51,6 +51,7 @@ pub mod analytic;
 pub mod bandwidth;
 pub mod coherence;
 pub mod des;
+pub mod faults;
 pub mod params;
 pub mod sched;
 pub mod stats;
@@ -66,6 +67,9 @@ pub use simulation::{Evaluation, Simulation};
 pub mod prelude {
     pub use crate::analytic::BandwidthModel;
     pub use crate::bandwidth::Bandwidth;
+    pub use crate::faults::{
+        FaultEvent, FaultKind, FaultPlan, FaultScheduleConfig, MachineFaultState, SocketFaultState,
+    };
     pub use crate::params::{DeviceClass, SystemParams};
     pub use crate::sched::Pinning;
     pub use crate::simulation::{Evaluation, Simulation};

@@ -122,6 +122,23 @@ impl Simulation {
         self.model.mixed(spec)
     }
 
+    /// Evaluate a mixed workload on a socket degraded per an injected fault
+    /// state: the healthy Figure-11 surface is computed first, then each
+    /// direction is scaled by the fault's remaining-bandwidth share (DIMM
+    /// dropout and queue stalls hit both directions; thermal write
+    /// throttling only the WPQ drain rate).
+    pub fn evaluate_mixed_degraded(
+        &self,
+        spec: &MixedSpec,
+        fault: &crate::faults::SocketFaultState,
+    ) -> MixedEvaluation {
+        let healthy = self.model.mixed(spec);
+        MixedEvaluation {
+            read: healthy.read.degrade(fault.read_scale),
+            write: healthy.write.degrade(fault.write_scale),
+        }
+    }
+
     /// Update the directory for the sockets this spec makes cross, and
     /// return the view that applied *during* this run.
     fn touch_for(&mut self, spec: &WorkloadSpec) -> CoherenceView {

@@ -131,12 +131,41 @@ impl WorkerLog {
     }
 
     /// Simulate a power loss, then recover: scan slots from the start and
-    /// accept records until the first missing/torn header. Returns the
-    /// number of durable records.
+    /// accept records until the first missing/torn header, then *seal the
+    /// frontier*. Returns the number of durable records.
+    ///
+    /// Sealing matters for idempotence: a header at or beyond the recovered
+    /// head is either torn or a stale survivor of an earlier generation.
+    /// Left in place, it would be replayed again the moment the gap before
+    /// it fills with a fresh append — the torn-record double-replay. Zeroing
+    /// and persisting those headers makes recovery a fixpoint: recovering
+    /// twice (or crashing right after recovery) yields the same log.
     pub fn crash_and_recover(&mut self) -> u64 {
         self.region.crash();
         self.head = self.scan_valid();
+        for i in self.head..self.capacity() {
+            let slot_off = i * LOG_SLOT;
+            let stale = {
+                let header = self.region.read(slot_off, HEADER, AccessHint::Sequential);
+                header.iter().any(|&b| b != 0)
+            };
+            if stale {
+                self.region
+                    .try_ntstore(slot_off, &[0u8; HEADER as usize], AccessHint::Sequential)
+                    .expect("log slot header stays in bounds");
+            }
+        }
+        self.region.sfence();
         self.head
+    }
+
+    /// Escape hatch for fault-injection tests: direct access to the
+    /// backing region. The append protocol can never produce a torn or
+    /// stale slot on its own (every publish is fenced), so crash-recovery
+    /// tests use this to hand-craft the on-media states recovery must
+    /// survive — e.g. a zeroed header in front of a still-valid record.
+    pub fn raw_region_mut(&mut self) -> &mut Region {
+        &mut self.region
     }
 
     /// Recovery scan (also usable on a freshly mapped log).
@@ -269,6 +298,28 @@ mod tests {
         l.append(b"new").unwrap();
         assert_eq!(l.crash_and_recover(), 1);
         assert_eq!(l.read(0).unwrap(), b"new");
+    }
+
+    #[test]
+    fn recovery_sealing_is_durable() {
+        let mut l = log(8);
+        l.append(b"keep").unwrap();
+        l.append(b"casualty").unwrap();
+        l.append(b"ghost").unwrap();
+        // Tear slot 1 (the post-crash state of an append whose header
+        // never became durable): recovery must cut there AND durably seal
+        // the valid-looking "ghost" beyond it.
+        l.region
+            .try_ntstore(LOG_SLOT, &[0u8; HEADER as usize], AccessHint::Sequential)
+            .unwrap();
+        l.region.sfence();
+        assert_eq!(l.crash_and_recover(), 1);
+        // A second crash immediately after recovery reverts nothing: the
+        // sealed headers were fenced, so the ghost stays gone.
+        assert_eq!(l.crash_and_recover(), 1);
+        l.append(b"second").unwrap();
+        assert_eq!(l.crash_and_recover(), 2, "ghost must not resurrect");
+        assert_eq!(l.read(1).unwrap(), b"second");
     }
 
     #[test]

@@ -341,6 +341,7 @@ impl Region {
         }
         self.last_read_end.store(u64::MAX, Ordering::Relaxed);
         self.last_write_end.store(u64::MAX, Ordering::Relaxed);
+        self.tracker.record_crash(count);
         count
     }
 }
@@ -428,6 +429,17 @@ mod tests {
         r.write(200, b"y");
         assert_eq!(r.crash(), 2);
         assert_eq!(r.crash(), 0);
+    }
+
+    #[test]
+    fn crash_events_report_into_the_tracker() {
+        let mut r = region(4096);
+        r.write(0, b"x");
+        r.crash();
+        r.crash();
+        let s = r.tracker().snapshot();
+        assert_eq!(s.crashes, 2);
+        assert_eq!(s.crash_lost_lines, 1);
     }
 
     #[test]

@@ -19,6 +19,8 @@ pub struct AccessTracker {
     write_ops: AtomicU64,
     sfences: AtomicU64,
     page_faults: AtomicU64,
+    crashes: AtomicU64,
+    crash_lost_lines: AtomicU64,
 }
 
 impl AccessTracker {
@@ -53,6 +55,12 @@ impl AccessTracker {
         self.page_faults.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_crash(&self, lost_lines: u64) {
+        self.crashes.fetch_add(1, Ordering::Relaxed);
+        self.crash_lost_lines
+            .fetch_add(lost_lines, Ordering::Relaxed);
+    }
+
     /// Consistent-enough snapshot of the counters (individual counters are
     /// read with relaxed ordering; exactness across counters is not needed
     /// for timing estimates).
@@ -66,6 +74,8 @@ impl AccessTracker {
             write_ops: self.write_ops.load(Ordering::Relaxed),
             sfences: self.sfences.load(Ordering::Relaxed),
             page_faults: self.page_faults.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+            crash_lost_lines: self.crash_lost_lines.load(Ordering::Relaxed),
         }
     }
 
@@ -80,6 +90,8 @@ impl AccessTracker {
         self.write_ops.store(0, Ordering::Relaxed);
         self.sfences.store(0, Ordering::Relaxed);
         self.page_faults.store(0, Ordering::Relaxed);
+        self.crashes.store(0, Ordering::Relaxed);
+        self.crash_lost_lines.store(0, Ordering::Relaxed);
     }
 }
 
@@ -102,6 +114,10 @@ pub struct TrackerSnapshot {
     pub sfences: u64,
     /// fsdax first-touch page faults.
     pub page_faults: u64,
+    /// Simulated power-loss events ([`crate::region::Region::crash`]).
+    pub crashes: u64,
+    /// Cache lines reverted to their persisted image across those crashes.
+    pub crash_lost_lines: u64,
 }
 
 impl TrackerSnapshot {
@@ -138,6 +154,8 @@ impl TrackerSnapshot {
             write_ops: self.write_ops + other.write_ops,
             sfences: self.sfences + other.sfences,
             page_faults: self.page_faults + other.page_faults,
+            crashes: self.crashes + other.crashes,
+            crash_lost_lines: self.crash_lost_lines + other.crash_lost_lines,
         }
     }
 
@@ -152,6 +170,8 @@ impl TrackerSnapshot {
             write_ops: self.write_ops - earlier.write_ops,
             sfences: self.sfences - earlier.sfences,
             page_faults: self.page_faults - earlier.page_faults,
+            crashes: self.crashes - earlier.crashes,
+            crash_lost_lines: self.crash_lost_lines - earlier.crash_lost_lines,
         }
     }
 }
@@ -186,8 +206,19 @@ mod tests {
     fn reset_zeroes_everything() {
         let t = AccessTracker::default();
         t.record_read(1, true);
+        t.record_crash(3);
         t.reset();
         assert_eq!(t.snapshot(), TrackerSnapshot::default());
+    }
+
+    #[test]
+    fn crash_events_accumulate() {
+        let t = AccessTracker::default();
+        t.record_crash(5);
+        t.record_crash(0);
+        let s = t.snapshot();
+        assert_eq!(s.crashes, 2);
+        assert_eq!(s.crash_lost_lines, 5);
     }
 
     #[test]

@@ -194,6 +194,114 @@ proptest! {
         }
     }
 
+    /// Sub-cache-line stores, partial flushes, fences, and crashes at
+    /// arbitrary interleavings: [`is_persisted`] must agree, line by
+    /// line, with what a crash actually leaves on media — including the
+    /// sub-64 B case where a small store taints its whole cache line and
+    /// neighbouring never-written bytes report unpersisted with it.
+    #[test]
+    fn is_persisted_agrees_with_post_crash_contents(
+        ops in prop::collection::vec(
+            (0u64..512, 1u64..96, any::<u8>(), 0u8..5),
+            1..120,
+        ),
+    ) {
+        const LINES: usize = 8;
+        const BYTES: u64 = LINES as u64 * 64;
+        let ns = Namespace::devdax(SocketId(0), 1 << 20);
+        let mut region = ns.alloc_region(BYTES).expect("region");
+        let mut visible = vec![0u8; BYTES as usize];
+        let mut persisted = vec![0u8; BYTES as usize];
+        let mut dirty = [false; LINES];
+        let mut pending = [false; LINES];
+
+        for (raw_off, raw_len, byte, action) in ops {
+            let off = raw_off % BYTES;
+            let len = raw_len.min(BYTES - off);
+            let first = (off / 64) as usize;
+            let last = ((off + len - 1) / 64) as usize;
+            match action {
+                0 => {
+                    // Cached store, usually smaller than a line.
+                    region.write(off, &vec![byte; len as usize]);
+                    visible[off as usize..(off + len) as usize].fill(byte);
+                    for l in first..=last {
+                        pending[l] = false;
+                        dirty[l] = true;
+                    }
+                }
+                1 => {
+                    region.ntstore(off, &vec![byte; len as usize]);
+                    visible[off as usize..(off + len) as usize].fill(byte);
+                    for l in first..=last {
+                        dirty[l] = false;
+                        pending[l] = true;
+                    }
+                }
+                2 => {
+                    region.clwb(off, len);
+                    for l in first..=last {
+                        if dirty[l] {
+                            dirty[l] = false;
+                            pending[l] = true;
+                        }
+                    }
+                }
+                3 => {
+                    region.sfence();
+                    for l in 0..LINES {
+                        if pending[l] {
+                            pending[l] = false;
+                            persisted[l * 64..(l + 1) * 64]
+                                .copy_from_slice(&visible[l * 64..(l + 1) * 64]);
+                        }
+                    }
+                }
+                _ => {
+                    // Mid-sequence power loss; the run then continues on
+                    // whatever survived.
+                    region.crash();
+                    for l in 0..LINES {
+                        if dirty[l] || pending[l] {
+                            dirty[l] = false;
+                            pending[l] = false;
+                            visible[l * 64..(l + 1) * 64]
+                                .copy_from_slice(&persisted[l * 64..(l + 1) * 64]);
+                        }
+                    }
+                }
+            }
+            // The predicate agrees with the model per line…
+            for l in 0..LINES {
+                prop_assert_eq!(
+                    region.is_persisted(l as u64 * 64, 64),
+                    !dirty[l] && !pending[l],
+                    "line {} disagrees after action {}", l, action
+                );
+            }
+            // …and for the exact (possibly sub-line) range just touched.
+            let range_clean = (first..=last).all(|l| !dirty[l] && !pending[l]);
+            prop_assert_eq!(region.is_persisted(off, len), range_clean);
+            // Visible contents always track the model.
+            prop_assert_eq!(
+                region.read(0, BYTES, AccessHint::Sequential),
+                &visible[..]
+            );
+        }
+        // Final crash: tainted lines revert to their persisted image,
+        // clean lines keep their visible (== persisted) contents.
+        region.crash();
+        for l in 0..LINES {
+            let expect = if dirty[l] || pending[l] {
+                &persisted[l * 64..(l + 1) * 64]
+            } else {
+                &visible[l * 64..(l + 1) * 64]
+            };
+            let got = region.read(l as u64 * 64, 64, AccessHint::Sequential);
+            prop_assert_eq!(got, expect, "line {} after the final crash", l);
+        }
+    }
+
     /// The bandwidth model is total, finite, and physically bounded over
     /// the whole configuration space.
     #[test]

@@ -124,6 +124,97 @@ fn writer_admission_matches_the_planner() {
     );
 }
 
+/// Queue-wait accounting under deferred admission: a writer deferred by
+/// serialize-mixed waits exactly from arrival to admission, admission
+/// happens only once the read phase drains, and the identities
+/// `queue_wait = admitted - arrival` and `exec = finished - admitted`
+/// hold for every job in the report.
+#[test]
+fn deferred_writers_account_their_queue_wait() {
+    let store = store();
+    let planner = AccessPlanner::paper_default();
+    let mut server = QueryServer::new(&store, scheduled_unbatched(&planner));
+    let queries = [
+        QueryId::Q1_1,
+        QueryId::Q2_1,
+        QueryId::Q3_1,
+        QueryId::Q4_1,
+        QueryId::Q4_2,
+    ];
+    for q in queries {
+        server.submit(JobSpec::query(q).threads(6).socket(SocketId(0)));
+    }
+    let writer = server.submit(
+        JobSpec::ingest(256 * MIB)
+            .threads(2)
+            .socket(SocketId(0))
+            .arrival(1e-4),
+    );
+    let report = server.run().expect("run succeeds");
+
+    for job in &report.jobs {
+        assert!(
+            job.admitted_at + 1e-9 >= job.arrival,
+            "{} admitted before it arrived",
+            job.id
+        );
+        assert!(
+            (job.queue_wait_seconds - (job.admitted_at - job.arrival)).abs() < 1e-6,
+            "{} queue wait {} != admitted {} - arrival {}",
+            job.id,
+            job.queue_wait_seconds,
+            job.admitted_at,
+            job.arrival
+        );
+        assert!(
+            (job.exec_seconds - (job.finished_at - job.admitted_at)).abs() < 1e-6,
+            "{} exec time disagrees with its admission window",
+            job.id
+        );
+    }
+
+    // The full reader budget is free at t=0: readers never wait.
+    for j in report.jobs.iter().filter(|j| j.side == Side::Read) {
+        assert_eq!(j.queue_wait_seconds, 0.0, "{} admitted on arrival", j.id);
+    }
+
+    // The writer was deferred behind the read phase, and the entire
+    // deferral — not just part of it — shows up as queue wait.
+    let w = report
+        .jobs
+        .iter()
+        .find(|j| j.id == writer)
+        .expect("writer is reported");
+    assert!(
+        w.verdicts.iter().any(|(_, v)| matches!(
+            v,
+            Verdict::Queued {
+                reason: QueueReason::SerializeMixed
+            }
+        )),
+        "writer deferred by serialize-mixed"
+    );
+    let read_drain = report
+        .jobs
+        .iter()
+        .filter(|j| j.side == Side::Read)
+        .map(|j| j.finished_at)
+        .fold(0.0, f64::max);
+    assert!(read_drain > 0.0);
+    assert!(
+        w.admitted_at + 1e-6 >= read_drain,
+        "writer admitted at {} before the reads drained at {}",
+        w.admitted_at,
+        read_drain
+    );
+    assert!(
+        w.queue_wait_seconds >= read_drain - w.arrival - 1e-6,
+        "deferral under-accounted: waited {} of {}",
+        w.queue_wait_seconds,
+        read_drain - w.arrival
+    );
+}
+
 /// Scheduled mixed execution sustains the read-only scan rate (>=80%);
 /// the unscheduled free-for-all measurably forfeits it.
 #[test]

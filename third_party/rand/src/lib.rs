@@ -75,6 +75,22 @@ macro_rules! impl_sample_range {
 
 impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // 53 high bits give a uniform draw in [0, 1), like the real
+                // crate's `Standard` distribution for floats.
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + (self.end - self.start) * unit
+            }
+        }
+    )*};
+}
+
+impl_sample_range_float!(f32, f64);
+
 #[inline]
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
