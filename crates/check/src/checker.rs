@@ -1,0 +1,449 @@
+//! Crash-state enumeration and invariant checking.
+
+use std::collections::HashSet;
+
+use pmem_sim::topology::SocketId;
+use pmem_store::{AccessHint, Namespace, PersistEvent, Region};
+
+use crate::model;
+
+/// Enumeration bounds. Epochs whose WPQ-pending line count exceeds
+/// [`CheckerConfig::max_enum_lines`] are *sampled* instead of exhaustively
+/// enumerated; the report records every such epoch so truncated coverage
+/// is never silent.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckerConfig {
+    /// Exhaustive enumeration bound: up to `2^max_enum_lines` subsets.
+    pub max_enum_lines: usize,
+    /// Subsets drawn (empty and full always included) for oversized epochs.
+    pub sample_budget: usize,
+    /// Seed for the sampling fallback; the same seed always draws the same
+    /// subsets.
+    pub seed: u64,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        CheckerConfig {
+            max_enum_lines: 10,
+            sample_budget: 256,
+            seed: 0x1DEA_C4A5,
+        }
+    }
+}
+
+/// One reachable crash state handed to the verifier.
+#[derive(Debug)]
+pub struct CrashState<'a> {
+    /// The fence epoch the crash falls into.
+    pub epoch: usize,
+    /// The persisted bytes a restart would find.
+    pub image: &'a [u8],
+    /// The WPQ lines the iMC accepted before power was cut.
+    pub accepted_lines: &'a [u64],
+    /// Client marks whose effects are guaranteed durable.
+    pub durable_marks: &'a [u64],
+    /// Client marks whose effects may or may not be durable.
+    pub possible_marks: &'a [u64],
+}
+
+/// A crash state whose recovery broke an invariant.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Epoch of the offending state.
+    pub epoch: usize,
+    /// Accepted WPQ lines of the offending state.
+    pub accepted_lines: Vec<u64>,
+    /// What the verifier reported.
+    pub detail: String,
+}
+
+/// Per-epoch coverage accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochCoverage {
+    /// Epoch index.
+    pub epoch: usize,
+    /// WPQ-pending lines at the closing fence (after no-op dedup).
+    pub wpq_lines: usize,
+    /// Whether all `2^wpq_lines` subsets were enumerated; `false` means
+    /// the seeded-sampling fallback was used.
+    pub exhaustive: bool,
+    /// Distinct states this epoch contributed.
+    pub states: usize,
+}
+
+/// Outcome of a checking run.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Distinct crash states verified (after content dedup).
+    pub states_explored: usize,
+    /// States skipped because an identical (image, marks) state was
+    /// already verified.
+    pub duplicate_states: usize,
+    /// Coverage per epoch, in trace order.
+    pub epochs: Vec<EpochCoverage>,
+    /// All invariant violations found.
+    pub violations: Vec<Violation>,
+    /// Whether the input trace overflowed its buffer (results would be
+    /// meaningless; the checker refuses to run — see [`CrashChecker::check`]).
+    pub trace_truncated: bool,
+}
+
+impl CheckReport {
+    /// Whether every explored state passed every invariant.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty() && !self.trace_truncated
+    }
+
+    /// Epochs that fell back to sampling.
+    pub fn sampled_epochs(&self) -> Vec<usize> {
+        self.epochs
+            .iter()
+            .filter(|e| !e.exhaustive)
+            .map(|e| e.epoch)
+            .collect()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let sampled = self.sampled_epochs();
+        let coverage = if sampled.is_empty() {
+            "exhaustive".to_string()
+        } else {
+            format!("{} epoch(s) sampled {:?}", sampled.len(), sampled)
+        };
+        format!(
+            "{} states across {} epochs ({} duplicates skipped, {}): {}",
+            self.states_explored,
+            self.epochs.len(),
+            self.duplicate_states,
+            coverage,
+            if self.passed() {
+                "no violations".to_string()
+            } else {
+                format!("{} VIOLATION(S)", self.violations.len())
+            }
+        )
+    }
+}
+
+/// SplitMix64: the deterministic stream behind the sampling fallback.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv64(hash: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *hash ^= *b as u64;
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+fn state_key(image: &[u8], durable: &[u64], possible: &[u64]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    fnv64(&mut h, image);
+    for m in durable.iter().chain(possible) {
+        fnv64(&mut h, &m.to_le_bytes());
+    }
+    fnv64(&mut h, &(durable.len() as u64).to_le_bytes());
+    h
+}
+
+/// The model checker: trace in, verified crash states out.
+#[derive(Debug, Default, Clone)]
+pub struct CrashChecker {
+    config: CheckerConfig,
+}
+
+impl CrashChecker {
+    /// A checker with default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A checker with explicit bounds.
+    pub fn with_config(config: CheckerConfig) -> Self {
+        CrashChecker { config }
+    }
+
+    /// Enumerate the ADR-reachable crash states of `trace` over a
+    /// `region_len`-byte region and call `verify` on each distinct one.
+    /// `verify` returns `Err(detail)` when recovery from that state breaks
+    /// an invariant.
+    ///
+    /// Determinism: identical traces and config yield the identical state
+    /// sequence and therefore identical reports. If the trace buffer
+    /// overflowed, no states are explored and the report fails.
+    pub fn check<F>(&self, trace: &[PersistEvent], region_len: u64, mut verify: F) -> CheckReport
+    where
+        F: FnMut(&CrashState<'_>) -> Result<(), String>,
+    {
+        self.check_events(trace, region_len, false, &mut verify)
+    }
+
+    /// [`CrashChecker::check`] over a still-attached
+    /// [`pmem_store::PersistenceTrace`], honouring its truncation flag.
+    pub fn check_trace<F>(
+        &self,
+        trace: &pmem_store::PersistenceTrace,
+        region_len: u64,
+        mut verify: F,
+    ) -> CheckReport
+    where
+        F: FnMut(&CrashState<'_>) -> Result<(), String>,
+    {
+        self.check_events(
+            &trace.snapshot(),
+            region_len,
+            trace.truncated(),
+            &mut verify,
+        )
+    }
+
+    fn check_events<F>(
+        &self,
+        trace: &[PersistEvent],
+        region_len: u64,
+        truncated: bool,
+        verify: &mut F,
+    ) -> CheckReport
+    where
+        F: FnMut(&CrashState<'_>) -> Result<(), String>,
+    {
+        let mut report = CheckReport {
+            states_explored: 0,
+            duplicate_states: 0,
+            epochs: Vec::new(),
+            violations: Vec::new(),
+            trace_truncated: truncated,
+        };
+        if truncated {
+            return report;
+        }
+        let epochs = model::replay(trace, region_len);
+        let mut seen: HashSet<u64> = HashSet::new();
+        for epoch in &epochs {
+            let n = epoch.changed.len();
+            let exhaustive = n <= self.config.max_enum_lines;
+            let mut states = 0usize;
+            let mut visit = |mask: &[bool], report: &mut CheckReport| {
+                let image = epoch.image_for(mask);
+                let key = state_key(&image, &epoch.durable_marks, &epoch.possible_marks);
+                if !seen.insert(key) {
+                    report.duplicate_states += 1;
+                    return;
+                }
+                let accepted: Vec<u64> = mask
+                    .iter()
+                    .zip(&epoch.changed)
+                    .filter(|(chosen, _)| **chosen)
+                    .map(|(_, (line, _))| *line)
+                    .collect();
+                let state = CrashState {
+                    epoch: epoch.index,
+                    image: &image,
+                    accepted_lines: &accepted,
+                    durable_marks: &epoch.durable_marks,
+                    possible_marks: &epoch.possible_marks,
+                };
+                states += 1;
+                report.states_explored += 1;
+                if let Err(detail) = verify(&state) {
+                    report.violations.push(Violation {
+                        epoch: epoch.index,
+                        accepted_lines: accepted,
+                        detail,
+                    });
+                }
+            };
+            if exhaustive {
+                for subset in 0u64..(1u64 << n) {
+                    let mask: Vec<bool> = (0..n).map(|i| subset & (1 << i) != 0).collect();
+                    visit(&mask, &mut report);
+                }
+            } else {
+                // Seeded sampling: empty and full subsets always, the rest
+                // drawn from a per-epoch deterministic stream.
+                let mut rng = self.config.seed ^ (epoch.index as u64).wrapping_mul(0x9E37);
+                visit(&vec![false; n], &mut report);
+                visit(&vec![true; n], &mut report);
+                for _ in 0..self.config.sample_budget.saturating_sub(2) {
+                    let mask: Vec<bool> = (0..n).map(|_| splitmix(&mut rng) & 1 == 1).collect();
+                    visit(&mask, &mut report);
+                }
+            }
+            report.epochs.push(EpochCoverage {
+                epoch: epoch.index,
+                wpq_lines: n,
+                exhaustive,
+                states,
+            });
+        }
+        report
+    }
+}
+
+/// Materialize a crash image into a fresh persistent region, so recovery
+/// code can run against it exactly as it would against remapped PMEM after
+/// a restart. The image is written with `ntstore` + `sfence`, so the
+/// region's persisted state equals `image` byte for byte.
+pub fn materialize(image: &[u8]) -> Region {
+    let ns = Namespace::devdax(SocketId(0), image.len().max(64) as u64);
+    let mut region = ns
+        .alloc_region(image.len() as u64)
+        .expect("namespace sized to the image");
+    if !image.is_empty() {
+        region
+            .try_ntstore(0, image, AccessHint::Sequential)
+            .expect("image fits the region");
+        region.sfence();
+    }
+    region
+}
+
+/// Shorthand for the "recovery is a fixpoint" invariant: crash the
+/// recovered region (dropping anything recovery forgot to fence) and
+/// report whether `probe` observes the same value before and after.
+pub fn recovery_is_durable<T: PartialEq>(
+    region: &mut Region,
+    mut probe: impl FnMut(&Region) -> T,
+) -> bool {
+    let before = probe(region);
+    region.crash();
+    probe(region) == before
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // unwrap in tests is fine
+
+    use super::*;
+
+    fn nt(offset: u64, data: &[u8]) -> PersistEvent {
+        PersistEvent::NtStore {
+            offset,
+            data: data.to_vec(),
+        }
+    }
+
+    #[test]
+    fn enumerates_all_subsets_of_a_small_epoch() {
+        // Two changed lines in one epoch: 4 subsets + the clean tail state
+        // (which dedups against the full subset? no — the tail's base has
+        // both lines applied, equal to the full-subset image, so it does).
+        let trace = vec![nt(0, b"a"), nt(64, b"b"), PersistEvent::Sfence];
+        let checker = CrashChecker::new();
+        let mut images = Vec::new();
+        let report = checker.check(&trace, 128, |state| {
+            images.push((state.image[0], state.image[64]));
+            Ok(())
+        });
+        assert!(report.passed());
+        assert_eq!(report.states_explored, 4);
+        assert_eq!(report.duplicate_states, 1, "clean tail == full subset");
+        assert!(images.contains(&(0, 0)));
+        assert!(images.contains(&(b'a', 0)));
+        assert!(images.contains(&(0, b'b')));
+        assert!(images.contains(&(b'a', b'b')));
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let trace: Vec<PersistEvent> = (0..40)
+            .flat_map(|i| vec![nt(i * 64, &[i as u8 + 1]), PersistEvent::Mark(i)])
+            .chain([PersistEvent::Sfence])
+            .collect();
+        let checker = CrashChecker::with_config(CheckerConfig {
+            max_enum_lines: 4,
+            sample_budget: 64,
+            seed: 7,
+        });
+        let run = |_: ()| {
+            let mut keys = Vec::new();
+            let report = checker.check(&trace, 64 * 64, |s| {
+                keys.push(state_key(s.image, s.durable_marks, s.possible_marks));
+                Ok(())
+            });
+            (keys, report.states_explored, report.sampled_epochs())
+        };
+        let (k1, n1, s1) = run(());
+        let (k2, n2, s2) = run(());
+        assert_eq!(k1, k2, "identical traces must enumerate identical states");
+        assert_eq!(n1, n2);
+        assert_eq!(s1, vec![0], "the 40-line epoch must be flagged as sampled");
+        assert_eq!(s2, vec![0]);
+    }
+
+    #[test]
+    fn oversized_epochs_fall_back_to_sampling_and_say_so() {
+        let trace: Vec<PersistEvent> = (0..20)
+            .map(|i| nt(i * 64, &[0xFF]))
+            .chain([PersistEvent::Sfence])
+            .collect();
+        let checker = CrashChecker::with_config(CheckerConfig {
+            max_enum_lines: 8,
+            sample_budget: 32,
+            seed: 1,
+        });
+        let report = checker.check(&trace, 20 * 64, |_| Ok(()));
+        assert!(!report.epochs[0].exhaustive);
+        assert_eq!(report.sampled_epochs(), vec![0]);
+        assert!(report.states_explored <= 32 + 1);
+        assert!(report.states_explored >= 3, "empty, full, and samples");
+        assert!(report.summary().contains("sampled"));
+    }
+
+    #[test]
+    fn violations_carry_the_offending_state() {
+        let trace = vec![nt(0, b"x"), PersistEvent::Sfence];
+        let report = CrashChecker::new().check(&trace, 64, |state| {
+            if state.image[0] == b'x' {
+                Err("x persisted".into())
+            } else {
+                Ok(())
+            }
+        });
+        assert!(!report.passed());
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].accepted_lines, vec![0]);
+        assert!(report.summary().contains("VIOLATION"));
+    }
+
+    #[test]
+    fn truncated_traces_are_refused() {
+        let trace = pmem_store::PersistenceTrace::shared(1);
+        trace.record(nt(0, b"a"));
+        trace.record(PersistEvent::Sfence); // dropped: capacity 1
+        let report = CrashChecker::new().check_trace(&trace, 64, |_| Ok(()));
+        assert!(report.trace_truncated);
+        assert_eq!(report.states_explored, 0);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn materialized_images_survive_crashes() {
+        let mut image = vec![0u8; 256];
+        image[100] = 42;
+        let mut region = materialize(&image);
+        region.crash();
+        assert_eq!(region.read(100, 1, AccessHint::Random), &[42]);
+        assert!(region.is_persistent());
+    }
+
+    #[test]
+    fn recovery_is_durable_detects_unfenced_repairs() {
+        let mut region = materialize(&[0u8; 128]);
+        region.write(0, b"volatile"); // never fenced
+        assert!(!recovery_is_durable(&mut region, |r| r
+            .read(0, 8, AccessHint::Random)
+            .to_vec()));
+        let mut region = materialize(&[7u8; 128]);
+        assert!(recovery_is_durable(&mut region, |r| r
+            .read(0, 8, AccessHint::Random)
+            .to_vec()));
+    }
+}

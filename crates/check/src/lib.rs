@@ -1,0 +1,39 @@
+//! # pmem-crashmc — systematic crash-state model checking for the storage stack
+//!
+//! A deterministic model checker for crash consistency, driven by the
+//! persistence traces [`pmem_store::Region`] records (see
+//! [`pmem_store::PersistenceTrace`]). The pipeline:
+//!
+//! 1. **Trace.** A checked run attaches a trace to its region; every
+//!    store/ntstore/clwb/sfence (plus client [`PersistEvent::Mark`]s naming
+//!    committed operations) lands in order in the trace.
+//! 2. **Replay.** [`model::replay`] cuts the trace into fence-delimited
+//!    [`model::Epoch`]s under ADR semantics: dirty (never-flushed) lines are
+//!    always lost, WPQ-pending (ntstore'd or clwb'ed) lines may each have
+//!    been accepted or not when power was cut.
+//! 3. **Enumerate.** [`CrashChecker`] walks every subset of each epoch's
+//!    pending lines (no-op lines dropped, states deduplicated by content),
+//!    falling back to seeded sampling — loudly, via
+//!    [`CheckReport::sampled_epochs`] — when an epoch exceeds the bound.
+//! 4. **Verify.** Each distinct state is [`materialize`]d into a fresh
+//!    persistent region, recovery runs against it, and caller-supplied
+//!    invariants are checked: committed data survives, uncommitted data is
+//!    never resurrected, and recovery is idempotent ([`recovery_is_durable`]).
+//!
+//! [`clients`] packages those drivers for the stack's three recovery paths:
+//! the worker log, the Dash hash table, and the SSB columnar checkpoint.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(clippy::unwrap_used)]
+
+pub mod checker;
+pub mod clients;
+pub mod model;
+
+pub use checker::{
+    materialize, recovery_is_durable, CheckReport, CheckerConfig, CrashChecker, CrashState,
+    EpochCoverage, Violation,
+};
+pub use model::{replay, Epoch};
+pub use pmem_store::{PersistEvent, PersistenceTrace};

@@ -1,0 +1,273 @@
+//! Replaying a persistence trace into fence-delimited crash epochs.
+//!
+//! The replay mirrors the ADR semantics `pmem_store::Region` enforces:
+//!
+//! * a regular store makes its cache lines *dirty* (a crash always loses
+//!   them — the model, like the region, has no spontaneous evictions),
+//! * `clwb` moves dirty lines onto the WPQ path ("pending"),
+//! * `ntstore` puts lines onto the WPQ path directly,
+//! * `sfence` accepts every pending line into the WPQ — persistent.
+//!
+//! Between two fences, the iMC may have accepted *any subset* of the
+//! pending lines before power was cut. An [`Epoch`] therefore captures the
+//! persisted base image at its start plus the pending lines (with the
+//! content the closing fence would persist); the checker enumerates the
+//! subsets. Lines whose pending content equals the base content are
+//! dropped up front — accepting them changes nothing, so keeping them
+//! would only inflate the subset space with duplicate states.
+
+use std::collections::BTreeSet;
+
+use pmem_store::region::CACHE_LINE;
+use pmem_store::PersistEvent;
+
+/// One inter-fence window of a traced run.
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    /// Position in the fence order (0 = before the first fence).
+    pub index: usize,
+    /// The persisted image at epoch start: everything earlier fences
+    /// accepted.
+    pub base: Vec<u8>,
+    /// WPQ-pending lines at the closing fence, as `(line, content)` with
+    /// `content` the full cache line the fence would persist. Sorted by
+    /// line; no-op lines (content == base) removed.
+    pub changed: Vec<(u64, Vec<u8>)>,
+    /// Marks recorded strictly before this epoch: their effects were
+    /// fenced, so they survive any crash inside this epoch.
+    pub durable_marks: Vec<u64>,
+    /// Marks recorded inside this epoch: their effects may or may not have
+    /// been accepted.
+    pub possible_marks: Vec<u64>,
+}
+
+impl Epoch {
+    /// The crash image reached when the iMC accepted exactly the changed
+    /// lines selected by `mask` (bit `i` = `changed[i]`).
+    pub fn image_for(&self, mask: &[bool]) -> Vec<u8> {
+        let mut image = self.base.clone();
+        for (chosen, (line, content)) in mask.iter().zip(&self.changed) {
+            if *chosen {
+                let start = (*line * CACHE_LINE) as usize;
+                let end = (start + content.len()).min(image.len());
+                image[start..end].copy_from_slice(&content[..end - start]);
+            }
+        }
+        image
+    }
+}
+
+fn line_range(line: u64, len: usize) -> (usize, usize) {
+    let start = (line * CACHE_LINE) as usize;
+    let end = (start + CACHE_LINE as usize).min(len);
+    (start, end)
+}
+
+fn lines_of(offset: u64, len: u64) -> impl Iterator<Item = u64> {
+    let first = offset / CACHE_LINE;
+    let last = (offset + len.max(1) - 1) / CACHE_LINE;
+    first..=last
+}
+
+/// Replay `trace` over a `region_len`-byte region that starts zeroed (the
+/// state `Namespace::alloc_region` hands out) and cut it into epochs. The
+/// final, fence-less tail of the trace forms the last epoch, so a trace
+/// that ends on a fence contributes one extra "clean shutdown" epoch with
+/// no pending lines.
+pub fn replay(trace: &[PersistEvent], region_len: u64) -> Vec<Epoch> {
+    let len = region_len as usize;
+    let mut data = vec![0u8; len];
+    let mut shadow = vec![0u8; len];
+    let mut dirty: BTreeSet<u64> = BTreeSet::new();
+    let mut pending: BTreeSet<u64> = BTreeSet::new();
+    let mut durable_marks: Vec<u64> = Vec::new();
+    let mut current_marks: Vec<u64> = Vec::new();
+    let mut epochs = Vec::new();
+
+    let close_epoch = |index: usize,
+                       shadow: &[u8],
+                       data: &[u8],
+                       pending: &BTreeSet<u64>,
+                       durable_marks: &[u64],
+                       current_marks: &[u64]| {
+        let mut changed = Vec::new();
+        for &line in pending {
+            let (start, end) = line_range(line, len);
+            if start >= len {
+                continue;
+            }
+            if data[start..end] != shadow[start..end] {
+                changed.push((line, data[start..end].to_vec()));
+            }
+        }
+        Epoch {
+            index,
+            base: shadow.to_vec(),
+            changed,
+            durable_marks: durable_marks.to_vec(),
+            possible_marks: current_marks.to_vec(),
+        }
+    };
+
+    for event in trace {
+        match event {
+            PersistEvent::Store {
+                offset,
+                data: bytes,
+            } => {
+                let start = *offset as usize;
+                data[start..start + bytes.len()].copy_from_slice(bytes);
+                for line in lines_of(*offset, bytes.len() as u64) {
+                    pending.remove(&line);
+                    dirty.insert(line);
+                }
+            }
+            PersistEvent::NtStore {
+                offset,
+                data: bytes,
+            } => {
+                let start = *offset as usize;
+                data[start..start + bytes.len()].copy_from_slice(bytes);
+                for line in lines_of(*offset, bytes.len() as u64) {
+                    dirty.remove(&line);
+                    pending.insert(line);
+                }
+            }
+            PersistEvent::Clwb { offset, len: l } => {
+                for line in lines_of(*offset, *l) {
+                    if dirty.remove(&line) {
+                        pending.insert(line);
+                    }
+                }
+            }
+            PersistEvent::Sfence => {
+                epochs.push(close_epoch(
+                    epochs.len(),
+                    &shadow,
+                    &data,
+                    &pending,
+                    &durable_marks,
+                    &current_marks,
+                ));
+                for &line in &pending {
+                    let (start, end) = line_range(line, len);
+                    if start < len {
+                        shadow[start..end].copy_from_slice(&data[start..end]);
+                    }
+                }
+                pending.clear();
+                durable_marks.append(&mut current_marks);
+            }
+            PersistEvent::Mark(id) => current_marks.push(*id),
+        }
+    }
+    // The tail after the last fence: a crash here may still accept any
+    // subset of whatever is pending.
+    epochs.push(close_epoch(
+        epochs.len(),
+        &shadow,
+        &data,
+        &pending,
+        &durable_marks,
+        &current_marks,
+    ));
+    epochs
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // unwrap in tests is fine
+
+    use super::*;
+
+    fn nt(offset: u64, data: &[u8]) -> PersistEvent {
+        PersistEvent::NtStore {
+            offset,
+            data: data.to_vec(),
+        }
+    }
+
+    #[test]
+    fn fences_delimit_epochs_and_promote_marks() {
+        let trace = vec![
+            nt(0, b"aaaa"),
+            PersistEvent::Mark(1),
+            PersistEvent::Sfence,
+            nt(64, b"bbbb"),
+            PersistEvent::Mark(2),
+            PersistEvent::Sfence,
+        ];
+        let epochs = replay(&trace, 256);
+        assert_eq!(epochs.len(), 3);
+        assert_eq!(epochs[0].changed.len(), 1);
+        assert_eq!(epochs[0].possible_marks, vec![1]);
+        assert!(epochs[0].durable_marks.is_empty());
+        assert_eq!(epochs[1].changed[0].0, 1);
+        assert_eq!(epochs[1].durable_marks, vec![1]);
+        assert_eq!(epochs[1].possible_marks, vec![2]);
+        // Clean-shutdown tail: nothing pending, everything durable.
+        assert!(epochs[2].changed.is_empty());
+        assert_eq!(epochs[2].durable_marks, vec![1, 2]);
+    }
+
+    #[test]
+    fn unflushed_cached_stores_never_appear_as_pending() {
+        let trace = vec![
+            PersistEvent::Store {
+                offset: 0,
+                data: b"dirty".to_vec(),
+            },
+            PersistEvent::Sfence,
+        ];
+        let epochs = replay(&trace, 128);
+        assert!(epochs[0].changed.is_empty(), "dirty lines cannot persist");
+    }
+
+    #[test]
+    fn clwb_moves_dirty_lines_onto_the_wpq_path() {
+        let trace = vec![
+            PersistEvent::Store {
+                offset: 0,
+                data: b"flushed".to_vec(),
+            },
+            PersistEvent::Clwb { offset: 0, len: 7 },
+            PersistEvent::Sfence,
+        ];
+        let epochs = replay(&trace, 128);
+        assert_eq!(epochs[0].changed.len(), 1);
+        assert_eq!(&epochs[0].changed[0].1[..7], b"flushed");
+    }
+
+    #[test]
+    fn noop_lines_are_dropped_from_the_subset_space() {
+        let trace = vec![
+            nt(0, b"same"),
+            PersistEvent::Sfence,
+            nt(0, b"same"), // re-writing identical content
+            nt(64, b"new!"),
+            PersistEvent::Sfence,
+        ];
+        let epochs = replay(&trace, 256);
+        assert_eq!(
+            epochs[1].changed.len(),
+            1,
+            "identical re-write is a no-op line"
+        );
+        assert_eq!(epochs[1].changed[0].0, 1);
+    }
+
+    #[test]
+    fn image_for_applies_exactly_the_selected_lines() {
+        let trace = vec![nt(0, b"xx"), nt(64, b"yy"), PersistEvent::Sfence];
+        let epochs = replay(&trace, 192);
+        let e = &epochs[0];
+        assert_eq!(e.changed.len(), 2);
+        let none = e.image_for(&[false, false]);
+        assert_eq!(&none[..2], &[0, 0]);
+        let first = e.image_for(&[true, false]);
+        assert_eq!(&first[..2], b"xx");
+        assert_eq!(&first[64..66], &[0, 0]);
+        let both = e.image_for(&[true, true]);
+        assert_eq!(&both[64..66], b"yy");
+    }
+}

@@ -43,7 +43,7 @@ pub mod segment;
 pub mod table;
 
 pub use chained::ChainedTable;
-pub use table::{DashStats, DashTable};
+pub use table::{DashRecovery, DashStats, DashTable};
 
 /// Common interface over the PMEM-aware and PMEM-unaware tables so the SSB
 /// engine can swap them per execution mode.

@@ -7,6 +7,8 @@
 //! the stash as a last resort. Only when even the stash is full does the
 //! table split the segment.
 
+use std::collections::BTreeMap;
+
 use parking_lot::RwLock;
 use pmem_store::{Namespace, Region, Result};
 
@@ -268,6 +270,105 @@ impl SegmentInner {
     pub fn capacity() -> usize {
         (BUCKETS + STASH) as usize * SLOTS
     }
+
+    /// Rebuild a segment over an existing region — the post-crash remap
+    /// path (e.g. a region materialized from a crash image). With `repair`
+    /// set, interrupted displacements are swept first; the returned
+    /// [`SegmentRecovery`] reports what the sweep found.
+    pub fn recover(
+        region: Region,
+        local_depth: u8,
+        repair: bool,
+    ) -> (SegmentInner, SegmentRecovery) {
+        let mut inner = SegmentInner {
+            region,
+            local_depth,
+            count: 0,
+            stash_used: 0,
+        };
+        let duplicates_repaired = if repair { inner.repair_duplicates() } else { 0 };
+        inner.recount();
+        let report = SegmentRecovery {
+            duplicates_repaired,
+            records: inner.count,
+        };
+        (inner, report)
+    }
+
+    /// Recompute `count` and `stash_used` from the persisted buckets (the
+    /// in-memory counters die with the process; the buckets are the truth).
+    pub fn recount(&mut self) {
+        let mut count = 0usize;
+        let mut stash_used = 0u32;
+        for bkt in 0..BUCKETS + STASH {
+            let occ = bucket::load(&self.region, bkt as u64 * BUCKET_BYTES).occupancy();
+            count += occ;
+            if bkt >= BUCKETS {
+                stash_used += occ as u32;
+            }
+        }
+        self.count = count;
+        self.stash_used = stash_used;
+    }
+
+    /// Keys currently occupying more than one slot — the footprint a crash
+    /// inside [`SegmentInner::insert`]'s displacement window leaves (copy
+    /// published to the alternate bucket, original not yet cleared).
+    pub fn raw_duplicates(&self) -> Vec<u64> {
+        let mut occurrences: BTreeMap<u64, u32> = BTreeMap::new();
+        for bkt in 0..BUCKETS + STASH {
+            let snap = bucket::load(&self.region, bkt as u64 * BUCKET_BYTES);
+            for (_, k, _) in snap.live() {
+                *occurrences.entry(k).or_insert(0) += 1;
+            }
+        }
+        occurrences
+            .into_iter()
+            .filter(|(_, n)| *n > 1)
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Sweep interrupted displacements: for every key occupying multiple
+    /// slots, keep the copy `get`/update probing reaches first (the
+    /// authoritative one — in-place updates land there) and persistently
+    /// clear the rest. Without this sweep a duplicated key survives its own
+    /// removal: `remove` clears only the first probe hit, so the stale copy
+    /// resurrects deleted data. Returns the number of copies cleared.
+    pub fn repair_duplicates(&mut self) -> usize {
+        let mut cleared = 0usize;
+        for key in self.raw_duplicates() {
+            let h = hash64(key);
+            let b = hash::bucket_index(h, BUCKETS);
+            let mut offsets = vec![bucket_off(b), bucket_off((b + 1) % BUCKETS)];
+            offsets.extend((0..STASH).map(stash_off));
+            let mut kept = false;
+            for off in offsets {
+                let snap = bucket::load(&self.region, off);
+                for (slot, k, _) in snap.live() {
+                    if k != key {
+                        continue;
+                    }
+                    if kept {
+                        bucket::clear_slot(&mut self.region, off, slot);
+                        cleared += 1;
+                    } else {
+                        kept = true;
+                    }
+                }
+            }
+        }
+        cleared
+    }
+}
+
+/// What a recovery sweep found in one segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentRecovery {
+    /// Stale duplicate copies persistently cleared.
+    pub duplicates_repaired: usize,
+    /// Live records after the sweep.
+    pub records: usize,
 }
 
 #[cfg(test)]
@@ -341,6 +442,100 @@ mod tests {
         assert_eq!(recs.len(), 50);
         assert!(recs.windows(2).all(|w| w[0].0 < w[1].0));
         assert!(recs.iter().all(|(k, v)| *v == k + 1));
+    }
+
+    /// The on-media state a crash at the displacement window
+    /// (publish-to-alternate done, clear-of-original not) leaves behind:
+    /// the same record live in both buckets of its home pair. This is the
+    /// exact state the crash-state model checker reaches by accepting the
+    /// copy's lines but not the clear (see `tests/crash_model.rs`).
+    fn craft_interrupted_displacement(inner: &mut SegmentInner, key: u64, value: u64) {
+        let h = hash64(key);
+        assert_eq!(inner.insert(h, key, value), SegmentInsert::Inserted);
+        let b = hash::bucket_index(h, BUCKETS);
+        let n = (b + 1) % BUCKETS;
+        let fp = hash::fingerprint(h);
+        // Balanced insert put the record in one bucket of the home pair;
+        // publish the displacement copy into the other.
+        let to = if bucket::load(&inner.region, bucket_off(b))
+            .find(fp, key)
+            .is_some()
+        {
+            n
+        } else {
+            b
+        };
+        let free = bucket::load(&inner.region, bucket_off(to))
+            .free_slot()
+            .expect("room in the pair");
+        bucket::publish(&mut inner.region, bucket_off(to), free, fp, key, value);
+        // Crash here: the clear of the original never happened.
+    }
+
+    #[test]
+    fn interrupted_displacement_resurrects_deleted_keys_without_repair() {
+        let seg = segment();
+        let mut inner = seg.write();
+        craft_interrupted_displacement(&mut inner, 42, 4200);
+        inner.recount();
+        assert_eq!(inner.raw_duplicates(), vec![42]);
+        let h = hash64(42);
+        assert_eq!(inner.remove(h, 42), Some(4200));
+        // The pre-repair bug, pinned: the stale copy answers lookups for a
+        // key the caller just deleted.
+        assert_eq!(
+            inner.get(h, 42),
+            Some(4200),
+            "without the repair sweep the duplicate must resurrect (bug under test)"
+        );
+    }
+
+    #[test]
+    fn repair_sweep_keeps_exactly_one_copy_and_makes_removal_final() {
+        let seg = segment();
+        let mut inner = seg.write();
+        craft_interrupted_displacement(&mut inner, 42, 4200);
+        let repaired = inner.repair_duplicates();
+        assert_eq!(repaired, 1, "one stale copy cleared");
+        assert!(inner.raw_duplicates().is_empty());
+        inner.recount();
+        assert_eq!(inner.count, 1);
+        let h = hash64(42);
+        assert_eq!(
+            inner.get(h, 42),
+            Some(4200),
+            "the surviving copy still answers"
+        );
+        assert_eq!(inner.remove(h, 42), Some(4200));
+        assert_eq!(inner.get(h, 42), None, "removal is final after repair");
+        // The sweep's clears are fenced: a crash right after repair cannot
+        // bring the duplicate back.
+        inner.region.crash();
+        assert!(inner.raw_duplicates().is_empty());
+    }
+
+    #[test]
+    fn recover_rebuilds_counters_from_the_region() {
+        let ns = Namespace::devdax(SocketId(0), 4 << 20);
+        let seg = Segment::new(&ns, 3).unwrap();
+        let region = {
+            let mut inner = seg.write();
+            for k in 0..40u64 {
+                inner.insert(hash64(k), k, k * 7);
+            }
+            craft_interrupted_displacement(&mut inner, 999, 111);
+            // Steal the region, as a post-crash remap would.
+            std::mem::replace(&mut inner.region, ns.alloc_region(64).unwrap())
+        };
+        let (recovered, report) = SegmentInner::recover(region, 3, true);
+        assert_eq!(report.duplicates_repaired, 1);
+        assert_eq!(report.records, 41);
+        assert_eq!(recovered.count, 41);
+        assert_eq!(recovered.local_depth, 3);
+        for k in 0..40u64 {
+            assert_eq!(recovered.get(hash64(k), k), Some(k * 7));
+        }
+        assert_eq!(recovered.get(hash64(999), 999), Some(111));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod columnar;
 pub mod datagen;
 pub mod engine;
@@ -21,6 +22,7 @@ pub mod schema;
 pub mod storage;
 pub mod timing;
 
+pub use checkpoint::{CheckpointRecovery, CheckpointStore};
 pub use engine::OpCounters;
 pub use queries::{run_query, PhaseTraffic, QueryId, QueryOutcome};
 pub use storage::{EngineMode, SsbStore, StorageDevice};

@@ -187,6 +187,7 @@ impl Arena {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // unwrap in tests is fine
     use super::*;
 
     #[test]

@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(clippy::unwrap_used)]
 
 pub mod alloc;
 pub mod log;
@@ -52,7 +53,7 @@ pub use error::StoreError;
 pub use log::WorkerLog;
 pub use namespace::{Namespace, NamespaceMode};
 pub use region::{AccessHint, Region};
-pub use trace::{TraceBuffer, TraceEntry};
+pub use trace::{PersistEvent, PersistenceTrace, TraceBuffer, TraceEntry};
 pub use tracker::{AccessTracker, TrackerSnapshot};
 
 /// Result alias for store operations.

@@ -59,6 +59,24 @@ impl WorkerLog {
         Ok(WorkerLog { region, head: 0 })
     }
 
+    /// Open a log over an existing region (e.g. one materialized from a
+    /// crash image) and run recovery: scan for the durable prefix, seal the
+    /// frontier. The recovered records are immediately readable.
+    pub fn open(region: Region) -> Result<Self> {
+        if !region.is_persistent() {
+            return Err(StoreError::NotPersistent);
+        }
+        let mut log = WorkerLog { region, head: 0 };
+        log.recover();
+        Ok(log)
+    }
+
+    /// The backing region (for attaching traces; all mutation goes through
+    /// the append/recover protocol).
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
     /// Capacity in records.
     pub fn capacity(&self) -> u64 {
         self.region.len() / LOG_SLOT
@@ -142,6 +160,12 @@ impl WorkerLog {
     /// twice (or crashing right after recovery) yields the same log.
     pub fn crash_and_recover(&mut self) -> u64 {
         self.region.crash();
+        self.recover()
+    }
+
+    /// Recovery proper (no crash): scan for the durable prefix and durably
+    /// seal every stale-looking header beyond it.
+    fn recover(&mut self) -> u64 {
         self.head = self.scan_valid();
         for i in self.head..self.capacity() {
             let slot_off = i * LOG_SLOT;
@@ -164,6 +188,9 @@ impl WorkerLog {
     /// stale slot on its own (every publish is fenced), so crash-recovery
     /// tests use this to hand-craft the on-media states recovery must
     /// survive — e.g. a zeroed header in front of a still-valid record.
+    /// Test-only: production code must not bypass persistence accounting
+    /// (enable the `testing` feature to reach it from other crates' tests).
+    #[cfg(any(test, feature = "testing"))]
     pub fn raw_region_mut(&mut self) -> &mut Region {
         &mut self.region
     }
@@ -208,6 +235,7 @@ impl WorkerLog {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // unwrap in tests is fine
     use super::*;
     use pmem_sim::topology::SocketId;
 
@@ -320,6 +348,29 @@ mod tests {
         l.append(b"second").unwrap();
         assert_eq!(l.crash_and_recover(), 2, "ghost must not resurrect");
         assert_eq!(l.read(1).unwrap(), b"second");
+    }
+
+    #[test]
+    fn open_recovers_an_existing_region() {
+        let ns = Namespace::devdax(SocketId(0), 1 << 20);
+        let region = {
+            let mut l = WorkerLog::create(&ns, 8).unwrap();
+            l.append(b"one").unwrap();
+            l.append(b"two").unwrap();
+            l.region
+        };
+        let reopened = WorkerLog::open(region).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.read(0).unwrap(), b"one");
+        assert_eq!(reopened.read(1).unwrap(), b"two");
+
+        let volatile = Namespace::dram(SocketId(0), 1 << 20)
+            .alloc_region(LOG_SLOT)
+            .unwrap();
+        assert!(matches!(
+            WorkerLog::open(volatile),
+            Err(StoreError::NotPersistent)
+        ));
     }
 
     #[test]

@@ -207,6 +207,7 @@ impl Namespace {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // unwrap in tests is fine
     use super::*;
     use crate::region::AccessHint;
 

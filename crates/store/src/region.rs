@@ -75,6 +75,8 @@ pub struct Region {
     last_write_end: AtomicU64,
     /// Optional access-trace sink (see [`crate::trace`]).
     trace: Mutex<Option<Arc<crate::trace::TraceBuffer>>>,
+    /// Optional persistence-event sink for crash-state model checking.
+    persist_trace: Mutex<Option<Arc<crate::trace::PersistenceTrace>>>,
 }
 
 impl Region {
@@ -95,6 +97,7 @@ impl Region {
             last_read_end: AtomicU64::new(u64::MAX),
             last_write_end: AtomicU64::new(u64::MAX),
             trace: Mutex::new(None),
+            persist_trace: Mutex::new(None),
         }
     }
 
@@ -108,10 +111,28 @@ impl Region {
         *self.trace.lock() = None;
     }
 
+    /// Attach a persistence trace: subsequent stores, `clwb`s, and
+    /// `sfence`s are recorded in order for crash-state model checking.
+    pub fn attach_persist_trace(&self, trace: Arc<crate::trace::PersistenceTrace>) {
+        *self.persist_trace.lock() = Some(trace);
+    }
+
+    /// Stop recording persistence events.
+    pub fn detach_persist_trace(&self) {
+        *self.persist_trace.lock() = None;
+    }
+
     #[inline]
     fn record_trace(&self, offset: u64, len: u64, write: bool) {
         if let Some(buffer) = self.trace.lock().as_ref() {
             buffer.record(crate::trace::TraceEntry { offset, len, write });
+        }
+    }
+
+    #[inline]
+    fn record_persist(&self, event: impl FnOnce() -> crate::trace::PersistEvent) {
+        if let Some(trace) = self.persist_trace.lock().as_ref() {
+            trace.record(event());
         }
     }
 
@@ -243,6 +264,10 @@ impl Region {
         let sequential = self.infer_write(offset, bytes.len() as u64, hint);
         self.tracker.record_write(bytes.len() as u64, sequential);
         self.record_trace(offset, bytes.len() as u64, true);
+        self.record_persist(|| crate::trace::PersistEvent::Store {
+            offset,
+            data: bytes.to_vec(),
+        });
         self.data[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
         for line in Self::lines(offset, bytes.len() as u64) {
             self.pending.remove(&line);
@@ -265,6 +290,10 @@ impl Region {
         let sequential = self.infer_write(offset, bytes.len() as u64, hint);
         self.tracker.record_write(bytes.len() as u64, sequential);
         self.record_trace(offset, bytes.len() as u64, true);
+        self.record_persist(|| crate::trace::PersistEvent::NtStore {
+            offset,
+            data: bytes.to_vec(),
+        });
         self.data[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
         for line in Self::lines(offset, bytes.len() as u64) {
             self.dirty.remove(&line);
@@ -281,6 +310,7 @@ impl Region {
     /// `clwb`: schedule the dirty cache lines covering the range for
     /// write-back. They persist at the next [`Region::sfence`].
     pub fn clwb(&mut self, offset: u64, len: u64) {
+        self.record_persist(|| crate::trace::PersistEvent::Clwb { offset, len });
         for line in Self::lines(offset, len) {
             if self.dirty.remove(&line) {
                 self.pending.insert(line);
@@ -292,6 +322,7 @@ impl Region {
     /// the WPQ and — by the ADR guarantee — persistent.
     pub fn sfence(&mut self) {
         self.tracker.record_sfence();
+        self.record_persist(|| crate::trace::PersistEvent::Sfence);
         if !self.persistent {
             return; // Memory Mode: nothing actually persists (§2.1).
         }
@@ -522,5 +553,37 @@ mod tests {
         let r = region(64);
         let _ = r.untracked_slice();
         assert_eq!(r.tracker().snapshot().read_ops, 0);
+    }
+
+    #[test]
+    fn persist_trace_records_the_ordered_event_stream() {
+        use crate::trace::{PersistEvent, PersistenceTrace};
+        let mut r = region(4096);
+        let trace = PersistenceTrace::shared(64);
+        r.attach_persist_trace(Arc::clone(&trace));
+        r.write(0, b"ab");
+        r.clwb(0, 2);
+        r.sfence();
+        trace.mark(1);
+        r.ntstore(64, b"cd");
+        r.detach_persist_trace();
+        r.sfence(); // not recorded: trace detached
+        let events = trace.take();
+        assert_eq!(
+            events,
+            vec![
+                PersistEvent::Store {
+                    offset: 0,
+                    data: b"ab".to_vec()
+                },
+                PersistEvent::Clwb { offset: 0, len: 2 },
+                PersistEvent::Sfence,
+                PersistEvent::Mark(1),
+                PersistEvent::NtStore {
+                    offset: 64,
+                    data: b"cd".to_vec()
+                },
+            ]
+        );
     }
 }

@@ -1,0 +1,147 @@
+//! Acceptance suite for the crash-state model checker (`pmem-crashmc`).
+//!
+//! Covers the three instrumented clients — worker log, Dash segment, SSB
+//! columnar checkpoint — and the checker's own guarantees: determinism
+//! (identical traces enumerate identical state sets), loud coverage
+//! accounting (no silent truncation), and the ability to catch the known
+//! Dash displacement-window duplicate when the repair sweep is disabled.
+
+use pmem_crashmc::clients;
+use pmem_crashmc::{CheckerConfig, CrashChecker, PersistEvent, PersistenceTrace};
+
+#[test]
+fn worker_log_survives_every_reachable_crash_state() {
+    let report = clients::check_worker_log(&CrashChecker::new(), 12);
+    assert!(report.passed(), "violations: {:#?}", report.violations);
+    assert!(
+        report.sampled_epochs().is_empty(),
+        "log epochs are small; all must be exhaustive"
+    );
+    println!("worker log: {}", report.summary());
+}
+
+#[test]
+fn dash_segment_with_repair_survives_every_reachable_crash_state() {
+    let report = clients::check_dash_segment(&CrashChecker::new(), true);
+    assert!(report.passed(), "violations: {:#?}", report.violations);
+    println!("dash segment (repair on): {}", report.summary());
+}
+
+#[test]
+fn checker_catches_the_dash_duplicate_when_repair_is_disabled() {
+    // The pre-fix bug, demonstrably caught: with the recovery-time
+    // duplicate sweep disabled, the checker must flag the crash state the
+    // displacement window leaves — a removed key that stays visible
+    // through its stale copy.
+    let report = clients::check_dash_segment(&CrashChecker::new(), false);
+    assert!(
+        !report.violations.is_empty(),
+        "the displacement-window duplicate must be flagged without repair"
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.detail.contains("resurrected after removal")),
+        "the violation must be the removal-resurrection kind: {:#?}",
+        report.violations
+    );
+    println!(
+        "dash segment (repair off): {} violation(s), e.g. {}",
+        report.violations.len(),
+        report.violations[0].detail
+    );
+}
+
+#[test]
+fn ssb_checkpoint_survives_every_reachable_crash_state() {
+    let report = clients::check_ssb_checkpoint(&CrashChecker::new(), 10);
+    assert!(report.passed(), "violations: {:#?}", report.violations);
+    println!("ssb checkpoint: {}", report.summary());
+}
+
+#[test]
+fn the_three_clients_explore_at_least_five_hundred_distinct_states() {
+    let checker = CrashChecker::new();
+    let log = clients::check_worker_log(&checker, 30);
+    let dash = clients::check_dash_segment(&checker, true);
+    let ckpt = clients::check_ssb_checkpoint(&checker, 16);
+    let total = log.states_explored + dash.states_explored + ckpt.states_explored;
+    println!(
+        "states explored: log {} + dash {} + checkpoint {} = {total}",
+        log.states_explored, dash.states_explored, ckpt.states_explored
+    );
+    assert!(
+        total >= 500,
+        "need ≥500 distinct crash states across the clients, got {total}"
+    );
+}
+
+#[test]
+fn checker_is_deterministic_across_runs() {
+    for (a, b) in [
+        (
+            clients::check_worker_log(&CrashChecker::new(), 8),
+            clients::check_worker_log(&CrashChecker::new(), 8),
+        ),
+        (
+            clients::check_dash_segment(&CrashChecker::new(), true),
+            clients::check_dash_segment(&CrashChecker::new(), true),
+        ),
+        (
+            clients::check_ssb_checkpoint(&CrashChecker::new(), 5),
+            clients::check_ssb_checkpoint(&CrashChecker::new(), 5),
+        ),
+    ] {
+        assert_eq!(a.states_explored, b.states_explored);
+        assert_eq!(a.duplicate_states, b.duplicate_states);
+        assert_eq!(a.epochs.len(), b.epochs.len());
+        for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+            assert_eq!(ea.wpq_lines, eb.wpq_lines);
+            assert_eq!(ea.states, eb.states);
+            assert_eq!(ea.exhaustive, eb.exhaustive);
+        }
+    }
+}
+
+#[test]
+fn oversized_epochs_are_sampled_loudly_never_silently() {
+    // 24 pending lines in one epoch: 2^24 subsets is over any sane bound.
+    // The checker must fall back to sampling AND say so in the report.
+    let trace: Vec<PersistEvent> = (0..24u64)
+        .map(|i| PersistEvent::NtStore {
+            offset: i * 64,
+            data: vec![i as u8 + 1],
+        })
+        .chain([PersistEvent::Sfence])
+        .collect();
+    let checker = CrashChecker::with_config(CheckerConfig {
+        max_enum_lines: 10,
+        sample_budget: 64,
+        seed: 3,
+    });
+    let report = checker.check(&trace, 24 * 64, |_| Ok(()));
+    assert_eq!(report.sampled_epochs(), vec![0]);
+    assert!(!report.epochs[0].exhaustive);
+    assert!(report.summary().contains("sampled"));
+    // Sampling still covers the boundary states (nothing / everything
+    // accepted) plus the seeded draws.
+    assert!(report.states_explored >= 3);
+    assert!(report.states_explored <= 65);
+}
+
+#[test]
+fn truncated_traces_fail_closed() {
+    let trace = PersistenceTrace::shared(2);
+    trace.record(PersistEvent::NtStore {
+        offset: 0,
+        data: vec![1],
+    });
+    trace.record(PersistEvent::Sfence);
+    trace.record(PersistEvent::Sfence); // overflows the capacity-2 buffer
+    assert!(trace.truncated());
+    let report = CrashChecker::new().check_trace(&trace, 64, |_| Ok(()));
+    assert!(report.trace_truncated);
+    assert!(!report.passed(), "truncated coverage must never pass");
+    assert_eq!(report.states_explored, 0);
+}
