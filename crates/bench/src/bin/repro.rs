@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper in one run.
 //!
 //! ```text
-//! repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>] [--crashes]
+//! repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>]
+//!       [--media <seed>] [--crashes]
 //! ```
 //!
 //! Prints each characterization figure (3–13 plus the devdax/fsdax
@@ -32,6 +33,7 @@ struct Args {
     csv_dir: Option<PathBuf>,
     skip_ssb: bool,
     faults: Option<u64>,
+    media: Option<u64>,
     crashes: bool,
 }
 
@@ -42,6 +44,7 @@ fn parse_args() -> Args {
         csv_dir: None,
         skip_ssb: false,
         faults: None,
+        media: None,
         crashes: false,
     };
     let mut it = env::args().skip(1);
@@ -70,10 +73,17 @@ fn parse_args() -> Args {
                         .expect("--faults needs a u64 seed"),
                 );
             }
+            "--media" => {
+                args.media = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--media needs a u64 seed"),
+                );
+            }
             "--crashes" => args.crashes = true,
             "--help" | "-h" => {
                 println!(
-                    "repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>] [--crashes]"
+                    "repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>] [--media <seed>] [--crashes]"
                 );
                 std::process::exit(0);
             }
@@ -232,6 +242,89 @@ fn faulted_serve_section(sf: f64, seed: u64) {
     );
 }
 
+/// Media-error injection and self-healing repair: seeded poison lands on
+/// 256 B XPLines inside the fact shards; the unprotected engine fails its
+/// scans with a typed error, the protected engine scrubs, repairs from
+/// the durable mirror, and re-runs every query correctly.
+fn media_section(sf: f64, threads: u32, seed: u64) {
+    use pmem_ssb::{reference::reference_query, run_query, StoreIntegrity};
+    use pmem_store::StoreError;
+
+    let data = pmem_ssb::datagen::generate(sf, 2021);
+    let mut store = match SsbStore::load(&data, sf, EngineMode::Aware, StorageDevice::PmemDevdax) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("media section skipped: {e}");
+            return;
+        }
+    };
+    let integ = match StoreIntegrity::seal(&store) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("media section skipped: seal failed: {e}");
+            return;
+        }
+    };
+    let plan = FaultPlan::generate(seed, &FaultScheduleConfig::with_media_errors(1.0, 6));
+    let landed = pmem_ssb::apply_media_plan(&mut store, &plan, 0.0, 1.0);
+
+    println!("\n== media errors (seed {seed}): checksummed scrub + mirror repair ==");
+    println!("{} media event(s) landed:", landed.len());
+    for hit in &landed {
+        println!(
+            "  t={:.4}s socket {} offset {:#x} len {} B",
+            hit.at, hit.socket.0, hit.offset, hit.len
+        );
+    }
+    for (socket, report) in integ.scrub(&store) {
+        println!(
+            "  scrub socket {}: {} blocks, {} poisoned, {} mismatched",
+            socket.0,
+            report.blocks,
+            report.poisoned.len(),
+            report.mismatched.len()
+        );
+    }
+
+    let mut baseline_failures = 0usize;
+    for &query in &QueryId::ALL {
+        if matches!(
+            run_query(&store, query, threads),
+            Err(StoreError::Poisoned { .. })
+        ) {
+            baseline_failures += 1;
+        }
+    }
+    println!(
+        "unprotected: {baseline_failures}/{} queries fail with StoreError::Poisoned",
+        QueryId::ALL.len()
+    );
+
+    match integ.repair(&mut store) {
+        Ok(repair) => println!(
+            "repair: {} block(s) rebuilt, {} B rewritten, {} unrepairable",
+            repair.blocks_repaired, repair.bytes_rewritten, repair.unrepairable
+        ),
+        Err(e) => {
+            eprintln!("repair failed: {e}");
+            return;
+        }
+    }
+    let mut correct = 0usize;
+    for &query in &QueryId::ALL {
+        if run_query(&store, query, threads).is_ok_and(|o| o.rows == reference_query(&data, query))
+        {
+            correct += 1;
+        }
+    }
+    println!(
+        "protected: {correct}/{} queries byte-exact after repair, store clean: {}",
+        QueryId::ALL.len(),
+        integ.is_clean(&store)
+    );
+    println!("identical seeds reproduce identical poison placements and scrub reports");
+}
+
 /// Crash-state model checking of the durable structures: every
 /// ADR-reachable crash state of the worker log, the Dash segment, and the
 /// SSB columnar checkpoint is materialized, recovered, and checked.
@@ -384,6 +477,9 @@ fn main() {
         serve_section(args.sf);
         if let Some(seed) = args.faults {
             faulted_serve_section(args.sf, seed);
+        }
+        if let Some(seed) = args.media {
+            media_section(args.sf, args.threads, seed);
         }
     }
 

@@ -368,6 +368,100 @@ pub fn check_ssb_checkpoint(checker: &CrashChecker, batches: u64) -> CheckReport
     })
 }
 
+/// Model-check the media-repair invariant across crash states: **repair
+/// never alters checksum-valid committed data**.
+///
+/// For every reachable crash state of the checkpoint workload: recover the
+/// checkpoint, copy its surviving bytes into a working region, seal
+/// per-block checksums and a pristine mirror, land a deterministic media
+/// error (derived from the state's durable mark count, so every state
+/// poisons a different spot), then run the shared
+/// [`pmem_ssb::integrity::repair_region`] path and verify that repair (a)
+/// restores the region byte-for-byte, (b) scrubs clean afterwards, and (c)
+/// is a no-op the second time — i.e. it only ever rewrites poisoned or
+/// mismatched blocks and leaves checksum-valid data untouched.
+pub fn check_media_repair(checker: &CrashChecker, batches: u64) -> CheckReport {
+    use pmem_ssb::integrity::repair_region;
+    use pmem_store::scrub::{BlockChecksums, SCRUB_BLOCK};
+    use pmem_store::{AccessHint, XPLINE};
+
+    let ns = pmem_store::Namespace::devdax(pmem_sim::topology::SocketId(0), 16 << 20);
+    let mut store =
+        CheckpointStore::create(&ns, batches * CHECKPOINT_BATCH).expect("devdax namespace");
+    let trace = PersistenceTrace::shared(TRACE_CAPACITY);
+    store.region().attach_persist_trace(Arc::clone(&trace));
+    let expected: Vec<ColTuple> = (0..batches * CHECKPOINT_BATCH)
+        .map(checkpoint_tuple)
+        .collect();
+    for b in 0..batches {
+        let start = (b * CHECKPOINT_BATCH) as usize;
+        store
+            .append(&expected[start..start + CHECKPOINT_BATCH as usize])
+            .expect("store sized for workload");
+        trace.mark(b);
+    }
+    store.region().detach_persist_trace();
+    let region_len = store.region().len();
+
+    checker.check_trace(&trace, region_len, |state| {
+        let (recovered, _) = CheckpointStore::open(materialize(state.image))
+            .map_err(|e| format!("open failed: {e}"))?;
+        let committed = recovered.region().untracked_slice().to_vec();
+        if committed.is_empty() {
+            return Ok(());
+        }
+        let len = committed.len() as u64;
+        let scratch = pmem_store::Namespace::devdax(pmem_sim::topology::SocketId(0), 16 << 20);
+        let mut work = scratch
+            .alloc_region(len)
+            .map_err(|e| format!("alloc: {e}"))?;
+        let mut mirror = scratch
+            .alloc_region(len)
+            .map_err(|e| format!("alloc: {e}"))?;
+        work.try_ntstore(0, &committed, AccessHint::Sequential)
+            .map_err(|e| format!("copy: {e}"))?;
+        mirror
+            .try_ntstore(0, &committed, AccessHint::Sequential)
+            .map_err(|e| format!("copy: {e}"))?;
+        work.sfence();
+        mirror.sfence();
+        let checks = BlockChecksums::seal_bytes(&committed, SCRUB_BLOCK);
+
+        // A different deterministic poison placement per crash state.
+        let durable = state.durable_marks.len() as u64;
+        let lines = len.div_ceil(XPLINE);
+        let offset = (durable.wrapping_mul(37) + 13) % lines * XPLINE;
+        let span = XPLINE * (1 + durable % 3);
+        if work.inject_poison(offset, span) == 0 {
+            return Err(format!("poison at {offset} did not land"));
+        }
+
+        let bad = checks.scrub(&work).bad_blocks();
+        if bad.is_empty() {
+            return Err("scrub missed the injected poison".to_string());
+        }
+        let repair = repair_region(&mut work, &checks, &mirror, &bad)
+            .map_err(|e| format!("repair failed: {e}"))?;
+        if !repair.is_fully_repaired() {
+            return Err(format!("unrepairable blocks: {}", repair.unrepairable));
+        }
+        // Repair must restore the committed bytes exactly — in particular
+        // it must not have altered any block that was checksum-valid.
+        if work.untracked_slice() != &committed[..] {
+            return Err("repair altered checksum-valid committed data".to_string());
+        }
+        if !checks.scrub(&work).is_clean() {
+            return Err("region not clean after repair".to_string());
+        }
+        // Idempotence: a second pass finds nothing to rewrite.
+        let again = checks.scrub(&work).bad_blocks();
+        if !again.is_empty() {
+            return Err(format!("second scrub still dirty: {again:?}"));
+        }
+        Ok(())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)] // unwrap in tests is fine
@@ -424,6 +518,13 @@ mod tests {
     #[test]
     fn checkpoint_recovery_passes_the_model_checker() {
         let report = check_ssb_checkpoint(&CrashChecker::new(), 4);
+        assert!(report.passed(), "{:#?}", report.violations);
+        assert!(report.states_explored >= 4 * 4, "{}", report.summary());
+    }
+
+    #[test]
+    fn media_repair_never_alters_committed_data_in_any_crash_state() {
+        let report = check_media_repair(&CrashChecker::new(), 4);
         assert!(report.passed(), "{:#?}", report.violations);
         assert!(report.states_explored >= 4 * 4, "{}", report.summary());
     }

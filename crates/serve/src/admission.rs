@@ -55,6 +55,9 @@ pub enum ShedReason {
     /// The job's socket is running degraded; even the healthy-rate
     /// projection cannot meet the deadline from here.
     Degraded,
+    /// The job kept landing on media-error quarantines until its retry
+    /// budget ran out; the poisoned range could not be served around.
+    Unrepairable,
 }
 
 impl ShedReason {
@@ -63,6 +66,7 @@ impl ShedReason {
         match self {
             ShedReason::Overloaded => "overloaded",
             ShedReason::Degraded => "degraded",
+            ShedReason::Unrepairable => "unrepairable",
         }
     }
 }

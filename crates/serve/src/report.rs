@@ -30,6 +30,7 @@ impl JobOutcome {
             JobOutcome::Completed => "done",
             JobOutcome::Shed(ShedReason::Overloaded) => "shed/over",
             JobOutcome::Shed(ShedReason::Degraded) => "shed/degr",
+            JobOutcome::Shed(ShedReason::Unrepairable) => "shed/media",
             JobOutcome::Failed => "failed",
         }
     }
@@ -151,6 +152,12 @@ pub struct ServeReport {
     /// Virtual seconds the machine ran work while some component was
     /// degraded by an injected fault.
     pub degraded_seconds: f64,
+    /// Jobs cancelled and re-queued because a media error quarantined
+    /// their socket mid-run.
+    pub quarantined: u32,
+    /// Media-error repair windows completed (poisoned blocks rebuilt from
+    /// the durable mirror while the socket was quarantined).
+    pub repaired: u32,
 }
 
 const GIB: f64 = (1u64 << 30) as f64;
@@ -266,7 +273,8 @@ impl std::fmt::Display for ServeReport {
         writeln!(
             f,
             "  health: {} — {} shed, {} failed, {} retried, {} deadline misses; \
-             {} replans, {} power losses, degraded {:.3}s",
+             {} replans, {} power losses, degraded {:.3}s; \
+             {} quarantined, {} media repairs",
             self.health.label(),
             self.shed_jobs(),
             self.failed_jobs(),
@@ -275,6 +283,8 @@ impl std::fmt::Display for ServeReport {
             self.replan_events,
             self.power_loss_events,
             self.degraded_seconds,
+            self.quarantined,
+            self.repaired,
         )?;
         writeln!(
             f,
@@ -348,6 +358,8 @@ mod tests {
             replan_events: 0,
             power_loss_events: 0,
             degraded_seconds: 0.0,
+            quarantined: 0,
+            repaired: 0,
         };
         assert!((report.read_bandwidth_gib_s() - 30.0).abs() < 1e-9);
         assert!((report.write_bandwidth_gib_s() - 10.0).abs() < 1e-9);
@@ -372,6 +384,8 @@ mod tests {
             replan_events: 0,
             power_loss_events: 0,
             degraded_seconds: 0.0,
+            quarantined: 0,
+            repaired: 0,
         };
         assert_eq!(report.read_bandwidth_gib_s(), 0.0);
         assert_eq!(report.mean_queue_wait_seconds(), 0.0);
@@ -418,6 +432,8 @@ mod tests {
             replan_events: 1,
             power_loss_events: 1,
             degraded_seconds: 0.25,
+            quarantined: 1,
+            repaired: 1,
         };
         assert_eq!(report.shed_jobs(), 1);
         assert_eq!(report.retried_jobs(), 1);

@@ -20,7 +20,12 @@
 //!   the retry lands after backoff, usually on a healthier socket);
 //! * sheds queued jobs whose deadline is unreachable even at the healthy
 //!   solo rate, with a typed `Overloaded`/`Degraded` verdict, instead of
-//!   queueing them into certain failure.
+//!   queueing them into certain failure;
+//! * quarantines a socket when an uncorrectable media error lands on it,
+//!   repairs the poisoned range from sealed checksums + the durable
+//!   mirror (the [`pmem_ssb::integrity`] machinery), and re-admits the
+//!   cancelled jobs once the repair completes — instead of letting scans
+//!   consume poison and die.
 
 /// Knobs for graceful degradation. Construct via
 /// [`ResiliencePolicy::paper`] or [`ResiliencePolicy::disabled`] and
@@ -42,6 +47,13 @@ pub struct ResiliencePolicy {
     /// Shed queued jobs whose deadline is unreachable even at the healthy
     /// solo rate, instead of queueing them into certain failure.
     pub shed_hopeless: bool,
+    /// Quarantine + repair sockets hit by uncorrectable media errors,
+    /// retrying the cancelled jobs after the repair window. When false a
+    /// media error kills whatever was running on the socket.
+    pub repair_media: bool,
+    /// Virtual seconds one media-error repair occupies the socket
+    /// (scrub + rebuild of the poisoned blocks from the mirror).
+    pub media_repair_seconds: f64,
 }
 
 impl ResiliencePolicy {
@@ -54,6 +66,8 @@ impl ResiliencePolicy {
             backoff_factor: 1.0,
             replan_drift: f64::INFINITY,
             shed_hopeless: false,
+            repair_media: false,
+            media_repair_seconds: 0.0,
         }
     }
 
@@ -67,6 +81,8 @@ impl ResiliencePolicy {
             backoff_factor: 2.0,
             replan_drift: 0.10,
             shed_hopeless: true,
+            repair_media: true,
+            media_repair_seconds: 0.005,
         }
     }
 

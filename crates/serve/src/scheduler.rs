@@ -404,6 +404,8 @@ impl<'s> QueryServer<'s> {
         let troubled = loop_out.degraded_seconds > 0.0
             || loop_out.power_loss_events > 0
             || loop_out.replan_events > 0
+            || loop_out.quarantined > 0
+            || loop_out.repaired > 0
             || records.iter().any(|r| !r.outcome.is_completed());
         let health = if shed_overloaded {
             ServeHealth::Overloaded
@@ -427,6 +429,8 @@ impl<'s> QueryServer<'s> {
             replan_events: loop_out.replan_events,
             power_loss_events: loop_out.power_loss_events,
             degraded_seconds: loop_out.degraded_seconds,
+            quarantined: loop_out.quarantined,
+            repaired: loop_out.repaired,
             stats,
         })
     }
@@ -487,10 +491,22 @@ impl<'s> QueryServer<'s> {
         let mut ptr = 0usize;
         let mut now = 0.0f64;
         let mut last_caps: HashMap<u8, ConcurrencyBudget> = HashMap::new();
+        // Socket -> virtual time its media-error quarantine lifts.
+        let mut quarantine: HashMap<u8, f64> = HashMap::new();
 
         loop {
             while ptr < order.len() && units[order[ptr]].arrival <= now + 1e-12 {
-                waiting.push(order[ptr]);
+                let u = order[ptr];
+                // Arrivals routed to a quarantined socket sit out the
+                // repair window before they become admissible.
+                if res.enabled && res.repair_media {
+                    if let Some(&lift) = quarantine.get(&units[u].socket.0) {
+                        if lift > units[u].ready_at {
+                            units[u].ready_at = lift;
+                        }
+                    }
+                }
+                waiting.push(u);
                 ptr += 1;
             }
 
@@ -736,6 +752,12 @@ impl<'s> QueryServer<'s> {
             if let Some((t, _)) = loss {
                 dt = (t - now).max(0.0);
             }
+            // So does a media error landing inside the (possibly already
+            // truncated) step — it may precede the power loss.
+            let media = faults.media_errors_in(now, now + dt).into_iter().next();
+            if let Some(m) = &media {
+                dt = (m.at - now).max(0.0);
+            }
 
             let any_reader = active.iter().any(|a| units[a.unit].side == Side::Read);
             let any_writer = active.iter().any(|a| units[a.unit].side == Side::Write);
@@ -771,7 +793,7 @@ impl<'s> QueryServer<'s> {
             // on that socket loses its progress. The resilient path retries
             // (usually onto the healthy peer); the baseline grinds the job
             // from scratch at whatever rate the faults leave it.
-            if let Some((_, lost_socket)) = loss {
+            if let Some((_, lost_socket)) = loss.filter(|&(t, _)| t <= now + 1e-9) {
                 out.power_loss_events += 1;
                 let mut k = 0;
                 while k < active.len() {
@@ -789,10 +811,119 @@ impl<'s> QueryServer<'s> {
                     }
                 }
             }
+
+            // The media error lands exactly at `now`: an uncorrectable
+            // poisoned XPLine range on one socket. The protected path
+            // quarantines the socket for one repair window (the scrubber
+            // rebuilds the poisoned blocks from the durable mirror) and
+            // re-queues whatever was running there with backoff; the
+            // baseline's scans consume the poison and die on the spot.
+            if let Some(m) = media.filter(|m| m.at <= now + 1e-9) {
+                let protect = res.enabled && res.repair_media;
+                if protect {
+                    let lift = now + res.media_repair_seconds.max(0.0);
+                    let q = quarantine.entry(m.socket.0).or_insert(0.0);
+                    if lift > *q {
+                        *q = lift;
+                    }
+                    out.repaired += 1;
+                    // Jobs already queued for this socket sit out the
+                    // repair window too.
+                    for &w in &waiting {
+                        if units[w].socket == m.socket && units[w].ready_at < lift {
+                            units[w].ready_at = lift;
+                        }
+                    }
+                }
+                let mut k = 0;
+                while k < active.len() {
+                    let u = active[k].unit;
+                    if units[u].socket != m.socket {
+                        k += 1;
+                        continue;
+                    }
+                    active.swap_remove(k);
+                    if protect {
+                        out.quarantined += 1;
+                        media_retry_or_shed(
+                            units,
+                            &mut waiting,
+                            u,
+                            now,
+                            &res,
+                            &quarantine,
+                            faults,
+                            &machine,
+                            sockets,
+                        );
+                    } else {
+                        units[u].outcome = JobOutcome::Failed;
+                        units[u].finished_at = now;
+                        if units[u].admitted_at.is_nan() {
+                            units[u].admitted_at = now;
+                        }
+                    }
+                }
+            }
         }
 
         out.makespan = now;
         out
+    }
+}
+
+/// Cancel a unit whose socket took a media error at `now`: schedule a
+/// backed-off retry on the healthiest socket whose quarantine lifts
+/// soonest (pinned units wait out their own socket's repair), or shed it
+/// with the typed [`ShedReason::Unrepairable`] once retries are exhausted.
+#[allow(clippy::too_many_arguments)]
+fn media_retry_or_shed(
+    units: &mut [Unit],
+    waiting: &mut Vec<usize>,
+    u: usize,
+    now: f64,
+    res: &ResiliencePolicy,
+    quarantine: &HashMap<u8, f64>,
+    faults: &FaultPlan,
+    machine: &Machine,
+    sockets: u8,
+) {
+    if units[u].retries < res.max_retries {
+        units[u].retries += 1;
+        let backoff_end = now + res.backoff_before(units[u].retries);
+        let lift = |s: u8| quarantine.get(&s).copied().unwrap_or(0.0);
+        if !units[u].pinned {
+            // Earliest admissible instant wins; the side's fault scale at
+            // that instant breaks ties.
+            let state = faults.state_at(machine, backoff_end);
+            let mut best = units[u].socket;
+            let mut best_ready = lift(best.0).max(backoff_end);
+            let mut best_scale = side_scale(state.socket(best), units[u].side);
+            for s in 0..sockets {
+                let cand = SocketId(s);
+                let ready = lift(s).max(backoff_end);
+                let scale = side_scale(state.socket(cand), units[u].side);
+                if ready < best_ready - 1e-12
+                    || (ready < best_ready + 1e-12 && scale > best_scale + 1e-9)
+                {
+                    best = cand;
+                    best_ready = ready;
+                    best_scale = scale;
+                }
+            }
+            units[u].socket = best;
+        }
+        units[u].ready_at = lift(units[u].socket.0).max(backoff_end);
+        units[u].deadline_at = units[u].deadline_rel.map(|d| units[u].ready_at + d);
+        waiting.push(u);
+    } else {
+        let reason = ShedReason::Unrepairable;
+        units[u].verdicts.push((now, Verdict::Shed { reason }));
+        units[u].outcome = JobOutcome::Shed(reason);
+        units[u].finished_at = now;
+        if units[u].admitted_at.is_nan() {
+            units[u].admitted_at = now;
+        }
     }
 }
 
@@ -857,6 +988,8 @@ struct LoopOutput {
     replan_events: u32,
     power_loss_events: u32,
     degraded_seconds: f64,
+    quarantined: u32,
+    repaired: u32,
 }
 
 /// Sum the active reader/writer threads and outstanding bytes on a socket.
@@ -967,5 +1100,100 @@ mod tests {
         use std::sync::OnceLock;
         static PLANNER: OnceLock<AccessPlanner> = OnceLock::new();
         PLANNER.get_or_init(AccessPlanner::paper_default)
+    }
+
+    /// One uncorrectable media error at `at` on `socket`.
+    fn media_plan(at: f64, socket: u8) -> FaultPlan {
+        FaultPlan::from_events(vec![pmem_sim::faults::FaultEvent {
+            start: at,
+            end: at,
+            kind: pmem_sim::faults::FaultKind::MediaError {
+                socket: SocketId(socket),
+                offset: 4096,
+                lines: 4,
+            },
+        }])
+    }
+
+    /// A long-running write pinned to socket 0 plus a query, so something
+    /// is guaranteed to be active when the media error lands.
+    fn media_jobs() -> [JobSpec; 2] {
+        [
+            JobSpec::ingest(64 << 20).threads(2).socket(SocketId(0)),
+            JobSpec::query(QueryId::Q1_1).threads(4).socket(SocketId(0)),
+        ]
+    }
+
+    #[test]
+    fn media_error_kills_active_jobs_without_protection() {
+        let store = store();
+        let config = ServeConfig::scheduled(server_planner()).with_faults(media_plan(0.0005, 0));
+        let mut server = QueryServer::new(&store, config);
+        server.submit_all(media_jobs());
+        let report = server.run().expect("run");
+        assert!(
+            report.jobs.iter().any(|j| j.outcome == JobOutcome::Failed),
+            "baseline scans consume the poison and die"
+        );
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(report.repaired, 0);
+        assert_eq!(report.health, ServeHealth::Degraded);
+    }
+
+    #[test]
+    fn media_error_is_quarantined_repaired_and_retried_with_protection() {
+        let store = store();
+        let config = ServeConfig::scheduled(server_planner())
+            .with_faults(media_plan(0.0005, 0))
+            .with_resilience(ResiliencePolicy::paper());
+        let mut server = QueryServer::new(&store, config);
+        server.submit_all(media_jobs());
+        let report = server.run().expect("run");
+        for job in &report.jobs {
+            assert!(
+                job.outcome.is_completed(),
+                "{} must complete after repair, got {:?}",
+                job.id,
+                job.outcome
+            );
+        }
+        assert_eq!(report.repaired, 1, "one repair window for one hit");
+        assert!(report.quarantined >= 1, "the active unit was re-queued");
+        assert!(report.jobs.iter().any(|j| j.retries > 0));
+        assert_eq!(report.health, ServeHealth::Degraded);
+        // Pinned jobs must wait out the repair window before re-admission.
+        let victim = report
+            .jobs
+            .iter()
+            .find(|j| j.retries > 0)
+            .expect("a job retried");
+        assert!(
+            victim.finished_at >= 0.0005 + ResiliencePolicy::paper().media_repair_seconds - 1e-9,
+            "retry cannot land before the quarantine lifts"
+        );
+    }
+
+    #[test]
+    fn exhausted_media_retries_shed_as_unrepairable() {
+        let store = store();
+        let mut policy = ResiliencePolicy::paper();
+        policy.max_retries = 0;
+        let config = ServeConfig::scheduled(server_planner())
+            .with_faults(media_plan(0.0005, 0))
+            .with_resilience(policy);
+        let mut server = QueryServer::new(&store, config);
+        server.submit_all(media_jobs());
+        let report = server.run().expect("run");
+        let shed: Vec<_> = report
+            .jobs
+            .iter()
+            .filter(|j| j.outcome == JobOutcome::Shed(ShedReason::Unrepairable))
+            .collect();
+        assert!(!shed.is_empty(), "no retry budget: the victim is shed");
+        for job in shed {
+            assert_eq!(job.outcome.label(), "shed/media");
+            assert!(!job.met_deadline());
+        }
+        assert!(report.repaired >= 1, "the socket itself is still repaired");
     }
 }

@@ -17,7 +17,11 @@
 //! [`FaultPlan::next_transition_after`] so rates stay piecewise-constant.
 //! Power-loss events are instantaneous and surfaced separately through
 //! [`FaultPlan::power_losses_in`]; the storage layer maps them onto
-//! `Region::crash`.
+//! `Region::crash`. Media errors — Optane's third failure class, an
+//! uncorrectable error poisoning a 256 B XPLine-aligned range — are likewise
+//! instantaneous and surfaced through [`FaultPlan::media_errors_in`]; the
+//! storage layer maps them onto `Region::inject_poison` and the scrubber
+//! repairs them from durable checkpoints.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -30,6 +34,11 @@ use crate::topology::{Machine, SocketId};
 /// fully stops (retries trickle through), which keeps simulated completion
 /// times finite.
 pub const STALL_SCALE: f64 = 0.05;
+
+/// Media (poison) granularity of an Optane DIMM: one 256 B XPLine. Injected
+/// media errors are aligned to this boundary, matching the device's
+/// error-reporting granularity.
+pub const XPLINE_BYTES: u64 = 256;
 
 /// One kind of injected hardware degradation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -69,6 +78,20 @@ pub enum FaultKind {
         /// Socket that loses power.
         socket: SocketId,
     },
+    /// An instantaneous uncorrectable media error on one socket: `lines`
+    /// consecutive 256 B XPLines starting at byte `offset` (relative to the
+    /// socket's poisoned address space) become poisoned. Like power loss it
+    /// carries no duration and never alters bandwidth rates; the storage
+    /// layer maps it onto `Region::inject_poison` and consumers see
+    /// `StoreError::Poisoned` until a scrub/repair pass rewrites the lines.
+    MediaError {
+        /// Socket whose DIMM takes the media error.
+        socket: SocketId,
+        /// Byte offset of the first poisoned XPLine ([`XPLINE_BYTES`]-aligned).
+        offset: u64,
+        /// Number of consecutive XPLines poisoned.
+        lines: u32,
+    },
 }
 
 impl FaultKind {
@@ -78,7 +101,8 @@ impl FaultKind {
             FaultKind::WriteThrottle { socket, .. }
             | FaultKind::DimmDropout { socket, .. }
             | FaultKind::QueueStall { socket }
-            | FaultKind::PowerLoss { socket } => Some(socket),
+            | FaultKind::PowerLoss { socket }
+            | FaultKind::MediaError { socket, .. } => Some(socket),
             FaultKind::UpiDegrade { .. } => None,
         }
     }
@@ -105,6 +129,11 @@ impl FaultEvent {
     /// Whether this is an instantaneous power-loss event.
     pub fn is_power_loss(&self) -> bool {
         matches!(self.kind, FaultKind::PowerLoss { .. })
+    }
+
+    /// Whether this is an instantaneous media-error (poison) event.
+    pub fn is_media_error(&self) -> bool {
+        matches!(self.kind, FaultKind::MediaError { .. })
     }
 }
 
@@ -146,7 +175,9 @@ impl SocketFaultState {
                 self.read_scale *= STALL_SCALE;
                 self.write_scale *= STALL_SCALE;
             }
-            FaultKind::UpiDegrade { .. } | FaultKind::PowerLoss { .. } => {}
+            FaultKind::UpiDegrade { .. }
+            | FaultKind::PowerLoss { .. }
+            | FaultKind::MediaError { .. } => {}
         }
     }
 }
@@ -217,6 +248,17 @@ pub struct FaultScheduleConfig {
     pub stall_duration: (f64, f64),
     /// Number of instantaneous power-loss events.
     pub power_losses: u32,
+    /// Number of instantaneous media-error (poison) events. Defaults to 0
+    /// so schedules generated before media errors existed keep their exact
+    /// timelines; integrity experiments opt in explicitly.
+    pub media_errors: u32,
+    /// Byte span of the per-socket address space media-error offsets are
+    /// drawn from. Consumers reduce the offset modulo their region length,
+    /// so this only needs to be large enough to spread draws out.
+    pub media_span: u64,
+    /// Maximum number of consecutive XPLines one media error poisons
+    /// (drawn uniformly from `1..=media_lines_max`).
+    pub media_lines_max: u32,
 }
 
 impl FaultScheduleConfig {
@@ -235,6 +277,18 @@ impl FaultScheduleConfig {
             stall_bursts: 3,
             stall_duration: (0.01, 0.05),
             power_losses: 1,
+            media_errors: 0,
+            media_span: 64 << 20,
+            media_lines_max: 4,
+        }
+    }
+
+    /// The hostile default plus `count` media errors — the opt-in used by
+    /// integrity experiments.
+    pub fn with_media_errors(horizon: f64, count: u32) -> Self {
+        FaultScheduleConfig {
+            media_errors: count,
+            ..FaultScheduleConfig::over(horizon)
         }
     }
 }
@@ -335,6 +389,24 @@ impl FaultPlan {
                 kind: FaultKind::PowerLoss { socket },
             });
         }
+        // Media errors draw last so pre-existing schedules (media_errors == 0)
+        // keep byte-identical event streams for a given seed.
+        let span_lines = (config.media_span / XPLINE_BYTES).max(1);
+        for _ in 0..config.media_errors {
+            let socket = victim(&mut rng);
+            let offset = rng.gen_range(0..span_lines) * XPLINE_BYTES;
+            let lines = rng.gen_range(1..=config.media_lines_max.max(1));
+            let at = rng.gen_range(horizon * 0.1..horizon * 0.9);
+            events.push(FaultEvent {
+                start: at,
+                end: at,
+                kind: FaultKind::MediaError {
+                    socket,
+                    offset,
+                    lines,
+                },
+            });
+        }
 
         Self::from_events(events)
     }
@@ -387,6 +459,56 @@ impl FaultPlan {
             .collect();
         losses.sort_by(|a, b| a.0.total_cmp(&b.0));
         losses
+    }
+
+    /// Media-error events with `after < time <= until`, in time order.
+    pub fn media_errors_in(&self, after: f64, until: f64) -> Vec<MediaHit> {
+        let mut hits: Vec<MediaHit> = self
+            .events
+            .iter()
+            .filter(|e| e.start > after && e.start <= until)
+            .filter_map(|e| match e.kind {
+                FaultKind::MediaError {
+                    socket,
+                    offset,
+                    lines,
+                } => Some(MediaHit {
+                    at: e.start,
+                    socket,
+                    offset,
+                    lines,
+                }),
+                _ => None,
+            })
+            .collect();
+        hits.sort_by(|a, b| a.at.total_cmp(&b.at));
+        hits
+    }
+}
+
+/// One materialized media-error event, as surfaced by
+/// [`FaultPlan::media_errors_in`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MediaHit {
+    /// Virtual time the poison lands.
+    pub at: f64,
+    /// Socket whose DIMM takes the error.
+    pub socket: SocketId,
+    /// Byte offset of the first poisoned XPLine.
+    pub offset: u64,
+    /// Number of consecutive XPLines poisoned.
+    pub lines: u32,
+}
+
+impl MediaHit {
+    /// Total poisoned span in bytes.
+    pub fn len(&self) -> u64 {
+        u64::from(self.lines.max(1)) * XPLINE_BYTES
+    }
+
+    /// Whether the hit poisons nothing (never true for generated plans).
+    pub fn is_empty(&self) -> bool {
+        self.lines == 0
     }
 }
 
@@ -589,6 +711,87 @@ mod tests {
                 assert_eq!(socket, SocketId(0));
             }
         }
+    }
+
+    #[test]
+    fn media_errors_are_opt_in_and_deterministic() {
+        let horizon = 2.0;
+        // Default config draws zero media events, so plans generated before
+        // the fault kind existed keep their exact timelines.
+        let base = FaultPlan::generate(42, &FaultScheduleConfig::over(horizon));
+        assert!(base.media_errors_in(0.0, horizon).is_empty());
+
+        let cfg = FaultScheduleConfig::with_media_errors(horizon, 5);
+        let a = FaultPlan::generate(42, &cfg);
+        let b = FaultPlan::generate(42, &cfg);
+        assert_eq!(a, b, "same seed, same poison timeline");
+        assert_eq!(a.media_errors_in(0.0, horizon).len(), 5);
+
+        // Media draws are appended after every pre-existing draw, so the
+        // non-media prefix of the event stream is unchanged by opting in.
+        let strip = |plan: &FaultPlan| {
+            plan.events()
+                .iter()
+                .filter(|e| !e.is_media_error())
+                .copied()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&a), strip(&base));
+    }
+
+    #[test]
+    fn media_hits_are_aligned_instantaneous_and_rate_neutral() {
+        let cfg = FaultScheduleConfig::with_media_errors(1.0, 8);
+        let plan = FaultPlan::generate(7, &cfg);
+        let m = machine();
+        // Media events never alter the rate state: stripping them from the
+        // plan leaves state_at unchanged at every hit instant.
+        let stripped = FaultPlan::from_events(
+            plan.events()
+                .iter()
+                .filter(|e| !e.is_media_error())
+                .copied()
+                .collect(),
+        );
+        for hit in plan.media_errors_in(0.0, 1.0) {
+            assert_eq!(hit.offset % XPLINE_BYTES, 0, "XPLine aligned");
+            assert!(hit.lines >= 1 && u64::from(hit.lines) <= cfg.media_lines_max.into());
+            assert!(hit.offset < cfg.media_span);
+            assert_eq!(hit.len(), u64::from(hit.lines) * XPLINE_BYTES);
+            assert_eq!(plan.state_at(&m, hit.at), stripped.state_at(&m, hit.at));
+        }
+        // Half-open window semantics match power losses.
+        let all = plan.media_errors_in(0.0, 1.0);
+        let first = all[0];
+        assert!(plan.media_errors_in(first.at, 1.0).len() < all.len());
+        for pair in all.windows(2) {
+            assert!(pair[0].at <= pair[1].at, "time ordered");
+        }
+    }
+
+    #[test]
+    fn media_error_event_is_never_rate_active() {
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            start: 0.5,
+            end: 0.5,
+            kind: FaultKind::MediaError {
+                socket: SocketId(1),
+                offset: 4096,
+                lines: 2,
+            },
+        }]);
+        assert!(!plan.state_at(&machine(), 0.5).is_degraded());
+        assert_eq!(
+            plan.media_errors_in(0.0, 1.0),
+            vec![MediaHit {
+                at: 0.5,
+                socket: SocketId(1),
+                offset: 4096,
+                lines: 2,
+            }]
+        );
+        assert!(plan.media_errors_in(0.5, 1.0).is_empty(), "half-open");
+        assert!(plan.power_losses_in(0.0, 1.0).is_empty());
     }
 
     #[test]

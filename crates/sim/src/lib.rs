@@ -68,7 +68,8 @@ pub mod prelude {
     pub use crate::analytic::BandwidthModel;
     pub use crate::bandwidth::Bandwidth;
     pub use crate::faults::{
-        FaultEvent, FaultKind, FaultPlan, FaultScheduleConfig, MachineFaultState, SocketFaultState,
+        FaultEvent, FaultKind, FaultPlan, FaultScheduleConfig, MachineFaultState, MediaHit,
+        SocketFaultState, XPLINE_BYTES,
     };
     pub use crate::params::{DeviceClass, SystemParams};
     pub use crate::sched::Pinning;

@@ -203,6 +203,8 @@ pub fn generate(sf: f64, seed: u64) -> SsbData {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::schema::nation_region;
 

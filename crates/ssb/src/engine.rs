@@ -133,13 +133,19 @@ where
 /// Scan a fact partition with `threads` workers. Each worker claims 64 KB
 /// chunks from a shared cursor (individual sequential streams), decodes the
 /// rows, and feeds them to its own accumulator.
+///
+/// Reads are checked: a chunk that intersects a poisoned XPLine aborts the
+/// scan with [`StoreError::Poisoned`](pmem_store::StoreError) instead of
+/// consuming corrupt rows, so query results are never silently wrong. The
+/// serving layer catches the typed error, quarantines and repairs the
+/// range, and retries the query.
 pub fn scan_fact<A, F>(
     fact: &Arc<Region>,
     rows: u64,
     threads: u32,
     make_acc: impl Fn() -> A + Sync,
     visit: F,
-) -> Vec<A>
+) -> Result<Vec<A>>
 where
     A: Send,
     F: Fn(&mut A, &Lineorder) + Sync,
@@ -163,11 +169,11 @@ where
                     }
                     let start_row = chunk * SCAN_CHUNK_ROWS;
                     let n = SCAN_CHUNK_ROWS.min(rows - start_row);
-                    let bytes = fact.read(
+                    let bytes = fact.try_read(
                         start_row * LINEORDER_ROW,
                         n * LINEORDER_ROW,
                         AccessHint::Sequential,
-                    );
+                    )?;
                     for i in 0..n as usize {
                         let row = Lineorder::decode(
                             &bytes[i * LINEORDER_ROW as usize..(i + 1) * LINEORDER_ROW as usize],
@@ -175,7 +181,7 @@ where
                         visit(&mut acc, &row);
                     }
                 }
-                acc
+                Ok(acc)
             }));
         }
         handles
@@ -310,6 +316,8 @@ pub fn date_yearmonthnum(p: u64) -> u32 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::storage::{SsbStore, StorageDevice};
     use pmem_sim::topology::SocketId;
@@ -387,7 +395,8 @@ mod tests {
             4,
             || 0u64,
             |acc, _row| *acc += 1,
-        );
+        )
+        .unwrap();
         let total: u64 = counts.iter().sum();
         assert_eq!(total, shard.fact_rows);
     }
@@ -404,7 +413,8 @@ mod tests {
             3,
             || 0u64,
             |acc, row| *acc += row.revenue as u64,
-        );
+        )
+        .unwrap();
         let expected: u64 = data.lineorder.iter().map(|l| l.revenue as u64).sum();
         assert_eq!(sums.iter().sum::<u64>(), expected);
     }

@@ -198,7 +198,7 @@ pub(crate) fn execute_unaware(store: &SsbStore, plan: &Plan, threads: u32) -> Re
                 });
             }
         },
-    );
+    )?;
     counters.tuples_scanned = shard.fact_rows;
     let mut current: Vec<Rec> = scanned.into_iter().flatten().collect();
     let mut region = materialize(store, &current)?;
@@ -310,6 +310,8 @@ pub(crate) fn execute_unaware(store: &SsbStore, plan: &Plan, threads: u32) -> Re
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::queries::{plan_for, run_query, QueryId};
     use crate::storage::{EngineMode, StorageDevice};

@@ -8,12 +8,14 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(clippy::unwrap_used)]
 
 pub mod checkpoint;
 pub mod columnar;
 pub mod datagen;
 pub mod engine;
 pub mod hyrise;
+pub mod integrity;
 pub mod partition;
 pub mod queries;
 pub mod reference;
@@ -24,5 +26,6 @@ pub mod timing;
 
 pub use checkpoint::{CheckpointRecovery, CheckpointStore};
 pub use engine::OpCounters;
+pub use integrity::{apply_media_plan, IntegrityRepair, StoreIntegrity};
 pub use queries::{run_query, PhaseTraffic, QueryId, QueryOutcome};
 pub use storage::{EngineMode, SsbStore, StorageDevice};

@@ -162,6 +162,8 @@ pub fn inject_customer_skew(rows: &mut [Lineorder], hot_fraction: f64) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::datagen::generate;
 

@@ -343,7 +343,7 @@ fn execute_plan(store: &SsbStore, plan: &Plan, threads: u32) -> Result<QueryOutc
             .iter()
             .zip(shard_indexes.iter())
             .map(|(shard, indexes)| {
-                scope.spawn(move || {
+                scope.spawn(move || -> Result<(GroupAgg, OpCounters)> {
                     let accs = scan_fact(
                         &shard.fact,
                         shard.fact_rows,
@@ -377,22 +377,22 @@ fn execute_plan(store: &SsbStore, plan: &Plan, threads: u32) -> Result<QueryOutc
                             counters.tuples_selected += 1;
                             agg.add((plan.group)(dp, cp, sp, pp), (plan.value)(row));
                         },
-                    );
+                    )?;
                     let mut agg = GroupAgg::default();
                     let mut counters = OpCounters::default();
                     for (a, c) in accs {
                         agg.merge(a);
                         counters.merge(&c);
                     }
-                    (agg, counters)
+                    Ok((agg, counters))
                 })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("scan worker"))
-            .collect()
-    });
+            .collect::<Result<Vec<_>>>()
+    })?;
 
     let mut agg = GroupAgg::default();
     let mut counters = OpCounters::default();
@@ -651,6 +651,8 @@ fn q3_city_pred(p: u64) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::storage::{SsbStore, StorageDevice};
 

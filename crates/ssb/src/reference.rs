@@ -72,6 +72,8 @@ pub fn reference_query(data: &SsbData, query: QueryId) -> Vec<(u64, i64)> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::datagen::generate;
     use crate::queries::run_query;

@@ -361,6 +361,8 @@ impl CostComparison {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     const RUN_SF: f64 = 0.01;

@@ -245,6 +245,8 @@ impl SsbStore {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::schema::Lineorder;
 

@@ -437,6 +437,8 @@ fn cache_miss_rate(size: f64, params: &TimingParams) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::queries::{run_query, QueryId};
     use crate::storage::SsbStore;

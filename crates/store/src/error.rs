@@ -26,6 +26,16 @@ pub enum StoreError {
     /// Operation requires App Direct mode (e.g. persistence primitives in
     /// Memory Mode, which does not guarantee persistence).
     NotPersistent,
+    /// The access touched a poisoned media range (an uncorrectable error on
+    /// a 256 B XPLine). `offset`/`len` describe the first poisoned XPLine
+    /// the access intersected; the data there is lost until rewritten from
+    /// a durable copy.
+    Poisoned {
+        /// Byte offset of the first poisoned XPLine the access touched.
+        offset: u64,
+        /// Length of the poisoned span, in bytes (a multiple of the XPLine).
+        len: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -52,6 +62,10 @@ impl fmt::Display for StoreError {
             StoreError::NotPersistent => {
                 write!(f, "operation requires a persistent (App Direct) namespace")
             }
+            StoreError::Poisoned { offset, len } => write!(
+                f,
+                "uncorrectable media error: poisoned XPLine range [{offset}, {offset}+{len})"
+            ),
         }
     }
 }
@@ -79,5 +93,11 @@ mod tests {
             .to_string()
             .contains("power of two"));
         assert!(StoreError::NotPersistent.to_string().contains("App Direct"));
+        let e = StoreError::Poisoned {
+            offset: 256,
+            len: 512,
+        };
+        assert!(e.to_string().contains("poisoned"));
+        assert!(e.to_string().contains("256"));
     }
 }

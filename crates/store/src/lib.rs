@@ -16,6 +16,10 @@
 //!   indexes, and intermediates out of a namespace.
 //! * [`log`] — a per-worker, crash-consistent append log implementing the
 //!   paper's "one log per worker, 256 B appends" recipe.
+//! * [`scrub`] — per-block FNV checksums and a media scrubber that walks a
+//!   region distinguishing poisoned XPLines (typed `StoreError::Poisoned`)
+//!   from silent checksum mismatches, feeding the self-healing repair path
+//!   in `pmem-ssb`.
 //! * [`tracker`] — access accounting shared with the simulator: every read
 //!   and write is tallied by kind so higher layers (SSB, benches) can turn
 //!   executed work into simulated device time.
@@ -44,6 +48,7 @@ pub mod alloc;
 pub mod log;
 pub mod namespace;
 pub mod region;
+pub mod scrub;
 pub mod trace;
 pub mod tracker;
 
@@ -52,7 +57,8 @@ mod error;
 pub use error::StoreError;
 pub use log::WorkerLog;
 pub use namespace::{Namespace, NamespaceMode};
-pub use region::{AccessHint, Region};
+pub use region::{AccessHint, Region, XPLINE};
+pub use scrub::{BlockChecksums, ScrubReport};
 pub use trace::{PersistEvent, PersistenceTrace, TraceBuffer, TraceEntry};
 pub use tracker::{AccessTracker, TrackerSnapshot};
 

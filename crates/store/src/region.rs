@@ -29,6 +29,11 @@ use crate::{Result, StoreError};
 /// CPU cache-line size: the granularity of dirtiness and flushing.
 pub const CACHE_LINE: u64 = 64;
 
+/// Optane media granularity: one 256 B XPLine. Uncorrectable media errors
+/// poison whole XPLines, so poison tracking and repair work at this
+/// granularity (4 CPU cache lines per XPLine).
+pub const XPLINE: u64 = 256;
+
 /// Whether an access should be accounted as part of a sequential stream or
 /// as random. [`AccessHint::Auto`] infers it from the previous access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +72,10 @@ pub struct Region {
     dirty: HashSet<u64>,
     /// Lines on their way to the WPQ (ntstore / clwb), not yet fenced.
     pending: HashSet<u64>,
+    /// XPLine indices with uncorrectable media errors. Checked reads of a
+    /// poisoned line fail with [`StoreError::Poisoned`]; a write covering
+    /// the whole XPLine clears the poison (the device remaps the line).
+    poisoned: HashSet<u64>,
     tracker: Arc<AccessTracker>,
     /// False for DRAM or Memory-Mode regions: nothing survives a crash.
     persistent: bool,
@@ -91,6 +100,7 @@ impl Region {
             shadow: vec![0; len as usize],
             dirty: HashSet::new(),
             pending: HashSet::new(),
+            poisoned: HashSet::new(),
             tracker,
             persistent,
             fault_model,
@@ -209,39 +219,198 @@ impl Region {
         }
     }
 
-    /// Read `len` bytes at `offset`. Panics on out-of-bounds (see
-    /// [`Region::try_read`] for the fallible variant).
-    pub fn read(&self, offset: u64, len: u64, hint: AccessHint) -> &[u8] {
-        self.try_read(offset, len, hint)
-            .expect("region read out of bounds")
-    }
-
-    /// Fallible [`Region::read`].
-    pub fn try_read(&self, offset: u64, len: u64, hint: AccessHint) -> Result<&[u8]> {
-        self.check(offset, len)?;
+    /// Account and return the bytes without a poison check — the raw load.
+    fn read_accounted(&self, offset: u64, len: u64, hint: AccessHint) -> &[u8] {
         self.fault_pages(offset, len);
         let sequential = self.infer_read(offset, len, hint);
         self.tracker.record_read(len, sequential);
         self.record_trace(offset, len, false);
-        Ok(&self.data[offset as usize..(offset + len) as usize])
+        &self.data[offset as usize..(offset + len) as usize]
+    }
+
+    /// Read `len` bytes at `offset`. Panics on out-of-bounds (see
+    /// [`Region::try_read`] for the fallible variant).
+    ///
+    /// On real Optane hardware a load that consumes a poisoned XPLine raises
+    /// a machine-check exception. Under `cfg(test)` / the `testing` feature
+    /// this models that as a panic so unprotected reads of poisoned data
+    /// cannot hide; otherwise the load returns the scrambled media content —
+    /// exactly the silent corruption the scrubber exists to prevent. Use
+    /// [`Region::try_read`] to surface poison as a typed error instead.
+    pub fn read(&self, offset: u64, len: u64, hint: AccessHint) -> &[u8] {
+        if let Err(e) = self.check(offset, len) {
+            panic!("region read out of bounds: {e}");
+        }
+        if let Some(line) = self.first_poisoned(offset, len) {
+            #[cfg(any(test, feature = "testing"))]
+            panic!(
+                "machine check: load consumed poisoned XPLine at byte {}",
+                line * XPLINE
+            );
+            #[cfg(not(any(test, feature = "testing")))]
+            let _ = line;
+        }
+        self.read_accounted(offset, len, hint)
+    }
+
+    /// Fallible [`Region::read`]: out-of-bounds accesses return
+    /// [`StoreError::OutOfBounds`] and accesses intersecting a poisoned
+    /// XPLine return [`StoreError::Poisoned`] instead of bytes.
+    pub fn try_read(&self, offset: u64, len: u64, hint: AccessHint) -> Result<&[u8]> {
+        self.check(offset, len)?;
+        if let Some(line) = self.first_poisoned(offset, len) {
+            return Err(self.poison_error(line));
+        }
+        Ok(self.read_accounted(offset, len, hint))
     }
 
     /// Read a little-endian `u64` (random-access accounted unless hinted).
+    /// Panics on out-of-bounds; see [`Region::try_read_u64`].
     pub fn read_u64(&self, offset: u64, hint: AccessHint) -> u64 {
         let bytes = self.read(offset, 8, hint);
         u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
     }
 
-    /// Read a little-endian `u32`.
+    /// Read a little-endian `u32`. Panics on out-of-bounds; see
+    /// [`Region::try_read_u32`].
     pub fn read_u32(&self, offset: u64, hint: AccessHint) -> u32 {
         let bytes = self.read(offset, 4, hint);
         u32::from_le_bytes(bytes.try_into().expect("4 bytes"))
+    }
+
+    /// Checked [`Region::read_u64`]: returns an error (never panics) on
+    /// out-of-range offsets — including `offset + 8` overflow — or poison.
+    pub fn try_read_u64(&self, offset: u64, hint: AccessHint) -> Result<u64> {
+        let bytes = self.try_read(offset, 8, hint)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Checked [`Region::read_u32`]: returns an error (never panics) on
+    /// out-of-range offsets or poison.
+    pub fn try_read_u32(&self, offset: u64, hint: AccessHint) -> Result<u32> {
+        let bytes = self.try_read(offset, 4, hint)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
     }
 
     /// Access the raw bytes without accounting (test/debug aid; not part of
     /// the modeled workload).
     pub fn untracked_slice(&self) -> &[u8] {
         &self.data
+    }
+
+    /// The first poisoned XPLine index the range intersects, if any.
+    /// Callers must bounds-check first (`offset + len` must not overflow).
+    fn first_poisoned(&self, offset: u64, len: u64) -> Option<u64> {
+        if self.poisoned.is_empty() || len == 0 {
+            return None;
+        }
+        let first = offset / XPLINE;
+        let last = (offset + len - 1) / XPLINE;
+        (first..=last).find(|line| self.poisoned.contains(line))
+    }
+
+    /// Describe the contiguous poisoned run starting at `line`.
+    fn poison_error(&self, line: u64) -> StoreError {
+        let mut run = 1;
+        while self.poisoned.contains(&(line + run)) {
+            run += 1;
+        }
+        StoreError::Poisoned {
+            offset: line * XPLINE,
+            len: run * XPLINE,
+        }
+    }
+
+    /// Inject an uncorrectable media error over `[offset, offset + len)`.
+    /// The range is widened to XPLine boundaries and clamped to the region;
+    /// both the live bytes and the persisted image are deterministically
+    /// scrambled (the data is genuinely lost, not merely flagged, and a
+    /// crash cannot resurrect it). Returns the number of newly poisoned
+    /// XPLines.
+    pub fn inject_poison(&mut self, offset: u64, len: u64) -> u64 {
+        if len == 0 || offset >= self.len() {
+            return 0;
+        }
+        let end = offset.saturating_add(len).min(self.len());
+        let first = offset / XPLINE;
+        let last = (end - 1) / XPLINE;
+        let mut fresh = 0;
+        for line in first..=last {
+            if self.poisoned.insert(line) {
+                fresh += 1;
+            }
+            let start = (line * XPLINE) as usize;
+            let stop = (start + XPLINE as usize).min(self.data.len());
+            // Deterministic scramble (splitmix64 keyed by the line index) so
+            // identical injections corrupt identically across runs.
+            let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ line.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            for chunk in self.data[start..stop].chunks_mut(8) {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let bytes = z.to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+            let width = stop - start;
+            self.shadow[start..stop].copy_from_slice(&self.data[start..start + width]);
+        }
+        fresh
+    }
+
+    /// Drop the poison marks over `[offset, offset + len)` without repairing
+    /// the bytes (test aid; real repair rewrites the lines, which clears
+    /// poison as a side effect). Returns the number of lines cleared.
+    pub fn clear_poison(&mut self, offset: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let end = offset.saturating_add(len);
+        let first = offset / XPLINE;
+        let last = (end - 1) / XPLINE;
+        let mut cleared = 0;
+        for line in first..=last {
+            if self.poisoned.remove(&line) {
+                cleared += 1;
+            }
+        }
+        cleared
+    }
+
+    /// Whether the range intersects any poisoned XPLine.
+    pub fn is_poisoned(&self, offset: u64, len: u64) -> bool {
+        let end = offset.saturating_add(len).min(self.len());
+        if end <= offset {
+            return false;
+        }
+        self.first_poisoned(offset, end - offset).is_some()
+    }
+
+    /// Byte offsets of every poisoned XPLine, sorted.
+    pub fn poisoned_lines(&self) -> Vec<u64> {
+        let mut lines: Vec<u64> = self.poisoned.iter().map(|l| l * XPLINE).collect();
+        lines.sort_unstable();
+        lines
+    }
+
+    /// Clear poison from every XPLine *fully covered* by a write to
+    /// `[offset, offset + len)` — the device remaps fully rewritten lines.
+    /// Partially covered lines stay poisoned (the lost bytes are still
+    /// unreadable).
+    fn clear_poison_covered(&mut self, offset: u64, len: u64) {
+        if self.poisoned.is_empty() || len == 0 {
+            return;
+        }
+        let first = offset / XPLINE;
+        let last = (offset + len - 1) / XPLINE;
+        for line in first..=last {
+            let start = line * XPLINE;
+            let stop = ((line + 1) * XPLINE).min(self.len());
+            if offset <= start && stop <= offset + len {
+                self.poisoned.remove(&line);
+            }
+        }
     }
 
     fn lines(offset: u64, len: u64) -> impl Iterator<Item = u64> {
@@ -273,6 +442,7 @@ impl Region {
             self.pending.remove(&line);
             self.dirty.insert(line);
         }
+        self.clear_poison_covered(offset, bytes.len() as u64);
         Ok(())
     }
 
@@ -299,6 +469,7 @@ impl Region {
             self.dirty.remove(&line);
             self.pending.insert(line);
         }
+        self.clear_poison_covered(offset, bytes.len() as u64);
         Ok(())
     }
 
@@ -379,6 +550,8 @@ impl Region {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)] // unwrap in tests is fine
+
     use super::*;
 
     fn region(len: u64) -> Region {
@@ -512,6 +685,148 @@ mod tests {
         ));
         assert!(r.try_write(u64::MAX, b"x", AccessHint::Auto).is_err());
         assert!(r.try_ntstore(129, b"", AccessHint::Auto).is_err());
+    }
+
+    #[test]
+    fn checked_typed_reads_never_panic_out_of_range() {
+        let r = region(128);
+        // Regression: read_u64/read_u32 used to be panic-only; the checked
+        // variants must return OutOfBounds for every bad offset, including
+        // offset + len overflow at the top of the address space.
+        assert!(matches!(
+            r.try_read_u64(121, AccessHint::Auto),
+            Err(StoreError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            r.try_read_u64(u64::MAX - 4, AccessHint::Auto),
+            Err(StoreError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            r.try_read_u32(126, AccessHint::Auto),
+            Err(StoreError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            r.try_read_u32(u64::MAX, AccessHint::Auto),
+            Err(StoreError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            r.try_read(u64::MAX - 7, 16, AccessHint::Auto),
+            Err(StoreError::OutOfBounds { .. })
+        ));
+        // In-range values still round-trip through the checked path.
+        let mut r = region(128);
+        r.ntstore_u64(0, 42);
+        assert_eq!(r.try_read_u64(0, AccessHint::Auto).unwrap(), 42);
+        assert_eq!(r.try_read_u32(0, AccessHint::Auto).unwrap(), 42);
+    }
+
+    #[test]
+    fn poisoned_lines_fail_checked_reads_with_typed_error() {
+        let mut r = region(4096);
+        r.ntstore(0, &[7u8; 1024]);
+        r.sfence();
+        assert_eq!(r.inject_poison(512, 300), 2, "two XPLines: 512 and 768");
+        assert!(r.is_poisoned(512, 1));
+        assert!(r.is_poisoned(0, 4096));
+        assert!(!r.is_poisoned(0, 512));
+        assert_eq!(r.poisoned_lines(), vec![512, 768]);
+        match r.try_read(600, 8, AccessHint::Random) {
+            Err(StoreError::Poisoned { offset, len }) => {
+                assert_eq!(offset, 512);
+                assert_eq!(len, 512, "contiguous run of two lines");
+            }
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+        // Reads clear of the poison still succeed.
+        assert_eq!(
+            r.try_read(0, 512, AccessHint::Sequential).unwrap().len(),
+            512
+        );
+        // Poisoned reads are not accounted: the load never completes.
+        let before = r.tracker().snapshot().read_ops;
+        let _ = r.try_read(512, 8, AccessHint::Random);
+        assert_eq!(r.tracker().snapshot().read_ops, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "machine check")]
+    fn infallible_read_of_poison_is_a_machine_check_in_tests() {
+        let mut r = region(4096);
+        r.inject_poison(256, 1);
+        let _ = r.read(256, 8, AccessHint::Random);
+    }
+
+    #[test]
+    fn poison_scrambles_media_and_survives_crash() {
+        let mut r = region(4096);
+        r.ntstore(256, &[0xAB; 256]);
+        r.sfence();
+        r.inject_poison(256, 256);
+        // The bytes are genuinely lost, not merely flagged...
+        assert_ne!(&r.untracked_slice()[256..512], &[0xAB; 256][..]);
+        // ...and a crash cannot resurrect them: the persisted image was
+        // scrambled too, and the poison mark survives power cycles.
+        r.crash();
+        assert_ne!(&r.untracked_slice()[256..512], &[0xAB; 256][..]);
+        assert!(r.is_poisoned(256, 256));
+        // Identical injections scramble identically (deterministic).
+        let mut r2 = region(4096);
+        r2.ntstore(256, &[0xAB; 256]);
+        r2.sfence();
+        r2.inject_poison(256, 256);
+        assert_eq!(
+            &r.untracked_slice()[256..512],
+            &r2.untracked_slice()[256..512]
+        );
+    }
+
+    #[test]
+    fn full_xpline_rewrite_clears_poison_partial_does_not() {
+        let mut r = region(4096);
+        r.inject_poison(0, 512); // lines 0 and 256
+        r.try_ntstore(0, &[1u8; 256], AccessHint::Sequential)
+            .unwrap();
+        assert!(!r.is_poisoned(0, 256), "fully rewritten line is remapped");
+        assert!(r.is_poisoned(256, 256), "untouched line stays poisoned");
+        // A partial overwrite leaves the line poisoned: the rest is lost.
+        r.try_write(256, &[2u8; 100], AccessHint::Random).unwrap();
+        assert!(r.is_poisoned(256, 256));
+        // Covering the remainder in one full-line write clears it.
+        r.try_ntstore(256, &[3u8; 256], AccessHint::Sequential)
+            .unwrap();
+        assert!(!r.is_poisoned(0, 4096));
+        assert!(r.poisoned_lines().is_empty());
+        // And the checked read sees the rewritten bytes again.
+        assert_eq!(
+            r.try_read(256, 4, AccessHint::Random).unwrap(),
+            &[3, 3, 3, 3]
+        );
+    }
+
+    #[test]
+    fn clear_poison_unmarks_without_repair() {
+        let mut r = region(1024);
+        r.inject_poison(0, 1024);
+        assert_eq!(r.clear_poison(0, 512), 2);
+        assert!(!r.is_poisoned(0, 512));
+        assert!(r.is_poisoned(512, 512));
+        assert_eq!(
+            r.clear_poison(0, 1024),
+            2,
+            "already-clear lines not counted"
+        );
+    }
+
+    #[test]
+    fn poison_at_region_tail_is_clamped() {
+        let mut r = region(300); // tail XPLine is only 44 bytes long
+        assert_eq!(r.inject_poison(256, 10_000), 1);
+        assert!(r.is_poisoned(299, 1));
+        assert_eq!(r.inject_poison(5000, 16), 0, "past the end: nothing");
+        // Rewriting offset 256..300 covers the whole (clamped) tail line.
+        r.try_ntstore(256, &[9u8; 44], AccessHint::Sequential)
+            .unwrap();
+        assert!(!r.is_poisoned(0, 300));
     }
 
     #[test]

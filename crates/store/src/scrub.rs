@@ -1,0 +1,302 @@
+//! Background media scrubbing: per-block FNV checksums over a region and a
+//! walk that distinguishes *poison* (the device reports an uncorrectable
+//! error, surfaced as [`StoreError::Poisoned`]) from *silent mismatch* (the
+//! bytes read fine but no longer hash to the sealed checksum).
+//!
+//! The scrubber is deliberately dumb about repair: it only detects and
+//! reports. Rebuilding a bad block from a durable copy is the job of the
+//! layer that owns that copy (see `pmem-ssb`'s `integrity` module), because
+//! only that layer knows where the good bytes live. A repair that rewrites
+//! every byte of a poisoned XPLine clears the poison
+//! ([`crate::region::Region::try_ntstore`] remaps fully covered lines), after
+//! which [`BlockChecksums::verify_block`] confirms the block round-trips.
+
+use crate::region::{AccessHint, Region};
+use crate::{Result, StoreError};
+
+/// FNV-1a 64-bit offset basis — the same basis the durable checkpoint
+/// manifests use, so every integrity check in the stack speaks one hash.
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a over `bytes`, folded into `seed`. Seed with [`FNV_OFFSET`] (or a
+/// previous digest, to chain).
+pub fn fnv64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut hash = seed;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Default scrub block: 4 KiB = 16 XPLines. Small enough that one poisoned
+/// line condemns little collateral data, large enough that the checksum
+/// table stays tiny (0.2 % of the protected bytes at 8 B per block).
+pub const SCRUB_BLOCK: u64 = 4096;
+
+/// Per-block FNV-1a checksums sealed over a region's content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockChecksums {
+    block_bytes: u64,
+    len: u64,
+    sums: Vec<u64>,
+}
+
+impl BlockChecksums {
+    /// Seal checksums over the region's current content, reading it
+    /// sequentially (the scan is accounted like any other access). Fails
+    /// with [`StoreError::Poisoned`] if the region is already poisoned —
+    /// sealing must capture known-good data.
+    pub fn seal(region: &Region, block_bytes: u64) -> Result<Self> {
+        let block_bytes = block_bytes.max(1);
+        let len = region.len();
+        let mut sums = Vec::with_capacity(len.div_ceil(block_bytes) as usize);
+        let mut offset = 0;
+        while offset < len {
+            let n = block_bytes.min(len - offset);
+            let bytes = region.try_read(offset, n, AccessHint::Sequential)?;
+            sums.push(fnv64(FNV_OFFSET, bytes));
+            offset += n;
+        }
+        Ok(BlockChecksums {
+            block_bytes,
+            len,
+            sums,
+        })
+    }
+
+    /// Seal checksums over an in-memory image (used at load time, when the
+    /// bytes that were just written are still in hand — no extra device
+    /// reads).
+    pub fn seal_bytes(bytes: &[u8], block_bytes: u64) -> Self {
+        let block_bytes = block_bytes.max(1);
+        let sums = bytes
+            .chunks(block_bytes as usize)
+            .map(|chunk| fnv64(FNV_OFFSET, chunk))
+            .collect();
+        BlockChecksums {
+            block_bytes,
+            len: bytes.len() as u64,
+            sums,
+        }
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Number of protected blocks.
+    pub fn blocks(&self) -> u64 {
+        self.sums.len() as u64
+    }
+
+    /// Length of the protected region in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the checksums cover zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte range `(offset, len)` of one block.
+    pub fn block_range(&self, block: u64) -> (u64, u64) {
+        let offset = block * self.block_bytes;
+        (offset, self.block_bytes.min(self.len - offset))
+    }
+
+    /// Re-hash one block and compare with the sealed sum. Returns
+    /// `Err(Poisoned)` when the block cannot even be read.
+    pub fn verify_block(&self, region: &Region, block: u64) -> Result<bool> {
+        let (offset, n) = self.block_range(block);
+        let bytes = region.try_read(offset, n, AccessHint::Sequential)?;
+        Ok(fnv64(FNV_OFFSET, bytes) == self.sums[block as usize])
+    }
+
+    /// Re-seal one block from the region's current content — used after a
+    /// legitimate rewrite (e.g. a new checkpoint) changed the block.
+    pub fn reseal_block(&mut self, region: &Region, block: u64) -> Result<()> {
+        let (offset, n) = self.block_range(block);
+        let bytes = region.try_read(offset, n, AccessHint::Sequential)?;
+        self.sums[block as usize] = fnv64(FNV_OFFSET, bytes);
+        Ok(())
+    }
+
+    /// Walk every block of the region: blocks that fail to read are
+    /// *poisoned*, blocks that read but hash wrong are *mismatched*. Clean
+    /// blocks are counted into `bytes_scanned`.
+    pub fn scrub(&self, region: &Region) -> ScrubReport {
+        let mut report = ScrubReport {
+            blocks: self.blocks(),
+            block_bytes: self.block_bytes,
+            ..ScrubReport::default()
+        };
+        for block in 0..self.blocks() {
+            let (offset, n) = self.block_range(block);
+            match region.try_read(offset, n, AccessHint::Sequential) {
+                Err(StoreError::Poisoned { .. }) => report.poisoned.push(block),
+                Err(_) => report.mismatched.push(block),
+                Ok(bytes) => {
+                    report.bytes_scanned += n;
+                    if fnv64(FNV_OFFSET, bytes) != self.sums[block as usize] {
+                        report.mismatched.push(block);
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+/// What one scrub pass found. Equal seeds and equal histories produce equal
+/// reports (derives `PartialEq` so determinism is directly assertable).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Total blocks walked.
+    pub blocks: u64,
+    /// Block size in bytes.
+    pub block_bytes: u64,
+    /// Bytes successfully read and verified (clean blocks only).
+    pub bytes_scanned: u64,
+    /// Blocks whose read failed with a media error, in block order.
+    pub poisoned: Vec<u64>,
+    /// Blocks that read fine but failed checksum verification, in block
+    /// order (silent corruption — bytes changed without a poison mark).
+    pub mismatched: Vec<u64>,
+}
+
+impl ScrubReport {
+    /// Whether the pass found nothing wrong.
+    pub fn is_clean(&self) -> bool {
+        self.poisoned.is_empty() && self.mismatched.is_empty()
+    }
+
+    /// All bad blocks (poisoned ∪ mismatched), sorted and deduplicated.
+    pub fn bad_blocks(&self) -> Vec<u64> {
+        let mut bad: Vec<u64> = self
+            .poisoned
+            .iter()
+            .chain(self.mismatched.iter())
+            .copied()
+            .collect();
+        bad.sort_unstable();
+        bad.dedup();
+        bad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)] // unwrap in tests is fine
+
+    use super::*;
+    use crate::tracker::AccessTracker;
+
+    fn region(len: u64) -> Region {
+        let mut r = Region::new(len, AccessTracker::shared(), true, None);
+        let fill: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        r.try_ntstore(0, &fill, AccessHint::Sequential).unwrap();
+        r.sfence();
+        r
+    }
+
+    #[test]
+    fn fnv_matches_known_vector() {
+        // FNV-1a("") == offset basis; FNV-1a("a") is the published value.
+        assert_eq!(fnv64(FNV_OFFSET, b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv64(FNV_OFFSET, b"a"), 0xAF63_DC4C_8601_EC8C);
+    }
+
+    #[test]
+    fn clean_region_scrubs_clean() {
+        let r = region(16 << 10);
+        let checks = BlockChecksums::seal(&r, SCRUB_BLOCK).unwrap();
+        assert_eq!(checks.blocks(), 4);
+        let report = checks.scrub(&r);
+        assert!(report.is_clean());
+        assert_eq!(report.bytes_scanned, 16 << 10);
+        assert_eq!(report.blocks, 4);
+    }
+
+    #[test]
+    fn seal_bytes_agrees_with_seal() {
+        let r = region(10_000); // not a multiple of the block: tail block
+        let a = BlockChecksums::seal(&r, SCRUB_BLOCK).unwrap();
+        let b = BlockChecksums::seal_bytes(r.untracked_slice(), SCRUB_BLOCK);
+        assert_eq!(a, b);
+        assert_eq!(a.blocks(), 3);
+        assert_eq!(a.block_range(2), (8192, 10_000 - 8192));
+    }
+
+    #[test]
+    fn scrub_detects_poison_as_poisoned_blocks() {
+        let mut r = region(16 << 10);
+        let checks = BlockChecksums::seal(&r, SCRUB_BLOCK).unwrap();
+        r.inject_poison(5000, 16); // inside block 1
+        let report = checks.scrub(&r);
+        assert_eq!(report.poisoned, vec![1]);
+        assert!(report.mismatched.is_empty());
+        assert_eq!(report.bad_blocks(), vec![1]);
+        assert_eq!(report.bytes_scanned, 12 << 10, "three clean blocks");
+    }
+
+    #[test]
+    fn scrub_detects_silent_mismatch_separately() {
+        let mut r = region(16 << 10);
+        let checks = BlockChecksums::seal(&r, SCRUB_BLOCK).unwrap();
+        // Corrupt bytes *without* a poison mark: flip data then clear.
+        r.inject_poison(0, 16);
+        r.clear_poison(0, 16);
+        let report = checks.scrub(&r);
+        assert_eq!(report.mismatched, vec![0]);
+        assert!(report.poisoned.is_empty());
+    }
+
+    #[test]
+    fn sealing_a_poisoned_region_refuses() {
+        let mut r = region(8192);
+        r.inject_poison(0, 16);
+        assert!(matches!(
+            BlockChecksums::seal(&r, SCRUB_BLOCK),
+            Err(StoreError::Poisoned { .. })
+        ));
+    }
+
+    #[test]
+    fn repair_rewrite_then_verify_round_trips() {
+        let mut r = region(8192);
+        let good: Vec<u8> = r.untracked_slice().to_vec();
+        let mut checks = BlockChecksums::seal(&r, SCRUB_BLOCK).unwrap();
+        r.inject_poison(100, 1);
+        assert!(matches!(
+            checks.verify_block(&r, 0),
+            Err(StoreError::Poisoned { .. })
+        ));
+        // Repair: rewrite the whole block from the durable copy.
+        r.try_ntstore(0, &good[..4096], AccessHint::Sequential)
+            .unwrap();
+        r.sfence();
+        assert!(checks.verify_block(&r, 0).unwrap());
+        assert!(checks.scrub(&r).is_clean());
+        // reseal_block is a no-op when content matches the original seal.
+        let before = checks.clone();
+        checks.reseal_block(&r, 0).unwrap();
+        assert_eq!(checks, before);
+    }
+
+    #[test]
+    fn identical_histories_produce_identical_reports() {
+        let build = || {
+            let mut r = region(16 << 10);
+            let checks = BlockChecksums::seal(&r, SCRUB_BLOCK).unwrap();
+            r.inject_poison(5000, 300);
+            r.inject_poison(13_000, 16);
+            checks.scrub(&r)
+        };
+        assert_eq!(build(), build());
+    }
+}

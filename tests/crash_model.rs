@@ -61,6 +61,17 @@ fn ssb_checkpoint_survives_every_reachable_crash_state() {
 }
 
 #[test]
+fn media_repair_preserves_committed_data_in_every_crash_state() {
+    // The scrub/repair invariant on top of the crash model: from every
+    // reachable crash state, poisoning the recovered data and repairing it
+    // from a pristine mirror restores the committed bytes exactly — repair
+    // never rewrites a checksum-valid block.
+    let report = clients::check_media_repair(&CrashChecker::new(), 8);
+    assert!(report.passed(), "violations: {:#?}", report.violations);
+    println!("media repair: {}", report.summary());
+}
+
+#[test]
 fn the_three_clients_explore_at_least_five_hundred_distinct_states() {
     let checker = CrashChecker::new();
     let log = clients::check_worker_log(&checker, 30);
