@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>]
-//!       [--media <seed>] [--crashes]
+//!       [--media <seed>] [--crashes] [--surge <seed>]
 //! ```
 //!
 //! Prints each characterization figure (3–13 plus the devdax/fsdax
@@ -20,7 +20,8 @@ use pmem_membench::experiments;
 use pmem_olap::best_practices::BestPractice;
 use pmem_olap::cost::PriceModel;
 use pmem_olap::planner::AccessPlanner;
-use pmem_serve::{JobSpec, QueryServer, ResiliencePolicy, ServeConfig};
+use pmem_serve::{JobSpec, OpenLoopPlan, QueryServer, ResiliencePolicy, ServeConfig, TenantLoad};
+use pmem_sim::des::arrivals::ArrivalProcess;
 use pmem_sim::faults::{FaultPlan, FaultScheduleConfig};
 use pmem_sim::topology::SocketId;
 use pmem_sim::Simulation;
@@ -35,6 +36,7 @@ struct Args {
     faults: Option<u64>,
     media: Option<u64>,
     crashes: bool,
+    surge: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -46,6 +48,7 @@ fn parse_args() -> Args {
         faults: None,
         media: None,
         crashes: false,
+        surge: None,
     };
     let mut it = env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -81,9 +84,16 @@ fn parse_args() -> Args {
                 );
             }
             "--crashes" => args.crashes = true,
+            "--surge" => {
+                args.surge = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--surge needs a u64 seed"),
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>] [--media <seed>] [--crashes]"
+                    "repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>] [--media <seed>] [--crashes] [--surge <seed>]"
                 );
                 std::process::exit(0);
             }
@@ -239,6 +249,92 @@ fn faulted_serve_section(sf: f64, seed: u64) {
     }
     println!(
         "deadlines enforced, degraded sockets re-planned and avoided, power-loss victims retried"
+    );
+}
+
+/// Open-loop surge at twice the machine's sustained write capacity:
+/// three tenants (weights 3/1/1, one bursty) offer seeded arrival
+/// processes, and the overload-controlled server — bounded ingress
+/// queues, weighted-fair token buckets, retry budget, circuit breakers,
+/// brownout — is printed next to the no-backpressure baseline. Uses its
+/// own tiny store so it runs even with `--skip-ssb`.
+fn surge_section(seed: u64) {
+    let store =
+        match SsbStore::generate_and_load(0.005, 2021, EngineMode::Aware, StorageDevice::PmemFsdax)
+        {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("surge section skipped: {e}");
+                return;
+            }
+        };
+    let planner = AccessPlanner::paper_default();
+    let unit_bytes: u64 = 64 << 20;
+    let horizon = 0.3;
+    let budget = planner.concurrency_budget();
+    let (_, write) = planner.expected_mixed(0, budget.writer_threads);
+    let capacity = write.bytes_per_sec() * f64::from(planner.sockets().max(1));
+    let per_tenant = 2.0 * capacity / unit_bytes as f64 / 3.0;
+    let template = JobSpec::ingest(unit_bytes).threads(2);
+    let plan = OpenLoopPlan::new(seed, horizon)
+        .tenant(TenantLoad::new(1, ArrivalProcess::poisson(per_tenant), template).weight(3.0))
+        .tenant(TenantLoad::new(
+            2,
+            ArrivalProcess::poisson(per_tenant),
+            template,
+        ))
+        .tenant(TenantLoad::new(
+            3,
+            ArrivalProcess::bursty(per_tenant * 2.0, 0.05, 0.05),
+            template,
+        ));
+
+    println!("\n== open-loop surge at 2x write capacity (seed {seed}): controlled vs baseline ==");
+    println!(
+        "{:<12} {:>5} {:>5} {:>5} {:>11} {:>9} {:>9} {:>9} {:>10}",
+        "config", "jobs", "done", "shed", "good GiB/s", "wait p99", "e2e p99", "brownout", "health"
+    );
+    let configs = [
+        (
+            "controlled",
+            ServeConfig::surge(&planner).with_open_loop(plan.clone()),
+        ),
+        (
+            "baseline",
+            ServeConfig::scheduled(&planner).with_open_loop(plan),
+        ),
+    ];
+    for (label, config) in configs {
+        let mut server = QueryServer::new(&store, config);
+        match server.run() {
+            Ok(r) => {
+                let good: u64 = r
+                    .jobs
+                    .iter()
+                    .filter(|j| j.outcome.is_completed())
+                    .map(|j| j.bytes)
+                    .sum();
+                let worst = |f: fn(&pmem_serve::TenantReport) -> f64| {
+                    r.tenants.iter().map(f).fold(0.0f64, f64::max)
+                };
+                println!(
+                    "{:<12} {:>5} {:>5} {:>5} {:>11.2} {:>9.3} {:>9.3} {:>9.3} {:>10}",
+                    label,
+                    r.jobs.len(),
+                    r.jobs.iter().filter(|j| j.outcome.is_completed()).count(),
+                    r.shed_jobs(),
+                    good as f64 / r.makespan.max(1e-9) / (1u64 << 30) as f64,
+                    worst(|t| t.queue_wait.p99),
+                    worst(|t| t.end_to_end.p99),
+                    r.brownout_seconds,
+                    r.health.label(),
+                );
+            }
+            Err(e) => eprintln!("{label}: surge run failed: {e}"),
+        }
+    }
+    println!(
+        "bounded queues shed at ingress; fair shares hold; the baseline's waits grow with the horizon"
     );
 }
 
@@ -481,6 +577,12 @@ fn main() {
         if let Some(seed) = args.media {
             media_section(args.sf, args.threads, seed);
         }
+    }
+
+    // ---- Overload: open-loop surge serving (cheap; runs even with
+    // --skip-ssb so CI can smoke it) ----
+    if let Some(seed) = args.surge {
+        surge_section(seed);
     }
 
     // ---- Crash-state model checking ----

@@ -32,6 +32,12 @@ pub enum QueueReason {
     /// bandwidth drifted from the healthy calibration; the job would fit
     /// the healthy caps but not the degraded ones.
     Degraded,
+    /// The owning tenant's weighted-fair token bucket is empty; the job
+    /// waits for the bucket to refill at the tenant's fair-share rate.
+    TenantThrottle,
+    /// The job's socket sits behind a tripped circuit breaker; admission
+    /// resumes once the breaker's half-open probe succeeds.
+    CircuitOpen,
 }
 
 impl QueueReason {
@@ -42,6 +48,8 @@ impl QueueReason {
             QueueReason::ReaderCap => "reader-cap",
             QueueReason::SerializeMixed => "serialize-mixed",
             QueueReason::Degraded => "degraded",
+            QueueReason::TenantThrottle => "tenant-throttle",
+            QueueReason::CircuitOpen => "circuit-open",
         }
     }
 }
@@ -58,6 +66,14 @@ pub enum ShedReason {
     /// The job kept landing on media-error quarantines until its retry
     /// budget ran out; the poisoned range could not be served around.
     Unrepairable,
+    /// Rejected at ingress: the owning tenant's bounded admission queue
+    /// was already full, so the job was refused before any device time or
+    /// queue space was spent on it.
+    QueueFull,
+    /// A cancelled job could not retry: the global retry budget (a
+    /// fraction of fresh in-flight work) was exhausted, and letting the
+    /// retry through would feed a metastable retry storm.
+    RetryBudget,
 }
 
 impl ShedReason {
@@ -67,6 +83,8 @@ impl ShedReason {
             ShedReason::Overloaded => "overloaded",
             ShedReason::Degraded => "degraded",
             ShedReason::Unrepairable => "unrepairable",
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::RetryBudget => "retry-budget",
         }
     }
 }
@@ -435,7 +453,11 @@ mod tests {
         assert!(!shed.is_admitted());
         assert_eq!(ShedReason::Overloaded.label(), "overloaded");
         assert_eq!(ShedReason::Degraded.label(), "degraded");
+        assert_eq!(ShedReason::QueueFull.label(), "queue-full");
+        assert_eq!(ShedReason::RetryBudget.label(), "retry-budget");
         assert_eq!(QueueReason::Degraded.label(), "degraded");
+        assert_eq!(QueueReason::TenantThrottle.label(), "tenant-throttle");
+        assert_eq!(QueueReason::CircuitOpen.label(), "circuit-open");
     }
 
     #[test]

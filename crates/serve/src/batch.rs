@@ -65,6 +65,26 @@ impl ScanBatcher {
         }
     }
 
+    /// Derive the coalescing window from the observed scan inter-arrival
+    /// rate instead of a fixed constant: the window is 1.5× the mean gap
+    /// between scan arrivals, capped at `max_window`.
+    ///
+    /// The shape this buys: a *slow* stream (mean gap wider than a fixed
+    /// window) still coalesces — the window stretches to cover the gaps —
+    /// while a *fast* stream shrinks the window so nobody waits longer
+    /// than the sharing is worth. An idle stream (fewer than two scans)
+    /// gets a zero window: a lone scan never pays a coalescing delay.
+    pub fn adaptive(arrivals: &[f64], max_window: f64) -> Self {
+        if arrivals.len() < 2 {
+            return Self::new(0.0);
+        }
+        let mut sorted: Vec<f64> = arrivals.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let span = sorted[sorted.len() - 1] - sorted[0];
+        let mean_gap = span / (sorted.len() - 1) as f64;
+        Self::new((1.5 * mean_gap).min(max_window.max(0.0)))
+    }
+
     /// Coalesce jobs into batches. Jobs on different sockets never share a
     /// scan (their fact partitions are different DIMMs).
     pub fn coalesce(&self, jobs: &[ScanJobInfo]) -> Vec<ScanBatch> {
@@ -168,6 +188,35 @@ mod tests {
             ScanBatcher::new(0.0).coalesce(&[job(1, 0, 0.0, 500, 5), job(2, 0, 0.0, 500, 5)]);
         assert_eq!(batches.len(), 2);
         assert!(batches.iter().all(|b| b.saved_bytes == 0));
+    }
+
+    #[test]
+    fn adaptive_window_widens_for_slow_streams_and_zeroes_for_idle_ones() {
+        // Mean gap 20 ms: wider than the fixed 10 ms window, so a fixed
+        // batcher would never coalesce this stream — the adaptive one does.
+        let slow = [0.0, 0.020, 0.040, 0.060];
+        let batcher = ScanBatcher::adaptive(&slow, 0.050);
+        assert!(
+            batcher.window > 0.010,
+            "slow stream window {} must beat the fixed 10 ms",
+            batcher.window
+        );
+        assert!((batcher.window - 0.030).abs() < 1e-12, "1.5 × mean gap");
+
+        // A fast stream tightens below the fixed window: less added delay.
+        let fast = [0.0, 0.001, 0.002, 0.003];
+        assert!(ScanBatcher::adaptive(&fast, 0.050).window < 0.010);
+
+        // The cap holds for glacial streams.
+        let glacial = [0.0, 10.0];
+        assert_eq!(ScanBatcher::adaptive(&glacial, 0.050).window, 0.050);
+
+        // Idle (or singleton) streams pay no delay at all.
+        assert_eq!(ScanBatcher::adaptive(&[], 0.050).window, 0.0);
+        assert_eq!(ScanBatcher::adaptive(&[0.3], 0.050).window, 0.0);
+        let lone = ScanBatcher::adaptive(&[0.3], 0.050).coalesce(&[job(1, 0, 0.3, 100, 0)]);
+        assert_eq!(lone.len(), 1);
+        assert_eq!(lone[0].ready_at, 0.3, "a lone scan starts on arrival");
     }
 
     #[test]

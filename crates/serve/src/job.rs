@@ -5,8 +5,11 @@
 //! fresh [`JobId`] and its own accounting (operator counters, simulated
 //! stats, admission verdicts).
 
+use pmem_sim::des::arrivals::ArrivalProcess;
 use pmem_sim::topology::SocketId;
 use pmem_ssb::QueryId;
+
+use crate::resilience::splitmix64;
 
 /// Identifier of one submitted job (unique per server, monotonic).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -160,6 +163,95 @@ impl JobSpec {
     }
 }
 
+/// One tenant's open-loop offered load: an arrival process stamping
+/// copies of a template job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantLoad {
+    /// The tenant the generated jobs belong to.
+    pub tenant: u32,
+    /// Fair-share weight relative to the other tenants in the plan.
+    pub weight: f64,
+    /// When copies of the template arrive.
+    pub process: ArrivalProcess,
+    /// What each arrival submits; its `arrival` and `tenant` fields are
+    /// overwritten per generated job.
+    pub template: JobSpec,
+}
+
+impl TenantLoad {
+    /// A tenant offering `process` arrivals of `template` at weight 1.
+    pub fn new(tenant: u32, process: ArrivalProcess, template: JobSpec) -> Self {
+        TenantLoad {
+            tenant,
+            weight: 1.0,
+            process,
+            template,
+        }
+    }
+
+    /// Override the fair-share weight.
+    pub fn weight(mut self, weight: f64) -> Self {
+        self.weight = weight.max(0.0);
+        self
+    }
+}
+
+/// An open-loop workload: seeded per-tenant arrival processes replacing
+/// the closed-form submission list. Attached to a
+/// [`crate::ServeConfig`], it makes [`crate::QueryServer::run`] generate
+/// and submit the whole arrival timeline itself — deterministically, so
+/// identical seeds reproduce identical [`crate::ServeReport`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopPlan {
+    /// Master seed; each tenant samples from a sub-seed derived from it.
+    pub seed: u64,
+    /// Arrivals are generated in `[0, horizon)` virtual seconds.
+    pub horizon: f64,
+    /// The tenants and their offered loads.
+    pub tenants: Vec<TenantLoad>,
+}
+
+impl OpenLoopPlan {
+    /// A plan over `horizon` seconds from a master seed.
+    pub fn new(seed: u64, horizon: f64) -> Self {
+        OpenLoopPlan {
+            seed,
+            horizon: horizon.max(0.0),
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Add one tenant's load.
+    pub fn tenant(mut self, load: TenantLoad) -> Self {
+        self.tenants.push(load);
+        self
+    }
+
+    /// Generate the full submission list, sorted by arrival. Each tenant
+    /// draws from its own derived sub-seed, so adding a tenant never
+    /// perturbs the others' timelines.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let mut specs: Vec<JobSpec> = Vec::new();
+        for load in &self.tenants {
+            let sub_seed = splitmix64(self.seed ^ splitmix64(u64::from(load.tenant)));
+            for at in load.process.sample(sub_seed, self.horizon) {
+                specs.push(load.template.arrival(at).tenant(load.tenant));
+            }
+        }
+        specs.sort_by(|a, b| {
+            a.arrival
+                .total_cmp(&b.arrival)
+                .then(a.tenant.cmp(&b.tenant))
+        });
+        specs
+    }
+
+    /// The `(tenant, weight)` pairs for the fairness layer.
+    pub fn weights(&self) -> Vec<(u32, f64)> {
+        self.tenants.iter().map(|l| (l.tenant, l.weight)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +283,50 @@ mod tests {
         let none = JobSpec::query(QueryId::Q1_1).deadline(-1.0);
         assert_eq!(none.deadline, None, "non-positive deadlines are dropped");
         assert_eq!(none.deadline_at(), None);
+    }
+
+    #[test]
+    fn open_loop_plans_generate_deterministic_sorted_timelines() {
+        let plan = OpenLoopPlan::new(42, 0.5)
+            .tenant(TenantLoad::new(
+                1,
+                ArrivalProcess::poisson(200.0),
+                JobSpec::ingest(8 << 20).threads(2),
+            ))
+            .tenant(
+                TenantLoad::new(
+                    2,
+                    ArrivalProcess::bursty(400.0, 0.05, 0.05),
+                    JobSpec::query(QueryId::Q1_1),
+                )
+                .weight(3.0),
+            );
+        let jobs = plan.jobs();
+        assert!(!jobs.is_empty());
+        assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(jobs.iter().all(|j| j.arrival < 0.5));
+        assert!(jobs.iter().any(|j| j.tenant == 1) && jobs.iter().any(|j| j.tenant == 2));
+        assert_eq!(jobs, plan.jobs(), "same plan, same timeline");
+        assert_eq!(plan.weights(), vec![(1, 1.0), (2, 3.0)]);
+
+        // Adding a tenant must not perturb the existing tenants' arrivals.
+        let extended = plan.clone().tenant(TenantLoad::new(
+            3,
+            ArrivalProcess::poisson(100.0),
+            JobSpec::ingest(1 << 20),
+        ));
+        let old: Vec<f64> = jobs
+            .iter()
+            .filter(|j| j.tenant == 1)
+            .map(|j| j.arrival)
+            .collect();
+        let new: Vec<f64> = extended
+            .jobs()
+            .iter()
+            .filter(|j| j.tenant == 1)
+            .map(|j| j.arrival)
+            .collect();
+        assert_eq!(old, new);
     }
 
     #[test]

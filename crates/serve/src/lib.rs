@@ -24,6 +24,12 @@
 //!   retry, admission re-planning against the degraded budget, routing
 //!   away from sick sockets, and typed load shedding — the report carries
 //!   a [`ServeHealth`] verdict instead of an unbounded queue.
+//! * **Overload resilience** ([`overload`], [`fairness`], [`job::OpenLoopPlan`]):
+//!   seeded open-loop arrival processes drive the server past capacity
+//!   while bounded ingress queues, weighted-fair tenant token buckets, a
+//!   global retry budget, per-socket circuit breakers, and brownout-mode
+//!   quality degradation keep tail latency bounded and goodput near the
+//!   saturation bandwidth instead of collapsing.
 //!
 //! The front door is [`QueryServer`]: submit [`JobSpec`]s, call
 //! [`QueryServer::run`], read the [`ServeReport`].
@@ -35,7 +41,9 @@
 
 pub mod admission;
 pub mod batch;
+pub mod fairness;
 pub mod job;
+pub mod overload;
 pub mod pool;
 pub mod report;
 pub mod resilience;
@@ -45,8 +53,12 @@ pub use admission::{
     AdmissionController, AdmissionPolicy, QueueReason, ShedReason, SocketLoad, Verdict,
 };
 pub use batch::{ScanBatch, ScanBatcher, ScanJobInfo};
-pub use job::{JobId, JobKind, JobSpec, Side};
+pub use fairness::FairnessPolicy;
+pub use job::{JobId, JobKind, JobSpec, OpenLoopPlan, Side, TenantLoad};
+pub use overload::{BreakerConfig, BreakerState, BrownoutConfig, OverloadPolicy};
 pub use pool::{PoolSet, WorkItem};
-pub use report::{JobOutcome, JobRecord, ServeHealth, ServeReport};
+pub use report::{
+    tenant_reports, JobOutcome, JobRecord, Percentiles, ServeHealth, ServeReport, TenantReport,
+};
 pub use resilience::ResiliencePolicy;
 pub use scheduler::{QueryServer, ServeConfig};

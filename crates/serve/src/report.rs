@@ -31,6 +31,8 @@ impl JobOutcome {
             JobOutcome::Shed(ShedReason::Overloaded) => "shed/over",
             JobOutcome::Shed(ShedReason::Degraded) => "shed/degr",
             JobOutcome::Shed(ShedReason::Unrepairable) => "shed/media",
+            JobOutcome::Shed(ShedReason::QueueFull) => "shed/queue",
+            JobOutcome::Shed(ShedReason::RetryBudget) => "shed/retry",
             JobOutcome::Failed => "failed",
         }
     }
@@ -117,6 +119,101 @@ impl JobRecord {
     }
 }
 
+/// p50/p95/p99 of one latency population (nearest-rank, seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Percentiles {
+    /// Nearest-rank percentiles of a population (order irrelevant).
+    /// All-zero for an empty population.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Percentiles::default();
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |q: f64| {
+            let idx = (q * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        Percentiles {
+            p50: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+        }
+    }
+}
+
+/// One tenant's slice of a serving run: counts, bytes, attribution
+/// totals, and the latency percentiles the tentpole asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// The tenant.
+    pub tenant: u32,
+    /// Jobs the tenant submitted.
+    pub jobs: usize,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Jobs dropped by load shedding (any [`ShedReason`]).
+    pub shed: usize,
+    /// Jobs that exhausted their retry budget.
+    pub failed: usize,
+    /// Logical bytes the tenant's completed jobs moved (its goodput).
+    pub bytes_completed: u64,
+    /// Sum of the tenant's queue waits (all jobs).
+    pub queue_wait_total: f64,
+    /// Sum of the tenant's execution seconds (all jobs).
+    pub exec_total: f64,
+    /// Queue-wait percentiles over the tenant's *completed* jobs.
+    pub queue_wait: Percentiles,
+    /// End-to-end (arrival → finish) percentiles over completed jobs.
+    pub end_to_end: Percentiles,
+}
+
+/// Fold per-job records into per-tenant slices, sorted by tenant id.
+pub fn tenant_reports(jobs: &[JobRecord]) -> Vec<TenantReport> {
+    let mut tenants: Vec<u32> = jobs.iter().map(|j| j.tenant).collect();
+    tenants.sort_unstable();
+    tenants.dedup();
+    tenants
+        .into_iter()
+        .map(|tenant| {
+            let mine: Vec<&JobRecord> = jobs.iter().filter(|j| j.tenant == tenant).collect();
+            let done: Vec<&&JobRecord> = mine.iter().filter(|j| j.outcome.is_completed()).collect();
+            let waits: Vec<f64> = done.iter().map(|j| j.queue_wait_seconds).collect();
+            let e2e: Vec<f64> = done
+                .iter()
+                .map(|j| (j.finished_at - j.arrival).max(0.0))
+                .collect();
+            TenantReport {
+                tenant,
+                jobs: mine.len(),
+                completed: done.len(),
+                shed: mine
+                    .iter()
+                    .filter(|j| matches!(j.outcome, JobOutcome::Shed(_)))
+                    .count(),
+                failed: mine
+                    .iter()
+                    .filter(|j| j.outcome == JobOutcome::Failed)
+                    .count(),
+                bytes_completed: done.iter().map(|j| j.bytes).sum(),
+                queue_wait_total: mine.iter().map(|j| j.queue_wait_seconds).sum(),
+                exec_total: mine.iter().map(|j| j.exec_seconds).sum(),
+                queue_wait: Percentiles::of(&waits),
+                end_to_end: Percentiles::of(&e2e),
+            }
+        })
+        .collect()
+}
+
 /// The server-wide outcome of one [`crate::QueryServer::run`].
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -158,6 +255,18 @@ pub struct ServeReport {
     /// Media-error repair windows completed (poisoned blocks rebuilt from
     /// the durable mirror while the socket was quarantined).
     pub repaired: u32,
+    /// Per-tenant accounting and latency percentiles, sorted by tenant.
+    pub tenants: Vec<TenantReport>,
+    /// Circuit-breaker trips across all sockets (re-opens included).
+    pub breaker_trips: u32,
+    /// Retries refused by the global retry budget.
+    pub retry_budget_denied: u32,
+    /// Virtual seconds the brownout ladder kept the reader budget
+    /// tightened because the waiting line ran deep.
+    pub brownout_seconds: f64,
+    /// The shared-scan coalescing window the run actually used (after
+    /// adaptive derivation and brownout widening).
+    pub batch_window_used: f64,
 }
 
 const GIB: f64 = (1u64 << 30) as f64;
@@ -209,6 +318,19 @@ impl ServeReport {
             .iter()
             .filter(|j| matches!(j.outcome, JobOutcome::Shed(_)))
             .count()
+    }
+
+    /// Jobs shed for one specific reason.
+    pub fn shed_by(&self, reason: ShedReason) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.outcome == JobOutcome::Shed(reason))
+            .count()
+    }
+
+    /// One tenant's slice, if it submitted anything this run.
+    pub fn tenant(&self, tenant: u32) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.tenant == tenant)
     }
 
     /// Jobs that exhausted their retry budget.
@@ -286,6 +408,35 @@ impl std::fmt::Display for ServeReport {
             self.quarantined,
             self.repaired,
         )?;
+        if self.breaker_trips > 0 || self.retry_budget_denied > 0 || self.brownout_seconds > 0.0 {
+            writeln!(
+                f,
+                "  overload: {} breaker trips, {} retries denied, brownout {:.3}s, window {:.4}s",
+                self.breaker_trips,
+                self.retry_budget_denied,
+                self.brownout_seconds,
+                self.batch_window_used,
+            )?;
+        }
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "  tenant {:>3}: {:>4} jobs ({} done, {} shed, {} failed), {:>8.1} MiB good, \
+                 wait p50/p95/p99 {:.3}/{:.3}/{:.3}s, e2e {:.3}/{:.3}/{:.3}s",
+                t.tenant,
+                t.jobs,
+                t.completed,
+                t.shed,
+                t.failed,
+                t.bytes_completed as f64 / (1 << 20) as f64,
+                t.queue_wait.p50,
+                t.queue_wait.p95,
+                t.queue_wait.p99,
+                t.end_to_end.p50,
+                t.end_to_end.p95,
+                t.end_to_end.p99,
+            )?;
+        }
         writeln!(
             f,
             "  {:>7} {:>6} {:<14} {:>5} {:>4} {:>9} {:>9} {:>9} {:>10} {:>6}",
@@ -360,6 +511,11 @@ mod tests {
             degraded_seconds: 0.0,
             quarantined: 0,
             repaired: 0,
+            tenants: Vec::new(),
+            breaker_trips: 0,
+            retry_budget_denied: 0,
+            brownout_seconds: 0.0,
+            batch_window_used: 0.0,
         };
         assert!((report.read_bandwidth_gib_s() - 30.0).abs() < 1e-9);
         assert!((report.write_bandwidth_gib_s() - 10.0).abs() < 1e-9);
@@ -386,6 +542,11 @@ mod tests {
             degraded_seconds: 0.0,
             quarantined: 0,
             repaired: 0,
+            tenants: Vec::new(),
+            breaker_trips: 0,
+            retry_budget_denied: 0,
+            brownout_seconds: 0.0,
+            batch_window_used: 0.0,
         };
         assert_eq!(report.read_bandwidth_gib_s(), 0.0);
         assert_eq!(report.mean_queue_wait_seconds(), 0.0);
@@ -434,6 +595,11 @@ mod tests {
             degraded_seconds: 0.25,
             quarantined: 1,
             repaired: 1,
+            tenants: Vec::new(),
+            breaker_trips: 0,
+            retry_budget_denied: 0,
+            brownout_seconds: 0.0,
+            batch_window_used: 0.0,
         };
         assert_eq!(report.shed_jobs(), 1);
         assert_eq!(report.retried_jobs(), 1);
@@ -442,5 +608,54 @@ mod tests {
         let text = format!("{report}");
         assert!(text.contains("degraded"));
         assert!(text.contains("1 shed"));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_the_sorted_population() {
+        // 1..=100 in scrambled order: nearest-rank p50 = 50th value, etc.
+        let mut values: Vec<f64> = (1..=100).map(f64::from).collect();
+        values.reverse();
+        let p = Percentiles::of(&values);
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p95, 95.0);
+        assert_eq!(p.p99, 99.0);
+        // Small populations clamp to real members, never interpolate.
+        let tiny = Percentiles::of(&[0.3]);
+        assert_eq!((tiny.p50, tiny.p95, tiny.p99), (0.3, 0.3, 0.3));
+        assert_eq!(Percentiles::of(&[]), Percentiles::default());
+    }
+
+    #[test]
+    fn tenant_reports_partition_the_jobs_and_sum_to_totals() {
+        let mut a1 = record(0, Side::Read, 100, 0.1);
+        a1.tenant = 1;
+        let mut a2 = record(1, Side::Write, 200, 0.2);
+        a2.tenant = 1;
+        a2.outcome = JobOutcome::Shed(ShedReason::QueueFull);
+        let mut b = record(2, Side::Write, 400, 0.4);
+        b.tenant = 2;
+        let mut c = record(3, Side::Read, 800, 0.0);
+        c.tenant = 1;
+        c.outcome = JobOutcome::Failed;
+        let jobs = vec![a1, a2, b, c];
+
+        let tenants = tenant_reports(&jobs);
+        assert_eq!(tenants.len(), 2, "sorted, deduplicated tenants");
+        assert_eq!((tenants[0].tenant, tenants[1].tenant), (1, 2));
+
+        let t1 = &tenants[0];
+        assert_eq!((t1.jobs, t1.completed, t1.shed, t1.failed), (3, 1, 1, 1));
+        assert_eq!(t1.bytes_completed, 100, "only completed jobs are goodput");
+        // Attribution totals cover *all* jobs; percentiles only completed.
+        assert!((t1.queue_wait_total - 0.3).abs() < 1e-12);
+        assert!((t1.exec_total - 3.0).abs() < 1e-12);
+        assert_eq!(t1.queue_wait.p99, 0.1);
+        assert_eq!(t1.end_to_end.p50, 1.1, "arrival -> finish of job 0");
+
+        // The partition is exact: per-tenant counts sum to the totals.
+        let sum_jobs: usize = tenants.iter().map(|t| t.jobs).sum();
+        let sum_bytes: u64 = tenants.iter().map(|t| t.bytes_completed).sum();
+        assert_eq!(sum_jobs, jobs.len());
+        assert_eq!(sum_bytes, 500);
     }
 }

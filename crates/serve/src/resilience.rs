@@ -41,6 +41,13 @@ pub struct ResiliencePolicy {
     pub backoff_base: f64,
     /// Multiplier applied to the delay for each further retry.
     pub backoff_factor: f64,
+    /// Ceiling on the un-jittered delay: exponential growth stops here
+    /// instead of growing without bound.
+    pub backoff_max: f64,
+    /// Jitter fraction in `[0, 1)`: a seeded draw shortens each delay by
+    /// up to this fraction so retries cancelled by the same event don't
+    /// re-arrive as a synchronized herd.
+    pub backoff_jitter: f64,
     /// Bandwidth drift (1 − observed/expected) beyond which a socket's
     /// admission budget is re-planned down.
     pub replan_drift: f64,
@@ -64,6 +71,8 @@ impl ResiliencePolicy {
             max_retries: 0,
             backoff_base: 0.0,
             backoff_factor: 1.0,
+            backoff_max: f64::INFINITY,
+            backoff_jitter: 0.0,
             replan_drift: f64::INFINITY,
             shed_hopeless: false,
             repair_media: false,
@@ -79,6 +88,8 @@ impl ResiliencePolicy {
             max_retries: 3,
             backoff_base: 0.005,
             backoff_factor: 2.0,
+            backoff_max: 0.080,
+            backoff_jitter: 0.2,
             replan_drift: 0.10,
             shed_hopeless: true,
             repair_media: true,
@@ -87,13 +98,37 @@ impl ResiliencePolicy {
     }
 
     /// The backoff delay before retry number `retry` (1-based): the base
-    /// delay grows exponentially with each attempt.
+    /// delay grows exponentially with each attempt, capped at
+    /// [`ResiliencePolicy::backoff_max`].
     pub fn backoff_before(&self, retry: u32) -> f64 {
         if retry == 0 {
             return 0.0;
         }
-        self.backoff_base * self.backoff_factor.powi(retry as i32 - 1)
+        (self.backoff_base * self.backoff_factor.powi(retry as i32 - 1)).min(self.backoff_max)
     }
+
+    /// The capped delay with deterministic jitter applied: `salt` (e.g. the
+    /// job's index) seeds a draw that shortens the delay by up to
+    /// [`ResiliencePolicy::backoff_jitter`] of itself. Identical salts and
+    /// retry counts always reproduce the same delay.
+    pub fn jittered_backoff_before(&self, retry: u32, salt: u64) -> f64 {
+        let base = self.backoff_before(retry);
+        if self.backoff_jitter <= 0.0 || base <= 0.0 {
+            return base;
+        }
+        let mixed = splitmix64(salt ^ (u64::from(retry) << 32).wrapping_add(0x5E17_EC0DE));
+        let unit = (mixed >> 11) as f64 / (1u64 << 53) as f64; // in [0, 1)
+        base * (1.0 - self.backoff_jitter.min(0.999) * unit)
+    }
+}
+
+/// SplitMix64: a tiny, well-mixed hash used to derive deterministic
+/// per-job jitter and per-tenant sub-seeds from one master seed.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -116,5 +151,41 @@ mod tests {
         assert!((p.backoff_before(1) - 0.005).abs() < 1e-12);
         assert!((p.backoff_before(2) - 0.010).abs() < 1e-12);
         assert!((p.backoff_before(3) - 0.020).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backoff_is_capped_at_backoff_max() {
+        let mut p = ResiliencePolicy::paper();
+        p.max_retries = 20;
+        // Un-capped, retry 10 would be 0.005 * 2^9 = 2.56 s.
+        assert!((p.backoff_before(10) - p.backoff_max).abs() < 1e-12);
+        assert!((p.backoff_before(20) - p.backoff_max).abs() < 1e-12);
+        // The cap also bounds the jittered delay.
+        for salt in 0..64 {
+            assert!(p.jittered_backoff_before(15, salt) <= p.backoff_max + 1e-15);
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_desynchronizing() {
+        let p = ResiliencePolicy::paper();
+        let base = p.backoff_before(2);
+        let a = p.jittered_backoff_before(2, 17);
+        assert_eq!(a, p.jittered_backoff_before(2, 17), "same salt, same delay");
+        assert!(a > base * (1.0 - p.backoff_jitter) - 1e-15 && a <= base);
+        // Different salts must actually spread the herd apart.
+        let delays: Vec<f64> = (0..16).map(|s| p.jittered_backoff_before(2, s)).collect();
+        let distinct = delays
+            .iter()
+            .filter(|&&d| (d - delays[0]).abs() > 1e-12)
+            .count();
+        assert!(distinct > 8, "only {distinct} of 16 salts moved the delay");
+    }
+
+    #[test]
+    fn zero_jitter_reproduces_the_plain_backoff() {
+        let mut p = ResiliencePolicy::paper();
+        p.backoff_jitter = 0.0;
+        assert_eq!(p.jittered_backoff_before(3, 99), p.backoff_before(3));
     }
 }

@@ -22,11 +22,13 @@ use pmem_sim::workload::{MixedSpec, WorkloadSpec};
 use pmem_ssb::SsbStore;
 use pmem_store::Result;
 
-use crate::admission::{AdmissionController, AdmissionPolicy, ShedReason, Verdict};
+use crate::admission::{AdmissionController, AdmissionPolicy, QueueReason, ShedReason, Verdict};
 use crate::batch::{ScanBatcher, ScanJobInfo};
-use crate::job::{JobId, JobKind, JobSpec, Side};
+use crate::fairness::{FairnessPolicy, TenantBuckets};
+use crate::job::{JobId, JobKind, JobSpec, OpenLoopPlan, Side};
+use crate::overload::{BreakerState, CircuitBreaker, OverloadPolicy, RetryLedger};
 use crate::pool::{PoolSet, WorkItem};
-use crate::report::{JobOutcome, JobRecord, ServeHealth, ServeReport};
+use crate::report::{self, JobOutcome, JobRecord, ServeHealth, ServeReport};
 use crate::resilience::ResiliencePolicy;
 
 /// Bytes below which a unit counts as finished (float-remainder guard).
@@ -48,6 +50,18 @@ pub struct ServeConfig {
     pub faults: FaultPlan,
     /// Graceful-degradation behavior under faults and deadline pressure.
     pub resilience: ResiliencePolicy,
+    /// Weighted-fair tenant admission (token buckets).
+    pub fairness: FairnessPolicy,
+    /// Overload control: bounded queues, retry budget, breakers, brownout.
+    pub overload: OverloadPolicy,
+    /// Open-loop arrival plan; when set, [`QueryServer::run`] generates
+    /// and submits the whole timeline itself (every run replays it).
+    pub open_loop: Option<OpenLoopPlan>,
+    /// Derive the shared-scan window from the observed scan inter-arrival
+    /// rate instead of the fixed `batch_window`.
+    pub adaptive_batch: bool,
+    /// Ceiling on the adaptive (and brownout-widened) coalescing window.
+    pub batch_window_max: f64,
 }
 
 impl ServeConfig {
@@ -61,7 +75,24 @@ impl ServeConfig {
             pool_workers: 2,
             faults: FaultPlan::none(),
             resilience: ResiliencePolicy::disabled(),
+            fairness: FairnessPolicy::disabled(),
+            overload: OverloadPolicy::disabled(),
+            open_loop: None,
+            adaptive_batch: false,
+            batch_window_max: 0.040,
         }
+    }
+
+    /// The full surge stack: the scheduled setup plus graceful
+    /// degradation, overload control, weighted-fair tenants, and adaptive
+    /// shared-scan batching. This is the configuration the overload
+    /// experiments run the *controlled* server under.
+    pub fn surge(planner: &AccessPlanner) -> Self {
+        Self::scheduled(planner)
+            .with_resilience(ResiliencePolicy::paper())
+            .with_overload(OverloadPolicy::surge())
+            .with_fairness(FairnessPolicy::weighted())
+            .with_adaptive_batching(0.040)
     }
 
     /// Replay an injected fault schedule during the virtual plane.
@@ -73,6 +104,33 @@ impl ServeConfig {
     /// Enable (or reconfigure) graceful degradation.
     pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
         self.resilience = resilience;
+        self
+    }
+
+    /// Enable (or reconfigure) overload control.
+    pub fn with_overload(mut self, overload: OverloadPolicy) -> Self {
+        self.overload = overload;
+        self
+    }
+
+    /// Enable (or reconfigure) weighted-fair tenant admission.
+    pub fn with_fairness(mut self, fairness: FairnessPolicy) -> Self {
+        self.fairness = fairness;
+        self
+    }
+
+    /// Drive runs from an open-loop arrival plan instead of explicit
+    /// submissions.
+    pub fn with_open_loop(mut self, plan: OpenLoopPlan) -> Self {
+        self.open_loop = Some(plan);
+        self
+    }
+
+    /// Derive the shared-scan window from the observed inter-arrival
+    /// rate, capped at `max_window` seconds.
+    pub fn with_adaptive_batching(mut self, max_window: f64) -> Self {
+        self.adaptive_batch = true;
+        self.batch_window_max = max_window.max(0.0);
         self
     }
 
@@ -96,6 +154,11 @@ impl ServeConfig {
             pool_workers: 2,
             faults: FaultPlan::none(),
             resilience: ResiliencePolicy::disabled(),
+            fairness: FairnessPolicy::disabled(),
+            overload: OverloadPolicy::disabled(),
+            open_loop: None,
+            adaptive_batch: false,
+            batch_window_max: 0.040,
         }
     }
 }
@@ -125,6 +188,11 @@ struct Unit {
     retries: u32,
     /// How the unit left the loop.
     outcome: JobOutcome,
+    /// Primary tenant (the first member's) — what the ingress queue bound
+    /// counts against.
+    tenant: u32,
+    /// Per-member `(tenant, bytes)` demands the fairness buckets charge.
+    charges: Vec<(u32, u64)>,
 }
 
 /// A unit currently holding device time.
@@ -216,8 +284,15 @@ impl<'s> QueryServer<'s> {
     }
 
     /// Run every pending job to completion and report. The server stays
-    /// usable afterwards — resubmit specs for another round.
+    /// usable afterwards — resubmit specs for another round. A configured
+    /// open-loop plan is generated and submitted first (each run replays
+    /// it from the same seed).
     pub fn run(&mut self) -> Result<ServeReport> {
+        if let Some(plan) = self.config.open_loop.clone() {
+            for spec in plan.jobs() {
+                self.submit(spec);
+            }
+        }
         let submissions = std::mem::take(&mut self.pending);
 
         // ---- Route ----
@@ -271,7 +346,37 @@ impl<'s> QueryServer<'s> {
                 JobKind::Ingest { .. } => None,
             })
             .collect();
-        let batches = ScanBatcher::new(self.config.batch_window).coalesce(&scan_infos);
+        // Effective coalescing window: fixed or adaptive; under offered
+        // read load beyond projected capacity, brownout widens it — the
+        // first rung of the ladder, trading per-query latency for
+        // deduplicated fact traffic before anything is shed.
+        let mut batcher = if self.config.adaptive_batch {
+            let arrivals: Vec<f64> = scan_infos.iter().map(|s| s.arrival).collect();
+            ScanBatcher::adaptive(&arrivals, self.config.batch_window_max)
+        } else {
+            ScanBatcher::new(self.config.batch_window)
+        };
+        let brown = self.config.overload.brownout;
+        if self.config.overload.enabled && brown.enabled && scan_infos.len() >= 2 {
+            let first = scan_infos
+                .iter()
+                .map(|s| s.arrival)
+                .fold(f64::INFINITY, f64::min);
+            let last = scan_infos.iter().map(|s| s.arrival).fold(0.0f64, f64::max);
+            let offered: u64 = scan_infos.iter().map(|s| s.read_bytes).sum();
+            let offered_rate = offered as f64 / (last - first).max(1e-6);
+            let budget = self.planner.concurrency_budget();
+            let (read_bw, _) = self.planner.expected_mixed(budget.reader_threads, 0);
+            let capacity = read_bw.bytes_per_sec() * f64::from(self.planner.sockets().max(1));
+            if offered_rate > capacity {
+                batcher = ScanBatcher::new(
+                    (batcher.window * brown.batch_widen.max(1.0))
+                        .min(self.config.batch_window_max.max(batcher.window)),
+                );
+            }
+        }
+        let batch_window_used = batcher.window;
+        let batches = batcher.coalesce(&scan_infos);
 
         let mut units: Vec<Unit> = Vec::new();
         let mut shared_scan_bytes_saved = 0u64;
@@ -306,6 +411,12 @@ impl<'s> QueryServer<'s> {
                 ready_at: batch.ready_at,
                 retries: 0,
                 outcome: JobOutcome::Completed,
+                tenant: routed[batch.members[0].id.0 as usize].1.tenant,
+                charges: batch
+                    .members
+                    .iter()
+                    .map(|m| (routed[m.id.0 as usize].1.tenant, m.read_bytes))
+                    .collect(),
             });
         }
         for (idx, (_, spec, socket)) in routed.iter().enumerate() {
@@ -326,6 +437,8 @@ impl<'s> QueryServer<'s> {
                     ready_at: spec.arrival,
                     retries: 0,
                     outcome: JobOutcome::Completed,
+                    tenant: spec.tenant,
+                    charges: vec![(spec.tenant, bytes.max(1))],
                 });
             }
         }
@@ -398,14 +511,22 @@ impl<'s> QueryServer<'s> {
         records.sort_by_key(|r| r.id);
 
         let stats = SimStats::merged(records.iter().map(|r| &r.stats));
-        let shed_overloaded = records
-            .iter()
-            .any(|r| r.outcome == JobOutcome::Shed(ShedReason::Overloaded));
+        let tenants = report::tenant_reports(&records);
+        let shed_overloaded = records.iter().any(|r| {
+            matches!(
+                r.outcome,
+                JobOutcome::Shed(ShedReason::Overloaded)
+                    | JobOutcome::Shed(ShedReason::QueueFull)
+                    | JobOutcome::Shed(ShedReason::RetryBudget)
+            )
+        });
         let troubled = loop_out.degraded_seconds > 0.0
             || loop_out.power_loss_events > 0
             || loop_out.replan_events > 0
             || loop_out.quarantined > 0
             || loop_out.repaired > 0
+            || loop_out.breaker_trips > 0
+            || loop_out.brownout_seconds > 0.0
             || records.iter().any(|r| !r.outcome.is_completed());
         let health = if shed_overloaded {
             ServeHealth::Overloaded
@@ -431,6 +552,11 @@ impl<'s> QueryServer<'s> {
             degraded_seconds: loop_out.degraded_seconds,
             quarantined: loop_out.quarantined,
             repaired: loop_out.repaired,
+            tenants,
+            breaker_trips: loop_out.breaker_trips,
+            retry_budget_denied: loop_out.retry_budget_denied,
+            brownout_seconds: loop_out.brownout_seconds,
+            batch_window_used,
             stats,
         })
     }
@@ -442,6 +568,7 @@ impl<'s> QueryServer<'s> {
         let machine = sim.params().machine.clone();
         let faults = &self.config.faults;
         let res = self.config.resilience;
+        let overload = self.config.overload;
         let sockets = self.planner.sockets().max(1);
         // With no re-planning in force the effective caps are exactly the
         // policy caps (decide_with_caps takes the min of the two).
@@ -449,6 +576,41 @@ impl<'s> QueryServer<'s> {
             reader_threads: self.config.admission.reader_cap,
             writer_threads: self.config.admission.writer_cap,
         };
+
+        // Weighted-fair tenant buckets over every tenant in the workload,
+        // with open-loop plan weights folded in under explicit ones.
+        let mut buckets: Option<TenantBuckets> = if self.config.fairness.enabled {
+            let mut policy = self.config.fairness.clone();
+            if let Some(plan) = &self.config.open_loop {
+                for (t, w) in plan.weights() {
+                    if !policy.weights.iter().any(|&(pt, _)| pt == t) {
+                        policy = policy.weight(t, w);
+                    }
+                }
+            }
+            let mut tenants: Vec<u32> = units
+                .iter()
+                .flat_map(|u| u.charges.iter().map(|&(t, _)| t))
+                .collect();
+            tenants.sort_unstable();
+            tenants.dedup();
+            Some(TenantBuckets::new(&policy, &self.planner, &tenants))
+        } else {
+            None
+        };
+        // One deadline-miss circuit breaker per socket.
+        let mut breakers: HashMap<u8, CircuitBreaker> = HashMap::new();
+        if overload.enabled && overload.breaker.enabled {
+            for s in 0..sockets {
+                breakers.insert(s, CircuitBreaker::new(overload.breaker));
+            }
+        }
+        let mut ledger = RetryLedger::default();
+        // Reader budget in force while browned out.
+        let browned_caps = (overload.enabled && overload.brownout.enabled).then(|| {
+            self.planner
+                .degraded_budget(overload.brownout.reader_scale, 1.0)
+        });
 
         // Optimistic solo execution time per unit on a healthy machine:
         // prices the "can this still make its deadline at all?" shed check.
@@ -497,6 +659,24 @@ impl<'s> QueryServer<'s> {
         loop {
             while ptr < order.len() && units[order[ptr]].arrival <= now + 1e-12 {
                 let u = order[ptr];
+                ptr += 1;
+                // Bounded ingress: an arrival past its tenant's queue cap
+                // is refused here, before it costs queue space or device
+                // time — the typed [`ShedReason::QueueFull`] refusal.
+                if overload.enabled && overload.queue_cap > 0 {
+                    let depth = waiting
+                        .iter()
+                        .filter(|&&w| units[w].tenant == units[u].tenant)
+                        .count();
+                    if depth as u32 >= overload.queue_cap {
+                        let reason = ShedReason::QueueFull;
+                        units[u].verdicts.push((now, Verdict::Shed { reason }));
+                        units[u].outcome = JobOutcome::Shed(reason);
+                        units[u].admitted_at = units[u].arrival;
+                        units[u].finished_at = units[u].arrival;
+                        continue;
+                    }
+                }
                 // Arrivals routed to a quarantined socket sit out the
                 // repair window before they become admissible.
                 if res.enabled && res.repair_media {
@@ -507,14 +687,25 @@ impl<'s> QueryServer<'s> {
                     }
                 }
                 waiting.push(u);
-                ptr += 1;
             }
 
             let fstate = faults.state_at(&machine, now);
+            for s in 0..sockets {
+                if let Some(b) = breakers.get_mut(&s) {
+                    b.poll(now);
+                }
+            }
+            // Brownout: tighten the reader budget while the waiting line
+            // is deep — quality degrades before anything is shed.
+            let brownout_active = overload.enabled
+                && overload.brownout.enabled
+                && waiting.len() >= overload.brownout.queue_high;
 
             // Deadline enforcement (resilient only): cancel active units
             // that blew their working deadline; retry with backoff on the
-            // healthiest socket, or fail once retries are exhausted.
+            // healthiest socket, or fail once retries are exhausted. Every
+            // blown deadline feeds the socket's circuit breaker, and a
+            // fresh unit's first retry must clear the global retry budget.
             if res.enabled {
                 let mut k = 0;
                 while k < active.len() {
@@ -525,7 +716,17 @@ impl<'s> QueryServer<'s> {
                         continue;
                     }
                     active.swap_remove(k);
+                    if let Some(b) = breakers.get_mut(&units[u].socket.0) {
+                        b.record(true, now);
+                    }
+                    let fresh = fresh_in_flight(units, &waiting, &active);
+                    if deny_first_retry(units, &mut ledger, &overload, &res, u, now, fresh) {
+                        continue;
+                    }
                     retry_or_fail(units, &mut waiting, u, now, &res, faults, &machine, sockets);
+                    if !units[u].finished_at.is_nan() && units[u].retries > 0 {
+                        ledger.release();
+                    }
                 }
             }
 
@@ -554,6 +755,9 @@ impl<'s> QueryServer<'s> {
                     units[u].outcome = JobOutcome::Shed(reason);
                     units[u].admitted_at = now;
                     units[u].finished_at = now;
+                    if units[u].retries > 0 {
+                        ledger.release();
+                    }
                     waiting.remove(i);
                 }
             }
@@ -575,6 +779,14 @@ impl<'s> QueryServer<'s> {
                 if res.enabled && prev.unwrap_or(policy_caps) != caps {
                     out.replan_events += 1;
                 }
+                // Brownout tightening stacks on top of fault re-planning
+                // but is not a replan event — it lifts with the queue.
+                let mut caps = caps;
+                if brownout_active {
+                    if let Some(b) = browned_caps {
+                        caps.reader_threads = caps.reader_threads.min(b.reader_threads);
+                    }
+                }
                 caps_by_socket.insert(s, caps);
             }
 
@@ -587,6 +799,55 @@ impl<'s> QueryServer<'s> {
                 if units[u].ready_at > now + 1e-12 {
                     i += 1;
                     continue;
+                }
+                // Circuit breakers: an Open socket admits nothing —
+                // unpinned units re-route to the first non-open socket,
+                // pinned ones queue. A Half-Open socket takes exactly one
+                // probe at a time; its outcome decides re-open vs close.
+                if !breakers.is_empty() {
+                    let state = |s: u8| breakers.get(&s).map(|b| b.state());
+                    if state(units[u].socket.0) == Some(BreakerState::Open) {
+                        let alt = (0..sockets).find(|&s| state(s) != Some(BreakerState::Open));
+                        match (units[u].pinned, alt) {
+                            (false, Some(s)) => units[u].socket = SocketId(s),
+                            _ => {
+                                let verdict = Verdict::Queued {
+                                    reason: QueueReason::CircuitOpen,
+                                };
+                                if units[u].verdicts.last().map(|(_, v)| *v) != Some(verdict) {
+                                    units[u].verdicts.push((now, verdict));
+                                }
+                                i += 1;
+                                continue;
+                            }
+                        }
+                    }
+                    let socket = units[u].socket;
+                    if state(socket.0) == Some(BreakerState::HalfOpen)
+                        && active.iter().any(|a| units[a.unit].socket == socket)
+                    {
+                        let verdict = Verdict::Queued {
+                            reason: QueueReason::CircuitOpen,
+                        };
+                        if units[u].verdicts.last().map(|(_, v)| *v) != Some(verdict) {
+                            units[u].verdicts.push((now, verdict));
+                        }
+                        i += 1;
+                        continue;
+                    }
+                }
+                // Tenant fairness: every member tenant must hold tokens.
+                if let Some(bk) = buckets.as_ref() {
+                    if !bk.ready(&units[u].charges, units[u].side) {
+                        let verdict = Verdict::Queued {
+                            reason: QueueReason::TenantThrottle,
+                        };
+                        if units[u].verdicts.last().map(|(_, v)| *v) != Some(verdict) {
+                            units[u].verdicts.push((now, verdict));
+                        }
+                        i += 1;
+                        continue;
+                    }
                 }
                 let socket = units[u].socket;
                 let load = socket_load(units, &active, socket);
@@ -607,6 +868,9 @@ impl<'s> QueryServer<'s> {
                 }
                 if verdict.is_admitted() {
                     units[u].admitted_at = now;
+                    if let Some(bk) = buckets.as_mut() {
+                        bk.charge(&units[u].charges, units[u].side);
+                    }
                     active.push(ActiveRun {
                         unit: u,
                         remaining: units[u].bytes as f64,
@@ -627,8 +891,35 @@ impl<'s> QueryServer<'s> {
                     .map(|&u| units[u].ready_at)
                     .filter(|&r| r > now + 1e-12)
                     .fold(f64::INFINITY, f64::min);
+                // Token refills and breaker cooldowns lift on their own —
+                // both are wake events an idle machine must sleep toward.
+                let next_token = buckets.as_ref().map_or(f64::INFINITY, |bk| {
+                    waiting
+                        .iter()
+                        .filter(|&&u| units[u].ready_at <= now + 1e-12)
+                        .map(|&u| bk.seconds_until_ready(&units[u].charges, units[u].side))
+                        .filter(|&d| d > 1e-12)
+                        .map(|d| now + d)
+                        .fold(f64::INFINITY, f64::min)
+                });
+                let next_breaker = (0..sockets)
+                    .filter_map(|s| breakers.get(&s).and_then(|b| b.next_transition()))
+                    .filter(|&t| t > now + 1e-12)
+                    .fold(f64::INFINITY, f64::min);
+                let wake = next_ready.min(next_token).min(next_breaker);
                 if ptr < order.len() {
-                    now = units[order[ptr]].arrival.min(next_ready);
+                    let target = units[order[ptr]].arrival.min(wake);
+                    if let Some(bk) = buckets.as_mut() {
+                        bk.refill((target - now).max(0.0));
+                    }
+                    now = target;
+                    continue;
+                }
+                if wake.is_finite() {
+                    if let Some(bk) = buckets.as_mut() {
+                        bk.refill((wake - now).max(0.0));
+                    }
+                    now = wake;
                     continue;
                 }
                 if let Some(pos) = waiting
@@ -655,16 +946,15 @@ impl<'s> QueryServer<'s> {
                         },
                     ));
                     units[u].admitted_at = now;
+                    if let Some(bk) = buckets.as_mut() {
+                        bk.charge(&units[u].charges, units[u].side);
+                    }
                     active.push(ActiveRun {
                         unit: u,
                         remaining: units[u].bytes as f64,
                         rate: 0.0,
                     });
                     waiting.remove(pos);
-                    continue;
-                }
-                if next_ready.is_finite() {
-                    now = next_ready;
                     continue;
                 }
                 break;
@@ -741,11 +1031,26 @@ impl<'s> QueryServer<'s> {
             } else {
                 f64::INFINITY
             };
+            let dt_token = buckets.as_ref().map_or(f64::INFINITY, |bk| {
+                waiting
+                    .iter()
+                    .filter(|&&u| units[u].ready_at <= now + 1e-12)
+                    .map(|&u| bk.seconds_until_ready(&units[u].charges, units[u].side))
+                    .filter(|&d| d > 1e-12)
+                    .fold(f64::INFINITY, f64::min)
+            });
+            let dt_breaker = (0..sockets)
+                .filter_map(|s| breakers.get(&s).and_then(|b| b.next_transition()))
+                .map(|t| t - now)
+                .filter(|&d| d > 1e-12)
+                .fold(f64::INFINITY, f64::min);
             let mut dt = dt_done
                 .min(dt_arrival)
                 .min(dt_fault)
                 .min(dt_ready)
-                .min(dt_deadline);
+                .min(dt_deadline)
+                .min(dt_token)
+                .min(dt_breaker);
             debug_assert!(dt.is_finite(), "event loop must always have a next event");
             // A power loss inside the step truncates it to the loss instant.
             let loss = faults.power_losses_in(now, now + dt).into_iter().next();
@@ -770,7 +1075,13 @@ impl<'s> QueryServer<'s> {
             if fstate.is_degraded() && !active.is_empty() {
                 out.degraded_seconds += dt;
             }
+            if brownout_active {
+                out.brownout_seconds += dt;
+            }
             now += dt;
+            if let Some(bk) = buckets.as_mut() {
+                bk.refill(dt);
+            }
             for run in &mut active {
                 run.remaining -= run.rate * dt;
             }
@@ -782,6 +1093,17 @@ impl<'s> QueryServer<'s> {
                     match units[u].side {
                         Side::Read => out.read_bytes_moved += units[u].bytes,
                         Side::Write => out.write_bytes_moved += units[u].bytes,
+                    }
+                    // A completion is a deadline outcome the socket's
+                    // breaker learns from; a retried unit leaving the
+                    // system hands its retry-budget slot back.
+                    if let Some(d) = units[u].deadline_at {
+                        if let Some(b) = breakers.get_mut(&units[u].socket.0) {
+                            b.record(now > d + 1e-9, now);
+                        }
+                    }
+                    if units[u].retries > 0 {
+                        ledger.release();
                     }
                     active.swap_remove(k);
                 } else {
@@ -804,7 +1126,14 @@ impl<'s> QueryServer<'s> {
                     }
                     if res.enabled {
                         active.swap_remove(k);
+                        let fresh = fresh_in_flight(units, &waiting, &active);
+                        if deny_first_retry(units, &mut ledger, &overload, &res, u, now, fresh) {
+                            continue;
+                        }
                         retry_or_fail(units, &mut waiting, u, now, &res, faults, &machine, sockets);
+                        if !units[u].finished_at.is_nan() && units[u].retries > 0 {
+                            ledger.release();
+                        }
                     } else {
                         active[k].remaining = units[u].bytes as f64;
                         k += 1;
@@ -845,6 +1174,10 @@ impl<'s> QueryServer<'s> {
                     active.swap_remove(k);
                     if protect {
                         out.quarantined += 1;
+                        let fresh = fresh_in_flight(units, &waiting, &active);
+                        if deny_first_retry(units, &mut ledger, &overload, &res, u, now, fresh) {
+                            continue;
+                        }
                         media_retry_or_shed(
                             units,
                             &mut waiting,
@@ -856,11 +1189,17 @@ impl<'s> QueryServer<'s> {
                             &machine,
                             sockets,
                         );
+                        if !units[u].finished_at.is_nan() && units[u].retries > 0 {
+                            ledger.release();
+                        }
                     } else {
                         units[u].outcome = JobOutcome::Failed;
                         units[u].finished_at = now;
                         if units[u].admitted_at.is_nan() {
                             units[u].admitted_at = now;
+                        }
+                        if units[u].retries > 0 {
+                            ledger.release();
                         }
                     }
                 }
@@ -868,8 +1207,54 @@ impl<'s> QueryServer<'s> {
         }
 
         out.makespan = now;
+        out.breaker_trips = (0..sockets)
+            .filter_map(|s| breakers.get(&s))
+            .map(|b| b.trips)
+            .sum();
+        out.retry_budget_denied = ledger.denied;
         out
     }
+}
+
+/// Fresh (never-retried) units still in flight — the denominator the
+/// retry budget scales with.
+fn fresh_in_flight(units: &[Unit], waiting: &[usize], active: &[ActiveRun]) -> u32 {
+    waiting
+        .iter()
+        .copied()
+        .chain(active.iter().map(|a| a.unit))
+        .filter(|&u| units[u].retries == 0)
+        .count() as u32
+}
+
+/// Gate a fresh unit's first retry behind the global retry budget.
+/// Returns true when the budget refused and the unit was shed with the
+/// typed [`ShedReason::RetryBudget`] instead of re-queueing. Units
+/// already holding a retry slot (retries > 0) and units whose retries are
+/// exhausted anyway pass straight through.
+fn deny_first_retry(
+    units: &mut [Unit],
+    ledger: &mut RetryLedger,
+    overload: &OverloadPolicy,
+    res: &ResiliencePolicy,
+    u: usize,
+    now: f64,
+    fresh: u32,
+) -> bool {
+    if !overload.enabled || units[u].retries > 0 || units[u].retries >= res.max_retries {
+        return false;
+    }
+    if ledger.try_start(overload, fresh) {
+        return false;
+    }
+    let reason = ShedReason::RetryBudget;
+    units[u].verdicts.push((now, Verdict::Shed { reason }));
+    units[u].outcome = JobOutcome::Shed(reason);
+    units[u].finished_at = now;
+    if units[u].admitted_at.is_nan() {
+        units[u].admitted_at = now;
+    }
+    true
 }
 
 /// Cancel a unit whose socket took a media error at `now`: schedule a
@@ -890,7 +1275,7 @@ fn media_retry_or_shed(
 ) {
     if units[u].retries < res.max_retries {
         units[u].retries += 1;
-        let backoff_end = now + res.backoff_before(units[u].retries);
+        let backoff_end = now + res.jittered_backoff_before(units[u].retries, u as u64);
         let lift = |s: u8| quarantine.get(&s).copied().unwrap_or(0.0);
         if !units[u].pinned {
             // Earliest admissible instant wins; the side's fault scale at
@@ -943,7 +1328,7 @@ fn retry_or_fail(
 ) {
     if units[u].retries < res.max_retries {
         units[u].retries += 1;
-        units[u].ready_at = now + res.backoff_before(units[u].retries);
+        units[u].ready_at = now + res.jittered_backoff_before(units[u].retries, u as u64);
         units[u].deadline_at = units[u].deadline_rel.map(|d| units[u].ready_at + d);
         if !units[u].pinned {
             let state = faults.state_at(machine, units[u].ready_at);
@@ -990,6 +1375,9 @@ struct LoopOutput {
     degraded_seconds: f64,
     quarantined: u32,
     repaired: u32,
+    breaker_trips: u32,
+    retry_budget_denied: u32,
+    brownout_seconds: f64,
 }
 
 /// Sum the active reader/writer threads and outstanding bytes on a socket.

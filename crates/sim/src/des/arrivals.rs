@@ -1,0 +1,176 @@
+//! Open-loop arrival processes for serving experiments.
+//!
+//! The serving layer's closed-form job loop replays a fixed submission
+//! list; an *open-loop* workload instead draws arrival instants from a
+//! stochastic process whose offered rate is independent of how fast the
+//! server drains — exactly the regime where overload control matters,
+//! because a server past its knee cannot slow the arrivals down.
+//!
+//! Two processes cover the surge experiments:
+//!
+//! * [`ArrivalProcess::Poisson`] — memoryless arrivals at a constant
+//!   rate, the standard open-loop reference load.
+//! * [`ArrivalProcess::OnOff`] — a bursty on/off (interrupted Poisson)
+//!   process: arrivals stream at the burst rate during fixed-length ON
+//!   windows and pause during OFF windows, modelling tenants that slam
+//!   the server in waves.
+//!
+//! Like [`crate::faults`], sampling is seeded and deterministic: the same
+//! seed always yields the same arrival timeline, so serving reports built
+//! on top of these processes are exactly reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An open-loop arrival process over virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at `rate_hz` per virtual second.
+    Poisson {
+        /// Mean arrivals per virtual second.
+        rate_hz: f64,
+    },
+    /// Interrupted Poisson: arrivals at `rate_hz` during ON windows of
+    /// `on_seconds`, silence during OFF windows of `off_seconds`, the
+    /// cycle repeating from time zero (ON first).
+    OnOff {
+        /// Arrival rate *inside* an ON window.
+        rate_hz: f64,
+        /// Length of each ON window in virtual seconds.
+        on_seconds: f64,
+        /// Length of each OFF window in virtual seconds.
+        off_seconds: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// A Poisson process at `rate_hz` arrivals per second.
+    pub fn poisson(rate_hz: f64) -> Self {
+        ArrivalProcess::Poisson {
+            rate_hz: rate_hz.max(0.0),
+        }
+    }
+
+    /// A bursty on/off process: `rate_hz` inside ON windows.
+    pub fn bursty(rate_hz: f64, on_seconds: f64, off_seconds: f64) -> Self {
+        ArrivalProcess::OnOff {
+            rate_hz: rate_hz.max(0.0),
+            on_seconds: on_seconds.max(0.0),
+            off_seconds: off_seconds.max(0.0),
+        }
+    }
+
+    /// Long-run mean arrival rate (per virtual second).
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_hz } => rate_hz,
+            ArrivalProcess::OnOff {
+                rate_hz,
+                on_seconds,
+                off_seconds,
+            } => {
+                let cycle = on_seconds + off_seconds;
+                if cycle <= 0.0 {
+                    0.0
+                } else {
+                    rate_hz * on_seconds / cycle
+                }
+            }
+        }
+    }
+
+    /// Sample every arrival instant in `[0, horizon)`, sorted ascending.
+    /// Deterministic: identical `(self, seed, horizon)` yield identical
+    /// timelines.
+    pub fn sample(&self, seed: u64, horizon: f64) -> Vec<f64> {
+        let (rate, on, off) = match *self {
+            ArrivalProcess::Poisson { rate_hz } => (rate_hz, f64::INFINITY, 0.0),
+            ArrivalProcess::OnOff {
+                rate_hz,
+                on_seconds,
+                off_seconds,
+            } => (rate_hz, on_seconds, off_seconds),
+        };
+        if rate <= 0.0 || on <= 0.0 || horizon <= 0.0 {
+            return Vec::new();
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut arrivals = Vec::new();
+        // Draw exponential gaps in *active* (ON) time, then map each active
+        // instant onto wall-clock time by re-inserting the OFF windows. The
+        // draw order is fixed, so the timeline is a pure function of the
+        // seed.
+        let mut active = 0.0f64;
+        loop {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            active += -(1.0 - u).ln() / rate;
+            let wall = if on.is_finite() {
+                let cycle = on + off;
+                (active / on).floor() * cycle + active % on
+            } else {
+                active
+            };
+            if wall >= horizon {
+                break;
+            }
+            arrivals.push(wall);
+        }
+        arrivals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_reproduce_identical_timelines() {
+        let p = ArrivalProcess::poisson(500.0);
+        assert_eq!(p.sample(42, 1.0), p.sample(42, 1.0));
+        let b = ArrivalProcess::bursty(1000.0, 0.05, 0.15);
+        assert_eq!(b.sample(7, 2.0), b.sample(7, 2.0));
+        assert_ne!(p.sample(42, 1.0), p.sample(43, 1.0), "seeds matter");
+    }
+
+    #[test]
+    fn poisson_hits_its_mean_rate() {
+        let p = ArrivalProcess::poisson(800.0);
+        let arrivals = p.sample(11, 4.0);
+        let rate = arrivals.len() as f64 / 4.0;
+        assert!(
+            (rate - 800.0).abs() / 800.0 < 0.10,
+            "observed {rate} vs 800"
+        );
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(arrivals.iter().all(|&t| (0.0..4.0).contains(&t)));
+    }
+
+    #[test]
+    fn on_off_bursts_stay_inside_the_on_windows() {
+        let b = ArrivalProcess::bursty(2000.0, 0.05, 0.15);
+        let arrivals = b.sample(3, 2.0);
+        assert!(!arrivals.is_empty());
+        for &t in &arrivals {
+            let phase = t % 0.20;
+            assert!(phase < 0.05 + 1e-9, "arrival {t} lands in an OFF window");
+        }
+        // Long-run rate matches the duty-cycled mean, not the burst rate.
+        let mean = b.mean_rate();
+        assert!((mean - 500.0).abs() < 1e-9);
+        let rate = arrivals.len() as f64 / 2.0;
+        assert!(
+            (rate - mean).abs() / mean < 0.20,
+            "observed {rate} vs {mean}"
+        );
+    }
+
+    #[test]
+    fn degenerate_processes_yield_no_arrivals() {
+        assert!(ArrivalProcess::poisson(0.0).sample(1, 1.0).is_empty());
+        assert!(ArrivalProcess::poisson(100.0).sample(1, 0.0).is_empty());
+        assert!(ArrivalProcess::bursty(100.0, 0.0, 0.1)
+            .sample(1, 1.0)
+            .is_empty());
+        assert_eq!(ArrivalProcess::bursty(100.0, 0.1, 0.0).mean_rate(), 100.0);
+    }
+}

@@ -25,9 +25,11 @@
 //! all three patterns, PMEM or DRAM). Multi-socket composition and mixed
 //! read/write sharing live in the analytic model.
 
+pub mod arrivals;
 mod engine;
 mod latency;
 
+pub use arrivals::ArrivalProcess;
 pub use latency::LatencyStats;
 
 use crate::bandwidth::Bandwidth;

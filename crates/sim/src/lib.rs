@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(clippy::unwrap_used)]
 
 pub mod analytic;
 pub mod bandwidth;
@@ -67,6 +68,7 @@ pub use simulation::{Evaluation, Simulation};
 pub mod prelude {
     pub use crate::analytic::BandwidthModel;
     pub use crate::bandwidth::Bandwidth;
+    pub use crate::des::arrivals::ArrivalProcess;
     pub use crate::faults::{
         FaultEvent, FaultKind, FaultPlan, FaultScheduleConfig, MachineFaultState, MediaHit,
         SocketFaultState, XPLINE_BYTES,

@@ -122,6 +122,7 @@ pub fn layout(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
