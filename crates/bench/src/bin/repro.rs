@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>]
-//!       [--media <seed>] [--crashes] [--surge <seed>]
+//!       [--media <seed>] [--crashes] [--surge <seed>] [--cache <seed>]
 //! ```
 //!
 //! Prints each characterization figure (3–13 plus the devdax/fsdax
@@ -10,6 +10,8 @@
 //! Figure 14a/14b and Table 1 next to the paper's published values, and
 //! closes with the §7 price/performance comparison. With `--csv <dir>`
 //! each figure is also written as a CSV file for plotting.
+
+#![deny(clippy::unwrap_used)]
 
 use std::env;
 use std::fs;
@@ -37,6 +39,7 @@ struct Args {
     media: Option<u64>,
     crashes: bool,
     surge: Option<u64>,
+    cache: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +52,7 @@ fn parse_args() -> Args {
         media: None,
         crashes: false,
         surge: None,
+        cache: None,
     };
     let mut it = env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -91,9 +95,16 @@ fn parse_args() -> Args {
                         .expect("--surge needs a u64 seed"),
                 );
             }
+            "--cache" => {
+                args.cache = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--cache needs a u64 seed"),
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>] [--media <seed>] [--crashes] [--surge <seed>]"
+                    "repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>] [--media <seed>] [--crashes] [--surge <seed>] [--cache <seed>]"
                 );
                 std::process::exit(0);
             }
@@ -336,6 +347,166 @@ fn surge_section(seed: u64) {
     println!(
         "bounded queues shed at ingress; fair shares hold; the baseline's waits grow with the horizon"
     );
+}
+
+/// DRAM hot tier vs pure PMEM on a seeded Zipfian multi-tenant query mix
+/// whose footprint exceeds the DRAM budget: prints the side-by-side
+/// goodput/latency comparison and the hit-rate-vs-latency curve from
+/// [`pmem_serve::HotTierReport`], and writes `BENCH_buffer.json` next to
+/// the working directory for machine consumption. Uses its own tiny
+/// store so it runs even with `--skip-ssb`.
+fn cache_section(seed: u64) {
+    use pmem_serve::{HotTierPolicy, Percentiles, ServeReport};
+
+    let store = match SsbStore::generate_and_load(
+        0.01,
+        2021,
+        EngineMode::Aware,
+        StorageDevice::PmemFsdax,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cache section skipped: {e}");
+            return;
+        }
+    };
+    let planner = AccessPlanner::paper_default();
+    // Half the fact table fits — exactly the pinned socket's shard, so
+    // the working set (shard + dimension auxiliaries) still exceeds the
+    // DRAM budget and admission has to choose a page prefix.
+    let budget = store.fact_bytes() / 2;
+    let queries = [
+        QueryId::Q1_1,
+        QueryId::Q1_2,
+        QueryId::Q1_3,
+        QueryId::Q2_1,
+        QueryId::Q3_1,
+        QueryId::Q4_1,
+    ];
+    let sampler = pmem_olap::buffer::ZipfSampler::new(queries.len() as u64, 0.99);
+    let mut rng = seed;
+    let jobs: Vec<JobSpec> = (0..24)
+        .map(|i| {
+            JobSpec::query(queries[sampler.sample(&mut rng) as usize])
+                .threads(4)
+                .tenant(1 + (i % 3) as u32)
+                .socket(SocketId(0))
+                .arrival(f64::from(i) * 0.0005)
+        })
+        .collect();
+
+    let run = |tier: HotTierPolicy| -> Option<ServeReport> {
+        let mut server =
+            QueryServer::new(&store, ServeConfig::scheduled(&planner).with_hot_tier(tier));
+        server.submit_all(jobs.clone());
+        match server.run() {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("cache run failed: {e}");
+                None
+            }
+        }
+    };
+    let summarize = |r: &ServeReport| -> (f64, Percentiles) {
+        let done: Vec<&pmem_serve::JobRecord> =
+            r.jobs.iter().filter(|j| j.outcome.is_completed()).collect();
+        let bytes: u64 = done.iter().map(|j| j.bytes).sum();
+        let e2e: Vec<f64> = done
+            .iter()
+            .map(|j| (j.finished_at - j.arrival).max(0.0))
+            .collect();
+        (
+            bytes as f64 / r.makespan.max(1e-9) / (1u64 << 30) as f64,
+            Percentiles::of(&e2e),
+        )
+    };
+
+    let Some(pure) = run(HotTierPolicy::disabled()) else {
+        return;
+    };
+    let Some(tiered) = run(HotTierPolicy::with_budget(budget)) else {
+        return;
+    };
+    let Some(tier) = tiered.hot_tier.as_ref() else {
+        eprintln!("cache section: tiered run carried no hot-tier report");
+        return;
+    };
+    let (pure_good, pure_e2e) = summarize(&pure);
+    let (tier_good, tier_e2e) = summarize(&tiered);
+
+    println!(
+        "\n== DRAM hot tier (seed {seed}): Zipfian mix, budget {} MiB of {} MiB footprint ==",
+        budget >> 20,
+        store.fact_bytes() >> 20
+    );
+    println!(
+        "{:<12} {:>6} {:>11} {:>9} {:>9}",
+        "config", "hit %", "good GiB/s", "e2e p50", "e2e p99"
+    );
+    println!(
+        "{:<12} {:>6.1} {:>11.2} {:>9.4} {:>9.4}",
+        "pure-pmem", 0.0, pure_good, pure_e2e.p50, pure_e2e.p99
+    );
+    println!(
+        "{:<12} {:>6.1} {:>11.2} {:>9.4} {:>9.4}",
+        "hot-tier",
+        100.0 * tier.hit_rate,
+        tier_good,
+        tier_e2e.p50,
+        tier_e2e.p99
+    );
+    println!(
+        "hit-rate vs latency (budget swept 0..100% of {} MiB):",
+        budget >> 20
+    );
+    println!(
+        "{:>7} {:>9} {:>6} {:>11} {:>9} {:>9}",
+        "scale", "MiB", "hit %", "good GiB/s", "e2e p50", "e2e p99"
+    );
+    for p in &tier.curve {
+        println!(
+            "{:>7.2} {:>9} {:>6.1} {:>11.2} {:>9.4} {:>9.4}",
+            p.budget_scale,
+            p.budget_bytes >> 20,
+            100.0 * p.hit_rate,
+            p.goodput_gib_s,
+            p.e2e_p50,
+            p.e2e_p99
+        );
+    }
+
+    let curve_json: Vec<String> = tier
+        .curve
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"budget_scale\": {:.2}, \"budget_bytes\": {}, \"hit_rate\": {:.6}, \
+                 \"goodput_gib_s\": {:.6}, \"e2e_p50_s\": {:.6}, \"e2e_p99_s\": {:.6}}}",
+                p.budget_scale, p.budget_bytes, p.hit_rate, p.goodput_gib_s, p.e2e_p50, p.e2e_p99
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"seed\": {seed},\n  \"dram_budget_bytes\": {budget},\n  \
+         \"admitted_bytes\": {},\n  \"hit_rate\": {:.6},\n  \
+         \"pure_pmem\": {{\"goodput_gib_s\": {:.6}, \"e2e_p50_s\": {:.6}, \"e2e_p99_s\": {:.6}}},\n  \
+         \"hot_tier\": {{\"goodput_gib_s\": {:.6}, \"e2e_p50_s\": {:.6}, \"e2e_p99_s\": {:.6}}},\n  \
+         \"curve\": [\n{}\n  ]\n}}\n",
+        tier.admitted_bytes,
+        tier.hit_rate,
+        pure_good,
+        pure_e2e.p50,
+        pure_e2e.p99,
+        tier_good,
+        tier_e2e.p50,
+        tier_e2e.p99,
+        curve_json.join(",\n")
+    );
+    match fs::write("BENCH_buffer.json", &json) {
+        Ok(()) => println!("  (json: BENCH_buffer.json)"),
+        Err(e) => eprintln!("  BENCH_buffer.json not written: {e}"),
+    }
+    println!("the hot tier buys goodput at flat p99; the curve prices each MiB of DRAM");
 }
 
 /// Media-error injection and self-healing repair: seeded poison lands on
@@ -583,6 +754,12 @@ fn main() {
     // --skip-ssb so CI can smoke it) ----
     if let Some(seed) = args.surge {
         surge_section(seed);
+    }
+
+    // ---- DRAM hot tier: cached vs pure-PMEM serving (cheap; runs even
+    // with --skip-ssb so CI can smoke it) ----
+    if let Some(seed) = args.cache {
+        cache_section(seed);
     }
 
     // ---- Crash-state model checking ----

@@ -1,5 +1,7 @@
 //! Shared helpers for the per-figure criterion benches.
 
+#![deny(clippy::unwrap_used)]
+
 use pmem_sim::Simulation;
 
 /// Fresh paper-default simulation.

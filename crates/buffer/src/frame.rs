@@ -1,0 +1,322 @@
+//! Optimistic lock coupling: one atomic word per frame.
+//!
+//! Every buffer frame carries a single `AtomicU64` packing a lock state in
+//! the top 8 bits and a 56-bit version in the rest (the `PageState` shape
+//! of the LeanStore/btree line of work). Readers do not take latches on the
+//! hot path: they snapshot the word, copy the payload, and re-check that
+//! the version is unchanged and the frame was never exclusively locked in
+//! between. Writers (page fills and evictions) CAS the state to `LOCKED`,
+//! mutate, and release with a version bump, which retroactively invalidates
+//! any optimistic reader that raced with them.
+//!
+//! State encoding (top byte):
+//!
+//! | value        | meaning                                          |
+//! |--------------|--------------------------------------------------|
+//! | 0            | unlocked                                         |
+//! | 1..=252      | locked shared (value = reader count)             |
+//! | 253          | locked exclusive                                 |
+//! | 254          | marked (clock second-chance candidate)           |
+//! | 255          | evicted (frame holds no page)                    |
+//!
+//! Marking a frame for the clock hand does *not* bump the version: the
+//! payload is unchanged, so in-flight optimistic readers stay valid.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// No lock held.
+pub const UNLOCKED: u8 = 0;
+/// Highest admissible shared-lock count.
+pub const MAX_SHARED: u8 = 252;
+/// Exclusively locked.
+pub const LOCKED: u8 = 253;
+/// Clock second-chance candidate (evict on next pass unless touched).
+pub const MARKED: u8 = 254;
+/// Frame holds no page.
+pub const EVICTED: u8 = 255;
+
+const VERSION_MASK: u64 = (1 << 56) - 1;
+
+/// The packed version + lock-state word of one buffer frame.
+#[derive(Debug)]
+pub struct FrameState {
+    word: AtomicU64,
+}
+
+impl Default for FrameState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameState {
+    /// Fresh frame: version 0, no page loaded.
+    pub fn new() -> Self {
+        Self {
+            word: AtomicU64::new(Self::with_state(0, EVICTED)),
+        }
+    }
+
+    /// Lock state encoded in `word`.
+    pub fn state_of(word: u64) -> u8 {
+        (word >> 56) as u8
+    }
+
+    /// Version encoded in `word`.
+    pub fn version_of(word: u64) -> u64 {
+        word & VERSION_MASK
+    }
+
+    /// `word`'s version with a replacement state (no version bump).
+    pub fn same_version(word: u64, state: u8) -> u64 {
+        (word & VERSION_MASK) | (u64::from(state) << 56)
+    }
+
+    /// `word`'s version incremented (wrapping in 56 bits) with a new state.
+    pub fn next_version(word: u64, state: u8) -> u64 {
+        ((word + 1) & VERSION_MASK) | (u64::from(state) << 56)
+    }
+
+    fn with_state(version: u64, state: u8) -> u64 {
+        (version & VERSION_MASK) | (u64::from(state) << 56)
+    }
+
+    /// Raw load of the packed word.
+    pub fn load(&self) -> u64 {
+        self.word.load(Ordering::Acquire)
+    }
+
+    /// Begin an optimistic read: returns the pre-word if the frame is
+    /// readable (not exclusively locked, not empty).
+    pub fn optimistic_pre(&self) -> Option<u64> {
+        let word = self.load();
+        match Self::state_of(word) {
+            LOCKED | EVICTED => None,
+            _ => Some(word),
+        }
+    }
+
+    /// Validate an optimistic read begun at `pre`: the version must be
+    /// unchanged and the frame must not be (or have become) exclusively
+    /// locked or evicted. Shared locks and clock marks taken in between do
+    /// not invalidate the read — they never change the payload.
+    pub fn optimistic_validate(&self, pre: u64) -> bool {
+        let cur = self.load();
+        Self::version_of(cur) == Self::version_of(pre)
+            && !matches!(Self::state_of(cur), LOCKED | EVICTED)
+    }
+
+    /// Try to take the exclusive lock. Succeeds from `UNLOCKED`, `MARKED`,
+    /// or `EVICTED` (filling an empty frame); fails while readers hold
+    /// shared locks or another writer holds the exclusive lock.
+    pub fn try_lock_x(&self) -> bool {
+        let word = self.load();
+        match Self::state_of(word) {
+            UNLOCKED | MARKED | EVICTED => self
+                .word
+                .compare_exchange(
+                    word,
+                    Self::same_version(word, LOCKED),
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                )
+                .is_ok(),
+            _ => false,
+        }
+    }
+
+    /// Release the exclusive lock, bumping the version so concurrent
+    /// optimistic readers fail validation.
+    pub fn unlock_x(&self) {
+        let word = self.load();
+        debug_assert_eq!(Self::state_of(word), LOCKED);
+        self.word
+            .store(Self::next_version(word, UNLOCKED), Ordering::Release);
+    }
+
+    /// Release the exclusive lock leaving the frame empty (eviction without
+    /// refill). Also bumps the version.
+    pub fn unlock_x_evicted(&self) {
+        let word = self.load();
+        debug_assert_eq!(Self::state_of(word), LOCKED);
+        self.word
+            .store(Self::next_version(word, EVICTED), Ordering::Release);
+    }
+
+    /// Try to take a shared lock (pessimistic fallback path). Clears a
+    /// clock mark — a shared lock is an access.
+    pub fn try_lock_s(&self) -> bool {
+        let word = self.load();
+        let state = Self::state_of(word);
+        let next = match state {
+            UNLOCKED | MARKED => 1,
+            s if s < MAX_SHARED => s + 1,
+            _ => return false,
+        };
+        self.word
+            .compare_exchange(
+                word,
+                Self::same_version(word, next),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Release one shared lock. No version bump: readers never mutate.
+    pub fn unlock_s(&self) {
+        loop {
+            let word = self.load();
+            let state = Self::state_of(word);
+            debug_assert!((1..=MAX_SHARED).contains(&state));
+            let next = Self::same_version(word, state - 1);
+            if self
+                .word
+                .compare_exchange(word, next, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Clock hand: mark an unlocked frame as an eviction candidate. The
+    /// payload is untouched, so the version is preserved and optimistic
+    /// readers stay valid. Returns `false` if the frame was busy.
+    pub fn try_mark(&self) -> bool {
+        let word = self.load();
+        if Self::state_of(word) != UNLOCKED {
+            return false;
+        }
+        self.word
+            .compare_exchange(
+                word,
+                Self::same_version(word, MARKED),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Second chance: an access clears the mark. Returns `true` if a mark
+    /// was present and cleared.
+    pub fn clear_mark(&self) -> bool {
+        let word = self.load();
+        if Self::state_of(word) != MARKED {
+            return false;
+        }
+        self.word
+            .compare_exchange(
+                word,
+                Self::same_version(word, UNLOCKED),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Is the frame currently marked for eviction?
+    pub fn is_marked(&self) -> bool {
+        Self::state_of(self.load()) == MARKED
+    }
+
+    /// Is the frame empty?
+    pub fn is_evicted(&self) -> bool {
+        Self::state_of(self.load()) == EVICTED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn packing_roundtrips() {
+        let w = FrameState::with_state(42, LOCKED);
+        assert_eq!(FrameState::version_of(w), 42);
+        assert_eq!(FrameState::state_of(w), LOCKED);
+        assert_eq!(
+            FrameState::version_of(FrameState::next_version(w, UNLOCKED)),
+            43
+        );
+        assert_eq!(
+            FrameState::state_of(FrameState::same_version(w, MARKED)),
+            MARKED
+        );
+    }
+
+    #[test]
+    fn version_wraps_in_56_bits() {
+        let w = FrameState::with_state(VERSION_MASK, UNLOCKED);
+        let next = FrameState::next_version(w, UNLOCKED);
+        assert_eq!(FrameState::version_of(next), 0);
+        assert_eq!(FrameState::state_of(next), UNLOCKED);
+    }
+
+    #[test]
+    fn exclusive_lock_bumps_version_and_invalidates() {
+        let f = FrameState::new();
+        assert!(f.try_lock_x()); // fill the empty frame
+        f.unlock_x();
+        let pre = f.optimistic_pre().unwrap();
+        assert!(f.optimistic_validate(pre));
+        assert!(f.try_lock_x());
+        assert!(f.optimistic_pre().is_none()); // locked: cannot start a read
+        assert!(!f.optimistic_validate(pre)); // in-flight read fails now
+        f.unlock_x();
+        assert!(!f.optimistic_validate(pre)); // and after release (version moved)
+    }
+
+    #[test]
+    fn shared_locks_count_and_block_writers() {
+        let f = FrameState::new();
+        assert!(f.try_lock_x());
+        f.unlock_x();
+        assert!(f.try_lock_s());
+        assert!(f.try_lock_s());
+        assert!(!f.try_lock_x());
+        let pre = f.optimistic_pre().unwrap();
+        assert!(f.optimistic_validate(pre)); // shared readers don't invalidate
+        f.unlock_s();
+        f.unlock_s();
+        assert!(f.try_lock_x());
+    }
+
+    #[test]
+    fn marks_preserve_versions() {
+        let f = FrameState::new();
+        assert!(f.try_lock_x());
+        f.unlock_x();
+        let pre = f.optimistic_pre().unwrap();
+        assert!(f.try_mark());
+        assert!(f.is_marked());
+        assert!(f.optimistic_validate(pre)); // mark is not a mutation
+        assert!(f.clear_mark());
+        assert!(!f.is_marked());
+        assert!(f.optimistic_validate(pre));
+    }
+
+    #[test]
+    fn shared_lock_clears_mark() {
+        let f = FrameState::new();
+        assert!(f.try_lock_x());
+        f.unlock_x();
+        assert!(f.try_mark());
+        assert!(f.try_lock_s());
+        assert!(!f.is_marked());
+        f.unlock_s();
+    }
+
+    #[test]
+    fn evicted_frames_reject_readers() {
+        let f = FrameState::new();
+        assert!(f.is_evicted());
+        assert!(f.optimistic_pre().is_none());
+        assert!(!f.try_lock_s());
+        assert!(f.try_lock_x()); // but a writer may fill them
+        f.unlock_x();
+        assert!(!f.is_evicted());
+    }
+}

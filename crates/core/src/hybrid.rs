@@ -244,6 +244,42 @@ impl HybridAdvisor {
         }
     }
 
+    /// Observed read traffic per query for each object — the heat profile
+    /// the DRAM buffer manager's admission planner consumes. A sequential
+    /// scan reads `scans_per_query × bytes`, a probe workload reads
+    /// `probes_per_query × access_bytes`; write-only objects contribute no
+    /// read heat (the hot tier is a read cache).
+    ///
+    /// For scan-shaped objects the advisor's promotion density and the
+    /// buffer's admission density are proportional (both reduce to
+    /// scans-per-query times a device constant), so
+    /// [`HybridAdvisor::place`] and
+    /// [`pmem_buffer::AdmissionPlan::plan`] over this profile pick the
+    /// same DRAM residents under the same budget — property-tested below.
+    pub fn heat_profile(objects: &[DataObject]) -> Vec<pmem_buffer::HeatObject> {
+        objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                let heat_bytes = match o.profile {
+                    AccessProfile::SequentialScan { scans_per_query } => {
+                        scans_per_query * o.bytes as f64
+                    }
+                    AccessProfile::RandomProbe {
+                        probes_per_query,
+                        access_bytes,
+                    } => probes_per_query * access_bytes as f64,
+                    AccessProfile::SequentialWrite { .. } => 0.0,
+                };
+                pmem_buffer::HeatObject {
+                    id: i as u64,
+                    bytes: o.bytes,
+                    heat_bytes,
+                }
+            })
+            .collect()
+    }
+
     /// The SSB-shaped example: sf-100 fact table, join indexes, and an
     /// intermediate buffer, under the paper machine's 186 GB of DRAM.
     pub fn ssb_example(&self) -> HybridPlan {
@@ -375,6 +411,40 @@ mod tests {
     }
 
     #[test]
+    fn heat_profile_mirrors_read_traffic() {
+        let objects = [
+            DataObject::new(
+                "scan",
+                1000,
+                AccessProfile::SequentialScan {
+                    scans_per_query: 3.0,
+                },
+            ),
+            DataObject::new(
+                "probe",
+                1 << 20,
+                AccessProfile::RandomProbe {
+                    probes_per_query: 10.0,
+                    access_bytes: 256,
+                },
+            ),
+            DataObject::new(
+                "spill",
+                1 << 20,
+                AccessProfile::SequentialWrite {
+                    bytes_per_query: 4096,
+                },
+            ),
+        ];
+        let heat = HybridAdvisor::heat_profile(&objects);
+        assert_eq!(heat[0].heat_bytes, 3000.0);
+        assert_eq!(heat[1].heat_bytes, 2560.0);
+        assert_eq!(heat[2].heat_bytes, 0.0); // writes are not read heat
+        assert_eq!(heat[1].id, 1);
+        assert_eq!(heat[1].bytes, 1 << 20);
+    }
+
+    #[test]
     fn seconds_are_consistent_with_the_device_hierarchy() {
         let a = advisor();
         let o = DataObject::new(
@@ -390,5 +460,71 @@ mod tests {
         assert!(pmem > dram, "PMEM probes slower: {pmem} vs {dram}");
         // §5.2: DRAM's random advantage is severalfold.
         assert!((1.5..8.0).contains(&(pmem / dram)), "ratio {}", pmem / dram);
+    }
+}
+
+#[cfg(test)]
+mod admission_consistency {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    fn advisor() -> &'static HybridAdvisor {
+        static ADVISOR: OnceLock<HybridAdvisor> = OnceLock::new();
+        ADVISOR.get_or_init(HybridAdvisor::paper_default)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Placement advice and buffer admission agree: for any random
+        /// heat vector of scan-shaped objects and any budget, the objects
+        /// the advisor promotes to DRAM are exactly the objects the
+        /// buffer's admission plan accepts from the same heat profile.
+        #[test]
+        fn placement_matches_buffer_admission(
+            raw in prop::collection::vec((0u32..1001, 1u64..257), 1..12),
+            budget_pct in 0u32..101,
+        ) {
+            let objects: Vec<DataObject> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(heat, pages))| {
+                    // Salt scan counts by index so densities are distinct:
+                    // equal densities are ordered by different (but both
+                    // valid) ulp-level tie-breaks in the two rankings.
+                    let scans = if heat == 0 {
+                        0.0
+                    } else {
+                        f64::from(heat * 16 + i as u32)
+                    };
+                    DataObject::new(
+                        format!("o{i}"),
+                        pages * 4096,
+                        AccessProfile::SequentialScan {
+                            scans_per_query: scans,
+                        },
+                    )
+                })
+                .collect();
+            let total: u64 = objects.iter().map(|o| o.bytes).sum();
+            let budget = total * u64::from(budget_pct) / 100;
+            let plan = advisor().place(&objects, budget);
+            let admission = pmem_buffer::AdmissionPlan::plan(
+                &HybridAdvisor::heat_profile(&objects),
+                budget,
+            );
+            for (i, o) in objects.iter().enumerate() {
+                let promoted = plan.tier_of(&o.name) == Some(Tier::Dram);
+                prop_assert_eq!(
+                    promoted,
+                    admission.is_admitted(i as u64),
+                    "object {} (heat {}, bytes {}) diverged",
+                    i,
+                    raw[i].0,
+                    o.bytes
+                );
+            }
+        }
     }
 }

@@ -19,7 +19,8 @@
 //! * Re-exports: [`sim`] (the simulated dual-socket Optane server),
 //!   [`store`] (namespaces, regions, persistence primitives), [`dash`]
 //!   (the Dash hash index), [`membench`] (the characterization figures),
-//!   and [`ssb`] (the Star Schema Benchmark engines).
+//!   [`ssb`] (the Star Schema Benchmark engines), and [`buffer`] (the
+//!   DRAM hot-tier buffer manager the advisor's placements execute on).
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(clippy::unwrap_used)]
 
 pub mod best_practices;
 pub mod cost;
@@ -65,3 +67,6 @@ pub use pmem_membench as membench;
 
 /// The Star Schema Benchmark engines (Figure 14, Table 1).
 pub use pmem_ssb as ssb;
+
+/// The DRAM hot-tier buffer manager (OLC frames, heat-driven admission).
+pub use pmem_buffer as buffer;

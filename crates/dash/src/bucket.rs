@@ -140,6 +140,8 @@ pub fn insert(region: &mut Region, bucket_off: u64, fp: u8, key: u64, value: u64
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use pmem_sim::topology::SocketId;
     use pmem_store::Namespace;

@@ -257,6 +257,8 @@ impl KvIndex for ChainedTable {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use pmem_sim::topology::SocketId;
 

@@ -53,6 +53,8 @@ pub fn fingerprint(hash: u64) -> u8 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

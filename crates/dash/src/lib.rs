@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(clippy::unwrap_used)]
 
 pub mod bucket;
 pub mod chained;

@@ -373,6 +373,8 @@ pub struct SegmentRecovery {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use pmem_sim::topology::SocketId;
 

@@ -328,6 +328,8 @@ impl KvIndex for DashTable {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use pmem_sim::topology::SocketId;
 

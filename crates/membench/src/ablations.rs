@@ -175,6 +175,8 @@ pub fn all_ablations() -> Vec<Figure> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -423,6 +423,8 @@ pub fn all_figures(sim: &mut Simulation) -> Vec<Figure> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     fn sim() -> Simulation {

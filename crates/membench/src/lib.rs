@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(clippy::unwrap_used)]
 
 pub mod ablations;
 pub mod experiments;

@@ -217,6 +217,8 @@ pub fn expected_checksum(volume: u64) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use pmem_sim::topology::SocketId;
 

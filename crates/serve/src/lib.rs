@@ -48,6 +48,7 @@ pub mod pool;
 pub mod report;
 pub mod resilience;
 pub mod scheduler;
+pub mod tier;
 
 pub use admission::{
     AdmissionController, AdmissionPolicy, QueueReason, ShedReason, SocketLoad, Verdict,
@@ -58,7 +59,9 @@ pub use job::{JobId, JobKind, JobSpec, OpenLoopPlan, Side, TenantLoad};
 pub use overload::{BreakerConfig, BreakerState, BrownoutConfig, OverloadPolicy};
 pub use pool::{PoolSet, WorkItem};
 pub use report::{
-    tenant_reports, JobOutcome, JobRecord, Percentiles, ServeHealth, ServeReport, TenantReport,
+    tenant_reports, HotTierReport, JobOutcome, JobRecord, Percentiles, ServeHealth, ServeReport,
+    TenantReport, TierCurvePoint,
 };
 pub use resilience::ResiliencePolicy;
 pub use scheduler::{QueryServer, ServeConfig};
+pub use tier::{HotTierPolicy, SocketDemand, TierAssignment};

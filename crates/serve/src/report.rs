@@ -103,6 +103,9 @@ pub struct JobRecord {
     pub retries: u32,
     /// How the job left the server.
     pub outcome: JobOutcome,
+    /// DRAM hot-tier hit rate the job's reads were priced at (0 for
+    /// writes and when the tier is disabled).
+    pub hit_rate: f64,
 }
 
 impl JobRecord {
@@ -175,6 +178,9 @@ pub struct TenantReport {
     pub queue_wait: Percentiles,
     /// End-to-end (arrival → finish) percentiles over completed jobs.
     pub end_to_end: Percentiles,
+    /// Byte-weighted DRAM hot-tier hit rate over the tenant's completed
+    /// reads (0 when the tier is disabled or nothing completed).
+    pub hit_rate: f64,
 }
 
 /// Fold per-job records into per-tenant slices, sorted by tenant id.
@@ -192,6 +198,20 @@ pub fn tenant_reports(jobs: &[JobRecord]) -> Vec<TenantReport> {
                 .iter()
                 .map(|j| (j.finished_at - j.arrival).max(0.0))
                 .collect();
+            let read_bytes: u64 = done
+                .iter()
+                .filter(|j| j.side == Side::Read)
+                .map(|j| j.bytes)
+                .sum();
+            let hit_rate = if read_bytes > 0 {
+                done.iter()
+                    .filter(|j| j.side == Side::Read)
+                    .map(|j| j.hit_rate * j.bytes as f64)
+                    .sum::<f64>()
+                    / read_bytes as f64
+            } else {
+                0.0
+            };
             TenantReport {
                 tenant,
                 jobs: mine.len(),
@@ -209,9 +229,46 @@ pub fn tenant_reports(jobs: &[JobRecord]) -> Vec<TenantReport> {
                 exec_total: mine.iter().map(|j| j.exec_seconds).sum(),
                 queue_wait: Percentiles::of(&waits),
                 end_to_end: Percentiles::of(&e2e),
+                hit_rate,
             }
         })
         .collect()
+}
+
+/// One point of the hit-rate-vs-latency curve: the same workload
+/// replayed with the DRAM hot tier scaled to a fraction of its budget
+/// (`budget_scale = 0` is the pure-PMEM baseline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierCurvePoint {
+    /// Fraction of the configured budget this point ran with.
+    pub budget_scale: f64,
+    /// Absolute DRAM bytes of the scaled budget.
+    pub budget_bytes: u64,
+    /// Fraction of read bytes the tier served at this budget.
+    pub hit_rate: f64,
+    /// All completed bytes over the replay's makespan, GiB/s.
+    pub goodput_gib_s: f64,
+    /// Median end-to-end latency of completed units, seconds.
+    pub e2e_p50: f64,
+    /// p99 end-to-end latency of completed units, seconds.
+    pub e2e_p99: f64,
+}
+
+/// What the DRAM hot tier did for one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotTierReport {
+    /// Configured DRAM budget in bytes.
+    pub dram_budget: u64,
+    /// Bytes the heat-density admission plan occupies (partial included).
+    pub admitted_bytes: u64,
+    /// Read bytes the tier served instead of PMEM.
+    pub hit_bytes: u64,
+    /// `hit_bytes` over all read bytes moved.
+    pub hit_rate: f64,
+    /// Virtual seconds the brownout ladder ran with the tier shrunk.
+    pub shrunk_seconds: f64,
+    /// The hit-rate-vs-latency curve over scaled budgets, ascending.
+    pub curve: Vec<TierCurvePoint>,
 }
 
 /// The server-wide outcome of one [`crate::QueryServer::run`].
@@ -267,6 +324,9 @@ pub struct ServeReport {
     /// The shared-scan coalescing window the run actually used (after
     /// adaptive derivation and brownout widening).
     pub batch_window_used: f64,
+    /// DRAM hot-tier accounting and the hit-rate-vs-latency curve
+    /// (`None` when the tier is disabled).
+    pub hot_tier: Option<HotTierReport>,
 }
 
 const GIB: f64 = (1u64 << 30) as f64;
@@ -418,11 +478,40 @@ impl std::fmt::Display for ServeReport {
                 self.batch_window_used,
             )?;
         }
+        if let Some(tier) = &self.hot_tier {
+            writeln!(
+                f,
+                "  hot tier: budget {:.1} MiB, admitted {:.1} MiB, hit rate {:.1}% \
+                 ({:.1} MiB from DRAM), shrunk {:.3}s",
+                tier.dram_budget as f64 / (1 << 20) as f64,
+                tier.admitted_bytes as f64 / (1 << 20) as f64,
+                tier.hit_rate * 100.0,
+                tier.hit_bytes as f64 / (1 << 20) as f64,
+                tier.shrunk_seconds,
+            )?;
+            writeln!(
+                f,
+                "    {:>6} {:>10} {:>6} {:>12} {:>9} {:>9}",
+                "scale", "MiB", "hit%", "GiB/s", "p50(s)", "p99(s)"
+            )?;
+            for p in &tier.curve {
+                writeln!(
+                    f,
+                    "    {:>6.2} {:>10.1} {:>6.1} {:>12.2} {:>9.3} {:>9.3}",
+                    p.budget_scale,
+                    p.budget_bytes as f64 / (1 << 20) as f64,
+                    p.hit_rate * 100.0,
+                    p.goodput_gib_s,
+                    p.e2e_p50,
+                    p.e2e_p99,
+                )?;
+            }
+        }
         for t in &self.tenants {
             writeln!(
                 f,
                 "  tenant {:>3}: {:>4} jobs ({} done, {} shed, {} failed), {:>8.1} MiB good, \
-                 wait p50/p95/p99 {:.3}/{:.3}/{:.3}s, e2e {:.3}/{:.3}/{:.3}s",
+                 wait p50/p95/p99 {:.3}/{:.3}/{:.3}s, e2e {:.3}/{:.3}/{:.3}s, hit {:.1}%",
                 t.tenant,
                 t.jobs,
                 t.completed,
@@ -435,6 +524,7 @@ impl std::fmt::Display for ServeReport {
                 t.end_to_end.p50,
                 t.end_to_end.p95,
                 t.end_to_end.p99,
+                t.hit_rate * 100.0,
             )?;
         }
         writeln!(
@@ -487,6 +577,7 @@ mod tests {
             deadline: None,
             retries: 0,
             outcome: JobOutcome::Completed,
+            hit_rate: 0.0,
         }
     }
 
@@ -516,6 +607,7 @@ mod tests {
             retry_budget_denied: 0,
             brownout_seconds: 0.0,
             batch_window_used: 0.0,
+            hot_tier: None,
         };
         assert!((report.read_bandwidth_gib_s() - 30.0).abs() < 1e-9);
         assert!((report.write_bandwidth_gib_s() - 10.0).abs() < 1e-9);
@@ -547,6 +639,7 @@ mod tests {
             retry_budget_denied: 0,
             brownout_seconds: 0.0,
             batch_window_used: 0.0,
+            hot_tier: None,
         };
         assert_eq!(report.read_bandwidth_gib_s(), 0.0);
         assert_eq!(report.mean_queue_wait_seconds(), 0.0);
@@ -600,6 +693,7 @@ mod tests {
             retry_budget_denied: 0,
             brownout_seconds: 0.0,
             batch_window_used: 0.0,
+            hot_tier: None,
         };
         assert_eq!(report.shed_jobs(), 1);
         assert_eq!(report.retried_jobs(), 1);

@@ -19,6 +19,7 @@ use pmem_sim::sched::Pinning;
 use pmem_sim::stats::SimStats;
 use pmem_sim::topology::{Machine, SocketId};
 use pmem_sim::workload::{MixedSpec, WorkloadSpec};
+use pmem_sim::{tiered_rate, Bandwidth};
 use pmem_ssb::SsbStore;
 use pmem_store::Result;
 
@@ -28,8 +29,12 @@ use crate::fairness::{FairnessPolicy, TenantBuckets};
 use crate::job::{JobId, JobKind, JobSpec, OpenLoopPlan, Side};
 use crate::overload::{BreakerState, CircuitBreaker, OverloadPolicy, RetryLedger};
 use crate::pool::{PoolSet, WorkItem};
-use crate::report::{self, JobOutcome, JobRecord, ServeHealth, ServeReport};
+use crate::report::{
+    self, HotTierReport, JobOutcome, JobRecord, Percentiles, ServeHealth, ServeReport,
+    TierCurvePoint,
+};
 use crate::resilience::ResiliencePolicy;
+use crate::tier::{self, HotTierPolicy, SocketDemand};
 
 /// Bytes below which a unit counts as finished (float-remainder guard).
 const DONE_EPSILON: f64 = 0.5;
@@ -62,6 +67,8 @@ pub struct ServeConfig {
     pub adaptive_batch: bool,
     /// Ceiling on the adaptive (and brownout-widened) coalescing window.
     pub batch_window_max: f64,
+    /// DRAM hot tier pricing reads (disabled = pure-PMEM reads).
+    pub hot_tier: HotTierPolicy,
 }
 
 impl ServeConfig {
@@ -80,6 +87,7 @@ impl ServeConfig {
             open_loop: None,
             adaptive_batch: false,
             batch_window_max: 0.040,
+            hot_tier: HotTierPolicy::disabled(),
         }
     }
 
@@ -159,12 +167,19 @@ impl ServeConfig {
             open_loop: None,
             adaptive_batch: false,
             batch_window_max: 0.040,
+            hot_tier: HotTierPolicy::disabled(),
         }
+    }
+
+    /// Price reads through a DRAM hot tier with `policy`.
+    pub fn with_hot_tier(mut self, policy: HotTierPolicy) -> Self {
+        self.hot_tier = policy;
+        self
     }
 }
 
 /// A schedulable unit: one shared-scan batch or one ingest job.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Unit {
     side: Side,
     socket: SocketId,
@@ -193,6 +208,10 @@ struct Unit {
     tenant: u32,
     /// Per-member `(tenant, bytes)` demands the fairness buckets charge.
     charges: Vec<(u32, u64)>,
+    /// Hot-tier hit rate the unit's reads see (0 for writes / no tier).
+    hit_rate: f64,
+    /// Hit rate in force while browned out (the tier shrinks first).
+    hit_rate_browned: f64,
 }
 
 /// A unit currently holding device time.
@@ -417,6 +436,8 @@ impl<'s> QueryServer<'s> {
                     .iter()
                     .map(|m| (routed[m.id.0 as usize].1.tenant, m.read_bytes))
                     .collect(),
+                hit_rate: 0.0,
+                hit_rate_browned: 0.0,
             });
         }
         for (idx, (_, spec, socket)) in routed.iter().enumerate() {
@@ -439,12 +460,78 @@ impl<'s> QueryServer<'s> {
                     outcome: JobOutcome::Completed,
                     tenant: spec.tenant,
                     charges: vec![(spec.tenant, bytes.max(1))],
+                    hit_rate: 0.0,
+                    hit_rate_browned: 0.0,
                 });
             }
         }
 
+        // ---- DRAM hot tier: plan admission, price per-unit hit rates ----
+        let tier_cfg = self.config.hot_tier;
+        let tier_state = tier_cfg.enabled.then(|| {
+            let demands = self.socket_demands(&scan_infos);
+            let full = tier::assign(&demands, tier_cfg.zipf_theta, tier_cfg.dram_budget);
+            let shrunk = tier::assign(&demands, tier_cfg.zipf_theta, tier_cfg.shrunken_budget());
+            for unit in units.iter_mut().filter(|u| u.side == Side::Read) {
+                unit.hit_rate = full.hit(unit.socket.0);
+                unit.hit_rate_browned = shrunk.hit(unit.socket.0);
+            }
+            // Pristine copies replay the loop at scaled budgets for the
+            // hit-rate-vs-latency curve.
+            (demands, full, units.clone())
+        });
+
         // ---- Virtual plane: discrete-event loop ----
         let loop_out = self.event_loop(&mut units);
+
+        // ---- Hot-tier report: observed hits plus the budget curve ----
+        let hot_tier = tier_state.map(|(demands, assignment, pristine)| {
+            let curve = [0.0, 0.25, 0.5, 0.75, 1.0]
+                .iter()
+                .map(|&scale| {
+                    let budget = (tier_cfg.dram_budget as f64 * scale) as u64;
+                    let point = tier::assign(&demands, tier_cfg.zipf_theta, budget);
+                    let browned = tier::assign(
+                        &demands,
+                        tier_cfg.zipf_theta,
+                        (budget as f64 * tier_cfg.brownout_shrink.clamp(0.0, 1.0)) as u64,
+                    );
+                    let mut probe = pristine.clone();
+                    for unit in probe.iter_mut().filter(|u| u.side == Side::Read) {
+                        unit.hit_rate = point.hit(unit.socket.0);
+                        unit.hit_rate_browned = browned.hit(unit.socket.0);
+                    }
+                    let o = self.event_loop(&mut probe);
+                    let e2e: Vec<f64> = probe
+                        .iter()
+                        .filter(|u| u.outcome.is_completed())
+                        .map(|u| (u.finished_at - u.arrival).max(0.0))
+                        .collect();
+                    let p = Percentiles::of(&e2e);
+                    let moved = o.read_bytes_moved + o.write_bytes_moved;
+                    TierCurvePoint {
+                        budget_scale: scale,
+                        budget_bytes: budget,
+                        hit_rate: o.tier_hit_bytes as f64 / o.read_bytes_moved.max(1) as f64,
+                        goodput_gib_s: if o.makespan > 0.0 {
+                            moved as f64 / ((1u64 << 30) as f64) / o.makespan
+                        } else {
+                            0.0
+                        },
+                        e2e_p50: p.p50,
+                        e2e_p99: p.p99,
+                    }
+                })
+                .collect();
+            HotTierReport {
+                dram_budget: tier_cfg.dram_budget,
+                admitted_bytes: assignment.admitted_bytes,
+                hit_bytes: loop_out.tier_hit_bytes,
+                hit_rate: loop_out.tier_hit_bytes as f64 / loop_out.read_bytes_moved.max(1) as f64,
+                shrunk_seconds: loop_out.tier_shrunk_seconds,
+                curve,
+            }
+        });
 
         // ---- Records ----
         let sim = self.planner.simulation();
@@ -506,6 +593,7 @@ impl<'s> QueryServer<'s> {
                 deadline: spec.deadline_at(),
                 retries: unit.retries,
                 outcome: unit.outcome,
+                hit_rate: unit.hit_rate,
             });
         }
         records.sort_by_key(|r| r.id);
@@ -558,7 +646,38 @@ impl<'s> QueryServer<'s> {
             brownout_seconds: loop_out.brownout_seconds,
             batch_window_used,
             stats,
+            hot_tier,
         })
+    }
+
+    /// Per-socket working sets and read demand the tier plans over: the
+    /// socket's fact partition plus the largest single query's auxiliary
+    /// (dimension/index) read set, against the total read bytes offered.
+    fn socket_demands(&self, scans: &[ScanJobInfo]) -> Vec<SocketDemand> {
+        let row = self.store.fact_bytes() / self.store.fact_rows().max(1);
+        (0..self.planner.sockets().max(1))
+            .map(|s| {
+                let fact: u64 = self
+                    .store
+                    .shards
+                    .iter()
+                    .filter(|sh| sh.socket.0 == s)
+                    .map(|sh| sh.fact_rows * row)
+                    .sum();
+                let mine = scans.iter().filter(|i| i.socket.0 == s);
+                let aux = mine
+                    .clone()
+                    .map(|i| i.read_bytes.saturating_sub(i.fact_bytes))
+                    .max()
+                    .unwrap_or(0);
+                let demand: u64 = mine.map(|i| i.read_bytes).sum();
+                SocketDemand {
+                    socket: s,
+                    footprint_bytes: fact + aux,
+                    demand_bytes: demand,
+                }
+            })
+            .collect()
     }
 
     fn event_loop(&self, units: &mut [Unit]) -> LoopOutput {
@@ -964,7 +1083,11 @@ impl<'s> QueryServer<'s> {
             // fault state scales each side's achievable bandwidth. A
             // degraded UPI link additionally taxes unpinned threads, whose
             // placement makes roughly half their traffic cross the link.
-            let mut socket_rates: HashMap<u8, (f64, f64)> = HashMap::new();
+            // With a hot tier, the same mix is priced once more against
+            // DRAM — each read unit's rate is then the harmonic blend of
+            // the two lanes at its hit rate.
+            let tier_on = self.config.hot_tier.enabled;
+            let mut socket_rates: HashMap<u8, (f64, f64, f64)> = HashMap::new();
             for socket in active
                 .iter()
                 .map(|a| units[a.unit].socket)
@@ -989,14 +1112,41 @@ impl<'s> QueryServer<'s> {
                 } else {
                     0.0
                 };
-                socket_rates.insert(socket.0, (per_reader, per_writer));
+                let per_reader_dram = if tier_on && load.reader_threads > 0 {
+                    let mut dram_spec = MixedSpec::paper(
+                        pmem_sim::params::DeviceClass::Dram,
+                        load.writer_threads,
+                        load.reader_threads,
+                    );
+                    dram_spec.pinning = self.config.pinning;
+                    let mut dram = sim.evaluate_mixed_degraded(&dram_spec, &fstate.socket(socket));
+                    if self.config.pinning == Pinning::None && fstate.upi_scale < 1.0 {
+                        dram.read = dram.read.degrade(0.5 + 0.5 * fstate.upi_scale);
+                    }
+                    dram.read.bytes_per_sec() / load.reader_threads as f64
+                } else {
+                    0.0
+                };
+                socket_rates.insert(socket.0, (per_reader, per_writer, per_reader_dram));
             }
             for run in &mut active {
                 let unit = &units[run.unit];
-                let (per_reader, per_writer) = socket_rates[&unit.socket.0];
+                let (per_reader, per_writer, per_reader_dram) = socket_rates[&unit.socket.0];
                 run.rate = unit.threads as f64
                     * match unit.side {
-                        Side::Read => per_reader,
+                        Side::Read => {
+                            let hit = if brownout_active {
+                                unit.hit_rate_browned
+                            } else {
+                                unit.hit_rate
+                            };
+                            tiered_rate(
+                                Bandwidth::from_bytes_per_sec(per_reader),
+                                Bandwidth::from_bytes_per_sec(per_reader_dram),
+                                hit,
+                            )
+                            .bytes_per_sec()
+                        }
                         Side::Write => per_writer,
                     };
             }
@@ -1077,13 +1227,26 @@ impl<'s> QueryServer<'s> {
             }
             if brownout_active {
                 out.brownout_seconds += dt;
+                if tier_on && !active.is_empty() {
+                    out.tier_shrunk_seconds += dt;
+                }
             }
             now += dt;
             if let Some(bk) = buckets.as_mut() {
                 bk.refill(dt);
             }
             for run in &mut active {
-                run.remaining -= run.rate * dt;
+                let progressed = run.rate * dt;
+                run.remaining -= progressed;
+                let unit = &units[run.unit];
+                if unit.side == Side::Read {
+                    let hit = if brownout_active {
+                        unit.hit_rate_browned
+                    } else {
+                        unit.hit_rate
+                    };
+                    out.tier_hit_bytes += (progressed * hit) as u64;
+                }
             }
             let mut k = 0;
             while k < active.len() {
@@ -1378,6 +1541,10 @@ struct LoopOutput {
     breaker_trips: u32,
     retry_budget_denied: u32,
     brownout_seconds: f64,
+    /// Read bytes the DRAM hot tier served (rate-weighted by hit rate).
+    tier_hit_bytes: u64,
+    /// Seconds the brownout ladder ran with the tier shrunk.
+    tier_shrunk_seconds: f64,
 }
 
 /// Sum the active reader/writer threads and outstanding bytes on a socket.

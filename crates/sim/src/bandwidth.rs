@@ -96,6 +96,36 @@ impl Bandwidth {
     }
 }
 
+/// Effective rate of a stream whose bytes split between two lanes: a
+/// fraction `hit` is served at `fast` (the DRAM hot tier) and the rest at
+/// `slow` (PMEM). Time adds, so rates combine harmonically:
+/// `1 / ((1 - hit) / slow + hit / fast)`.
+///
+/// Degenerate lanes fall back sensibly: with `hit == 0` the result is
+/// `slow`, with `hit == 1` it is `fast`, and a zero-rate lane that still
+/// carries bytes yields zero.
+pub fn tiered_rate(slow: Bandwidth, fast: Bandwidth, hit: f64) -> Bandwidth {
+    let hit = hit.clamp(0.0, 1.0);
+    let miss = 1.0 - hit;
+    let mut denom = 0.0;
+    if miss > 0.0 {
+        if slow.bytes_per_sec() <= 0.0 {
+            return Bandwidth::ZERO;
+        }
+        denom += miss / slow.bytes_per_sec();
+    }
+    if hit > 0.0 {
+        if fast.bytes_per_sec() <= 0.0 {
+            return Bandwidth::ZERO;
+        }
+        denom += hit / fast.bytes_per_sec();
+    }
+    if denom <= 0.0 {
+        return slow;
+    }
+    Bandwidth::from_bytes_per_sec(1.0 / denom)
+}
+
 impl fmt::Display for Bandwidth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.2} GB/s", self.gib_s())
@@ -193,5 +223,22 @@ mod tests {
     #[test]
     fn display_formats_gib() {
         assert_eq!(format!("{}", Bandwidth::from_gib_s(12.5)), "12.50 GB/s");
+    }
+
+    #[test]
+    fn tiered_rate_mixes_harmonically() {
+        let pmem = Bandwidth::from_gib_s(10.0);
+        let dram = Bandwidth::from_gib_s(40.0);
+        assert_eq!(tiered_rate(pmem, dram, 0.0), pmem);
+        assert_eq!(tiered_rate(pmem, dram, 1.0), dram);
+        // 50/50 split: 1 / (0.5/10 + 0.5/40) = 16 GiB/s.
+        let half = tiered_rate(pmem, dram, 0.5);
+        assert!((half.gib_s() - 16.0).abs() < 1e-9, "got {}", half.gib_s());
+        // Monotone in the hit rate.
+        assert!(tiered_rate(pmem, dram, 0.7) > half);
+        // Zero-rate lanes that carry bytes stall the stream.
+        assert_eq!(tiered_rate(Bandwidth::ZERO, dram, 0.5), Bandwidth::ZERO);
+        assert_eq!(tiered_rate(pmem, Bandwidth::ZERO, 0.5), Bandwidth::ZERO);
+        assert_eq!(tiered_rate(pmem, Bandwidth::ZERO, 0.0), pmem);
     }
 }

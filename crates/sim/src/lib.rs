@@ -61,7 +61,7 @@ pub mod workload;
 
 mod simulation;
 
-pub use bandwidth::Bandwidth;
+pub use bandwidth::{tiered_rate, Bandwidth};
 pub use simulation::{Evaluation, Simulation};
 
 /// Convenient re-exports of the types needed for typical use.

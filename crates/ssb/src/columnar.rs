@@ -65,6 +65,15 @@ impl Column {
         }
     }
 
+    /// Stable identity of the column as a buffer-pool heat object (its
+    /// position in [`Column::ALL`]).
+    pub fn object_id(self) -> u64 {
+        Column::ALL
+            .iter()
+            .position(|&c| c == self)
+            .unwrap_or_default() as u64
+    }
+
     /// Columns referenced by a query (scan side only).
     pub fn for_query(query: QueryId) -> &'static [Column] {
         use Column::*;
@@ -325,6 +334,97 @@ impl ColumnarFact {
                             }
                         }
                         acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker"))
+                .collect()
+        })
+    }
+
+    /// Bytes one column occupies.
+    pub fn column_bytes(&self, column: Column) -> u64 {
+        self.rows * column.width()
+    }
+
+    /// Like [`ColumnarFact::scan`], but every 4 KB column page is routed
+    /// through the DRAM hot tier: hits read the buffer frame (DRAM
+    /// traffic), misses stream from the PMEM column region and may fill a
+    /// frame. Before scanning, the projection's heat is reported to the
+    /// pool and admission is replanned, so repeated scans of hot columns
+    /// migrate into DRAM while cold columns keep streaming from PMEM.
+    ///
+    /// Chunk byte offsets are 4 KB-aligned by construction (4096-row
+    /// chunks × 1- or 4-byte columns), so one buffer page never spans a
+    /// chunk boundary and concurrent workers share frames cleanly.
+    pub fn scan_buffered<A, F>(
+        &self,
+        pool: &pmem_buffer::BufferPool,
+        projection: &[Column],
+        threads: u32,
+        make_acc: impl Fn() -> A + Sync,
+        visit: F,
+    ) -> Result<Vec<A>>
+    where
+        A: Send,
+        F: Fn(&mut A, &ColTuple) + Sync,
+    {
+        const CHUNK: u64 = 4096; // rows per chunk, as in `scan`
+        for &column in projection {
+            let bytes = self.column_bytes(column);
+            pool.observe(column.object_id(), bytes, bytes);
+        }
+        pool.replan();
+        let cursor = AtomicU64::new(0);
+        let chunks = self.rows.div_ceil(CHUNK);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads.max(1))
+                .map(|_| {
+                    let cursor = &cursor;
+                    let make_acc = &make_acc;
+                    let visit = &visit;
+                    scope.spawn(move || -> Result<A> {
+                        let mut acc = make_acc();
+                        let mut tuples: Vec<ColTuple> = Vec::new();
+                        let mut buf: Vec<u8> = Vec::new();
+                        loop {
+                            let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                            if chunk >= chunks {
+                                break;
+                            }
+                            let start = chunk * CHUNK;
+                            let n = CHUNK.min(self.rows - start);
+                            tuples.clear();
+                            tuples.resize(n as usize, ColTuple::default());
+                            for &column in projection {
+                                let width = column.width();
+                                let region = self.region(column);
+                                let mut off = start * width;
+                                let end = off + n * width;
+                                buf.clear();
+                                while off < end {
+                                    let page_len = (end - off).min(pmem_buffer::FRAME_BYTES);
+                                    pool.read_through(
+                                        pmem_buffer::PageKey {
+                                            object: column.object_id(),
+                                            page: off / pmem_buffer::FRAME_BYTES,
+                                        },
+                                        region,
+                                        off,
+                                        page_len,
+                                        &mut buf,
+                                    )?;
+                                    off += page_len;
+                                }
+                                fill_column(column, &buf, &mut tuples);
+                            }
+                            for t in &tuples {
+                                visit(&mut acc, t);
+                            }
+                        }
+                        Ok(acc)
                     })
                 })
                 .collect();

@@ -210,6 +210,30 @@ fn seq_read_bw(sim: &Simulation, device: DeviceClass, cfg: &TimingConfig) -> Ban
     sim.evaluate_steady(&spec).total_bandwidth
 }
 
+/// Seconds to stream a scan whose traffic split across the two lanes of a
+/// hybrid tier: `pmem_bytes` missed the DRAM buffer (priced at the PMEM
+/// sequential-read curve), `dram_bytes` hit it (priced at the DRAM curve).
+/// Both lanes use the same thread/socket configuration; the effective rate
+/// is the harmonic mix of the two (see [`pmem_sim::tiered_rate`]).
+pub fn tiered_scan_seconds(
+    sim: &Simulation,
+    cfg: &TimingConfig,
+    pmem_bytes: u64,
+    dram_bytes: u64,
+) -> f64 {
+    let total = pmem_bytes + dram_bytes;
+    if total == 0 {
+        return 0.0;
+    }
+    let hit = dram_bytes as f64 / total as f64;
+    let rate = pmem_sim::tiered_rate(
+        seq_read_bw(sim, DeviceClass::Pmem, cfg),
+        seq_read_bw(sim, DeviceClass::Dram, cfg),
+        hit,
+    );
+    rate.time_for_bytes(total)
+}
+
 fn seq_write_bw(sim: &Simulation, device: DeviceClass, cfg: &TimingConfig) -> Bandwidth {
     // Writers follow Best Practice #2: at most ~6 per socket.
     let per_socket = (cfg.threads / cfg.sockets as u32).clamp(1, 6);

@@ -62,6 +62,16 @@ impl<T: ?Sized> RwLock<T> {
         self.0.read().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Acquire a shared read guard without blocking; `None` if a writer
+    /// holds (or is acquiring) the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Acquire an exclusive write guard.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(PoisonError::into_inner)
@@ -95,5 +105,20 @@ mod tests {
         }
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn rwlock_try_read_yields_to_writers() {
+        let l = RwLock::new(7);
+        {
+            let g = l.try_read().expect("uncontended try_read");
+            assert_eq!(*g, 7);
+            let g2 = l.try_read().expect("readers share");
+            assert_eq!(*g2, 7);
+        }
+        let w = l.write();
+        assert!(l.try_read().is_none());
+        drop(w);
+        assert!(l.try_read().is_some());
     }
 }
