@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>]
-//!       [--media <seed>] [--crashes] [--surge <seed>] [--cache <seed>]
+//!       [--media <seed>] [--crashes] [--surge <seed>] [--cache <seed>] [--cluster <seed>]
 //! ```
 //!
 //! Prints each characterization figure (3–13 plus the devdax/fsdax
@@ -40,6 +40,7 @@ struct Args {
     crashes: bool,
     surge: Option<u64>,
     cache: Option<u64>,
+    cluster: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -53,6 +54,7 @@ fn parse_args() -> Args {
         crashes: false,
         surge: None,
         cache: None,
+        cluster: None,
     };
     let mut it = env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -102,9 +104,16 @@ fn parse_args() -> Args {
                         .expect("--cache needs a u64 seed"),
                 );
             }
+            "--cluster" => {
+                args.cluster = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--cluster needs a u64 seed"),
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>] [--media <seed>] [--crashes] [--surge <seed>] [--cache <seed>]"
+                    "repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>] [--media <seed>] [--crashes] [--surge <seed>] [--cache <seed>] [--cluster <seed>]"
                 );
                 std::process::exit(0);
             }
@@ -509,6 +518,143 @@ fn cache_section(seed: u64) {
     println!("the hot tier buys goodput at flat p99; the curve prices each MiB of DRAM");
 }
 
+/// Sharded serving across N simulated machines: a healthy 8-shard fleet
+/// against the same fleet losing one machine a quarter into the run
+/// (key range failed over to the ring replica), plus the 1→N scaling
+/// curve, written to `BENCH_cluster.json` for machine consumption. Uses
+/// its own tiny stores so it runs even with `--skip-ssb`.
+fn cluster_section(seed: u64) {
+    use pmem_cluster::{Cluster, ClusterConfig, ClusterReport};
+
+    let shards = 8u32;
+    let victim = 3u32;
+    let blackout_at = 0.05;
+    let mut cluster = match Cluster::build(ClusterConfig::demo(shards, seed)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cluster section skipped: {e}");
+            return;
+        }
+    };
+    let healthy = match cluster.run_healthy() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster section skipped: healthy run failed: {e}");
+            return;
+        }
+    };
+    let lost = match cluster.run_with_lost_shard(victim, blackout_at) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cluster section skipped: failover run failed: {e}");
+            return;
+        }
+    };
+
+    println!(
+        "\n== sharded serving (seed {seed}): {shards} machines, shard {victim} lost at {blackout_at}s =="
+    );
+    println!(
+        "{:<12} {:>11} {:>9} {:>6} {:>6} {:>9} {:>7} {:>7}",
+        "fleet", "good GiB/s", "e2e p99", "done", "shed", "rerouted", "trips", "data"
+    );
+    let row = |label: &str, r: &ClusterReport| {
+        println!(
+            "{:<12} {:>11.2} {:>9.3} {:>6} {:>6} {:>9} {:>7} {:>7}",
+            label,
+            r.goodput_gib_s(),
+            r.e2e.p99,
+            r.completed,
+            r.shed,
+            r.rerouted_jobs,
+            r.shard_breaker_trips,
+            if r.data_intact() { "intact" } else { "LOST" },
+        );
+    };
+    row("healthy", &healthy);
+    row("lost-shard", &lost);
+    let ratio = lost.goodput_bytes_per_sec / healthy.goodput_bytes_per_sec.max(1e-9);
+    println!(
+        "failover keeps {:.1}% of healthy goodput; {} rows served from the peer replica; \
+         {} B re-replicated{}",
+        100.0 * ratio,
+        lost.query.replica_served_rows,
+        lost.rereplicated_bytes,
+        match lost.redundancy_restored_at {
+            Some(t) => format!(", redundancy restored at {t:.3}s"),
+            None => String::new(),
+        },
+    );
+
+    println!("scaling 1 -> N (healthy fleets, same per-shard load):");
+    println!("{:>7} {:>11} {:>9}", "shards", "good GiB/s", "speedup");
+    let mut curve: Vec<(u32, f64)> = Vec::new();
+    for n in [1u32, 2, 4, 8] {
+        let report = if n == shards {
+            healthy.clone()
+        } else {
+            match Cluster::build(ClusterConfig::demo(n, seed)).and_then(|mut c| c.run_healthy()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("  {n}-shard run failed: {e}");
+                    continue;
+                }
+            }
+        };
+        curve.push((n, report.goodput_bytes_per_sec));
+        let base = curve[0].1.max(1e-9);
+        println!(
+            "{:>7} {:>11.2} {:>9.2}",
+            n,
+            report.goodput_gib_s(),
+            report.goodput_bytes_per_sec / base
+        );
+    }
+
+    let base = curve.first().map(|(_, g)| g.max(1e-9)).unwrap_or(1.0);
+    let scaling_json: Vec<String> = curve
+        .iter()
+        .map(|(n, g)| {
+            format!(
+                "    {{\"shards\": {n}, \"goodput_gib_s\": {:.6}, \"speedup\": {:.6}}}",
+                g / (1u64 << 30) as f64,
+                g / base
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"seed\": {seed},\n  \"shards\": {shards},\n  \"lost_shard\": {victim},\n  \
+         \"blackout_at_s\": {blackout_at},\n  \
+         \"healthy\": {{\"goodput_gib_s\": {:.6}, \"e2e_p50_s\": {:.6}, \"e2e_p99_s\": {:.6}, \
+         \"jobs\": {}, \"completed\": {}, \"shed\": {}}},\n  \
+         \"failover\": {{\"goodput_gib_s\": {:.6}, \"goodput_ratio\": {:.6}, \"e2e_p99_s\": {:.6}, \
+         \"rerouted_jobs\": {}, \"breaker_trips\": {}, \"data_intact\": {}, \"lost_rows\": {}, \
+         \"replica_served_rows\": {}, \"rereplicated_bytes\": {}}},\n  \
+         \"scaling\": [\n{}\n  ]\n}}\n",
+        healthy.goodput_gib_s(),
+        healthy.e2e.p50,
+        healthy.e2e.p99,
+        healthy.jobs,
+        healthy.completed,
+        healthy.shed,
+        lost.goodput_gib_s(),
+        ratio,
+        lost.e2e.p99,
+        lost.rerouted_jobs,
+        lost.shard_breaker_trips,
+        lost.data_intact(),
+        lost.query.lost_rows,
+        lost.query.replica_served_rows,
+        lost.rereplicated_bytes,
+        scaling_json.join(",\n")
+    );
+    match fs::write("BENCH_cluster.json", &json) {
+        Ok(()) => println!("  (json: BENCH_cluster.json)"),
+        Err(e) => eprintln!("  BENCH_cluster.json not written: {e}"),
+    }
+    println!("replication turns a lost machine into a re-route, not a data loss");
+}
+
 /// Media-error injection and self-healing repair: seeded poison lands on
 /// 256 B XPLines inside the fact shards; the unprotected engine fails its
 /// scans with a typed error, the protected engine scrubs, repairs from
@@ -760,6 +906,12 @@ fn main() {
     // with --skip-ssb so CI can smoke it) ----
     if let Some(seed) = args.cache {
         cache_section(seed);
+    }
+
+    // ---- Cluster: sharded serving, failover, scaling (cheap; runs even
+    // with --skip-ssb so CI can smoke it) ----
+    if let Some(seed) = args.cluster {
+        cluster_section(seed);
     }
 
     // ---- Crash-state model checking ----

@@ -1,0 +1,464 @@
+//! The shard router: build a fleet, fan out load, survive losing a
+//! machine.
+
+use pmem_olap::planner::AccessPlanner;
+use pmem_serve::{
+    BreakerConfig, BreakerState, CircuitBreaker, FanoutOutcome, JobSpec, OpenLoopPlan, Percentiles,
+    QueryServer, ServeConfig, ShardRole, ShedReason, TenantLoad,
+};
+use pmem_sim::des::arrivals::ArrivalProcess;
+use pmem_sim::fleet::{machine_seed, FleetFaultPlans, Interconnect};
+use pmem_ssb::columnar::ColumnarRepair;
+use pmem_ssb::datagen;
+use pmem_store::Result;
+
+use crate::machine::ShardMachine;
+use crate::partition::ShardMap;
+use crate::report::{ClusterReport, ScatterGather, ShardOutcome};
+
+/// Virtual seconds between a machine going dark and the router's health
+/// probes noticing: arrivals inside this window still go to the dead
+/// shard (and are shed there); arrivals after it are re-routed.
+pub const DETECT_DELAY: f64 = 0.005;
+
+/// How a cluster experiment is shaped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of shards (= machines).
+    pub shards: u32,
+    /// Master seed: data generation, arrival processes, fault plans.
+    pub seed: u64,
+    /// SSB scale factor of the *whole* data set (split across shards).
+    pub sf: f64,
+    /// Replicate each partition to its ring successor.
+    pub replicate: bool,
+    /// Open-loop arrival horizon in virtual seconds.
+    pub horizon: f64,
+    /// Offered ingest load per shard as a multiple of its write capacity.
+    pub overload: f64,
+    /// Bytes per ingest unit.
+    pub unit_bytes: u64,
+    /// Per-unit completion deadline in seconds after arrival.
+    pub deadline: f64,
+    /// Inter-machine network pricing.
+    pub interconnect: Interconnect,
+}
+
+impl ClusterConfig {
+    /// The acceptance-test shape: tiny data set, 0.2 s horizon, 2× per-
+    /// shard overload, 64 MiB units, 100 GbE interconnect, replication on.
+    pub fn demo(shards: u32, seed: u64) -> Self {
+        ClusterConfig {
+            shards: shards.max(1),
+            seed,
+            sf: 0.002,
+            replicate: true,
+            horizon: 0.2,
+            overload: 2.0,
+            unit_bytes: 64 << 20,
+            deadline: 0.25,
+            interconnect: Interconnect::paper_default(),
+        }
+    }
+
+    /// The no-replication baseline (demonstrates data loss).
+    pub fn without_replication(mut self) -> Self {
+        self.replicate = false;
+        self
+    }
+}
+
+/// N simulated machines behind one hash router.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    map: ShardMap,
+    machines: Vec<ShardMachine>,
+    /// Committed ground-truth aggregate over the whole data set.
+    reference: i64,
+}
+
+impl Cluster {
+    /// Generate the data set once, partition it, and bring up one
+    /// machine per shard (replicating each partition to its ring
+    /// successor when the config says so).
+    pub fn build(cfg: ClusterConfig) -> Result<Self> {
+        let map = ShardMap::new(cfg.shards);
+        let data = datagen::generate(cfg.sf, cfg.seed);
+        let parts = map.partition(&data);
+        let max_rows = parts
+            .iter()
+            .map(|p| p.lineorder.len() as u64)
+            .max()
+            .unwrap_or(1);
+        // Room for the steady-state peer replica plus one re-replicated
+        // partition after a failover.
+        let replica_bytes = 2 * max_rows.max(1) * 64 + (8 << 20);
+        let mut machines = Vec::with_capacity(parts.len());
+        for (shard, part) in parts.iter().enumerate() {
+            machines.push(ShardMachine::build(
+                shard as u32,
+                part,
+                cfg.sf,
+                replica_bytes,
+            )?);
+        }
+        if cfg.replicate {
+            for shard in 0..cfg.shards {
+                if let Some(peer) = map.replica_of(shard) {
+                    let copy = machines[shard as usize]
+                        .fact
+                        .replicate_to(machines[peer as usize].replica_ns())?;
+                    machines[peer as usize].host_replica(shard, copy);
+                }
+            }
+        }
+        let reference = machines.iter().map(|m| m.committed).sum();
+        Ok(Cluster {
+            cfg,
+            map,
+            machines,
+            reference,
+        })
+    }
+
+    /// The partitioning function.
+    pub fn map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// The fleet's machines, by shard.
+    pub fn machines(&self) -> &[ShardMachine] {
+        &self.machines
+    }
+
+    /// Mutable access (fault-injection hooks in tests).
+    pub fn machines_mut(&mut self) -> &mut [ShardMachine] {
+        &mut self.machines
+    }
+
+    /// Committed ground-truth Q1.1 aggregate over all partitions.
+    pub fn reference(&self) -> i64 {
+        self.reference
+    }
+
+    /// Repair shard `shard`'s columnar partition from the peer replica
+    /// its ring successor hosts. Errors if replication is off (no
+    /// replica exists) — mirroring an operator pointing repair at a
+    /// source that is not there.
+    pub fn repair_shard_from_replica(&mut self, shard: u32) -> Result<ColumnarRepair> {
+        let peer = self
+            .map
+            .replica_of(shard)
+            .ok_or(pmem_store::StoreError::OutOfBounds {
+                offset: u64::from(shard),
+                len: 0,
+                capacity: u64::from(self.cfg.shards),
+            })?;
+        let (a, b) = {
+            let (lo, hi) = (shard.min(peer) as usize, shard.max(peer) as usize);
+            let (head, tail) = self.machines.split_at_mut(hi);
+            (&mut head[lo], &mut tail[0])
+        };
+        let (target, host) = if shard < peer { (a, b) } else { (b, a) };
+        let replica = host
+            .replica_of(shard)
+            .ok_or(pmem_store::StoreError::OutOfBounds {
+                offset: u64::from(shard),
+                len: 0,
+                capacity: 0,
+            })?;
+        target.fact.repair_from_replica(replica)
+    }
+
+    /// Run the fleet healthy end to end.
+    pub fn run_healthy(&mut self) -> Result<ClusterReport> {
+        self.run_inner(None)
+    }
+
+    /// Run the fleet with shard `victim` blacked out from `at` onward.
+    pub fn run_with_lost_shard(&mut self, victim: u32, at: f64) -> Result<ClusterReport> {
+        self.run_inner(Some((victim % self.cfg.shards, at)))
+    }
+
+    /// Per-shard ingest capacity the surge is sized against (what the
+    /// planner projects one machine sustains at its writer caps).
+    fn machine_write_bw(planner: &AccessPlanner) -> f64 {
+        let budget = planner.concurrency_budget();
+        let (_, write) = planner.expected_mixed(0, budget.writer_threads);
+        write.bytes_per_sec() * f64::from(planner.sockets().max(1))
+    }
+
+    /// One shard's open-loop plan: two tenants (steady + bursty) whose
+    /// combined rate is `overload ×` the shard's write capacity. Tenant
+    /// ids are globally unique; each shard draws from its own
+    /// [`machine_seed`], so plans are independent and a shard's plan is
+    /// identical whether the fleet has 1 machine or 16.
+    fn shard_plan(&self, shard: u32, planner: &AccessPlanner) -> OpenLoopPlan {
+        let cfg = &self.cfg;
+        let total_rate = cfg.overload * Self::machine_write_bw(planner) / cfg.unit_bytes as f64;
+        let per_tenant = total_rate / 2.0;
+        let template = JobSpec::ingest(cfg.unit_bytes)
+            .threads(2)
+            .deadline(cfg.deadline);
+        let seed = machine_seed(cfg.seed, shard as usize);
+        OpenLoopPlan::new(seed, cfg.horizon)
+            .tenant(TenantLoad::new(
+                shard * 2 + 1,
+                ArrivalProcess::poisson(per_tenant),
+                template,
+            ))
+            .tenant(TenantLoad::new(
+                shard * 2 + 2,
+                ArrivalProcess::bursty(per_tenant * 2.0, 0.05, 0.05),
+                template,
+            ))
+    }
+
+    fn run_inner(&mut self, lost: Option<(u32, f64)>) -> Result<ClusterReport> {
+        let cfg = self.cfg;
+        let planner = AccessPlanner::paper_default();
+        let shards = cfg.shards as usize;
+
+        // Route: expand every shard's arrival plan, then move the dead
+        // shard's post-detection arrivals to its replica host, priced by
+        // the interconnect (the ingest payload crosses the network).
+        let mut routed: Vec<Vec<JobSpec>> = (0..shards)
+            .map(|s| self.shard_plan(s as u32, &planner).jobs())
+            .collect();
+        let mut routed_counts: Vec<u64> = routed.iter().map(|v| v.len() as u64).collect();
+        let mut rerouted_counts: Vec<u64> = vec![0; shards];
+        let mut failover_at = None;
+        if let Some((victim, at)) = lost {
+            let detect_at = at + DETECT_DELAY;
+            failover_at = Some(detect_at);
+            // Ingest for a key range must land on a machine that owns the
+            // data; only a replica host qualifies. With replication off
+            // there is nowhere to re-route — post-detection arrivals keep
+            // hitting the dead shard and die there.
+            if let Some(peer) = self.map.replica_of(victim).filter(|_| cfg.replicate) {
+                let hop = cfg.interconnect.transfer_seconds(cfg.unit_bytes);
+                let (stay, moved): (Vec<JobSpec>, Vec<JobSpec>) = routed[victim as usize]
+                    .iter()
+                    .partition(|j| j.arrival < detect_at);
+                routed_counts[victim as usize] = stay.len() as u64;
+                rerouted_counts[peer as usize] = moved.len() as u64;
+                routed[victim as usize] = stay;
+                for mut job in moved {
+                    job.arrival += hop;
+                    routed[peer as usize].push(job);
+                }
+                routed[peer as usize].sort_by(|x, y| {
+                    x.arrival
+                        .total_cmp(&y.arrival)
+                        .then(x.tenant.cmp(&y.tenant))
+                });
+            }
+        }
+
+        // Per-machine fault plans: healthy fleet, or one blackout.
+        let mut fleet = FleetFaultPlans::healthy(shards);
+        if let Some((victim, at)) = lost {
+            fleet = fleet.with_lost_machine(victim as usize, at, 10.0 * cfg.horizon.max(0.1));
+        }
+
+        // Run every machine's serve stack over its routed jobs.
+        let mut per_shard = Vec::with_capacity(shards);
+        for (s, machine) in self.machines.iter().enumerate() {
+            let config = ServeConfig::surge(&planner).with_faults(fleet.plan(s));
+            let mut server = QueryServer::new(&machine.store, config);
+            server.submit_all(routed[s].iter().copied());
+            let mut report = server.run()?;
+            let rerouted = rerouted_counts[s];
+            report.fanout = Some(FanoutOutcome {
+                shard: s as u32,
+                role: if rerouted > 0 {
+                    ShardRole::Failover
+                } else {
+                    ShardRole::Primary
+                },
+                routed_jobs: routed_counts[s],
+                rerouted_jobs: rerouted,
+                transfer_seconds: rerouted as f64
+                    * cfg.interconnect.transfer_seconds(cfg.unit_bytes),
+            });
+            per_shard.push(report);
+        }
+
+        // Cluster-level per-shard circuit breakers, replayed over each
+        // shard's terminal job outcomes in completion order. Ingress
+        // sheds (flow control) are not service failures; admitted jobs
+        // that miss their deadline or die are.
+        let mut outcomes = Vec::with_capacity(shards);
+        let mut trips_total = 0u32;
+        for (s, report) in per_shard.iter().enumerate() {
+            let mut breaker = CircuitBreaker::new(BreakerConfig::default_on());
+            let mut terminal: Vec<(f64, bool)> = report
+                .jobs
+                .iter()
+                .filter(|j| {
+                    !matches!(
+                        j.outcome,
+                        pmem_serve::JobOutcome::Shed(ShedReason::QueueFull)
+                            | pmem_serve::JobOutcome::Shed(ShedReason::RetryBudget)
+                    )
+                })
+                .map(|j| (j.finished_at, !j.met_deadline()))
+                .collect();
+            terminal.sort_by(|x, y| x.0.total_cmp(&y.0));
+            for (t, miss) in terminal {
+                breaker.poll(t);
+                breaker.record(miss, t);
+            }
+            let _ = matches!(breaker.state(), BreakerState::Open); // terminal state, trips carry the signal
+            trips_total += breaker.trips();
+            let completed: Vec<_> = report
+                .jobs
+                .iter()
+                .filter(|j| j.outcome.is_completed())
+                .collect();
+            outcomes.push(ShardOutcome {
+                shard: s as u32,
+                routed: routed_counts[s],
+                rerouted: rerouted_counts[s],
+                completed: completed.len() as u64,
+                bytes_completed: completed.iter().map(|j| j.bytes).sum(),
+                breaker_trips: breaker.trips(),
+            });
+        }
+
+        // Fleet rollup. A dead machine is written off at detection: the
+        // fleet does not wait for jobs stranded on it (they drag the
+        // victim's own makespan out to their deadline blow-ups), so its
+        // contribution ends with its last pre-blackout completion.
+        let makespan = per_shard
+            .iter()
+            .enumerate()
+            .map(|(s, r)| {
+                if lost.map(|(v, _)| v as usize) == Some(s) {
+                    let last_done = r
+                        .jobs
+                        .iter()
+                        .filter(|j| j.outcome.is_completed())
+                        .map(|j| j.finished_at)
+                        .fold(0.0_f64, f64::max);
+                    last_done.max(failover_at.unwrap_or(0.0))
+                } else {
+                    r.makespan
+                }
+            })
+            .fold(0.0_f64, f64::max);
+        // Goodput over the offered window [0, horizon]: both the healthy
+        // and the degraded fleet are measured over the same interval, so
+        // a deeper end-of-run drain queue (the failover host's) does not
+        // masquerade as lower throughput — the p99 gate covers tails.
+        let window_bytes: u64 = per_shard
+            .iter()
+            .flat_map(|r| r.jobs.iter())
+            .filter(|j| j.outcome.is_completed() && j.finished_at <= cfg.horizon)
+            .map(|j| j.bytes)
+            .sum();
+        let e2e_samples: Vec<f64> = per_shard
+            .iter()
+            .flat_map(|r| r.jobs.iter())
+            .filter(|j| j.outcome.is_completed())
+            .map(|j| (j.finished_at - j.arrival).max(0.0))
+            .collect();
+        let jobs: u64 = routed_counts.iter().sum::<u64>() + rerouted_counts.iter().sum::<u64>();
+        let completed: u64 = outcomes.iter().map(|o| o.completed).sum();
+        let shed: u64 = per_shard.iter().map(|r| r.shed_jobs() as u64).sum();
+
+        // Scatter-gather verification query over every key range.
+        let query = self.scatter_gather(lost.map(|(v, _)| v));
+
+        // Background re-replication: copy the dead shard's partition from
+        // its surviving replica onto the next live machine, restoring
+        // two-copy redundancy. With only two machines there is no third
+        // survivor to host it.
+        let mut rereplicated_bytes = 0;
+        let mut redundancy_restored_at = None;
+        if let (Some((victim, _)), true) = (lost, cfg.replicate) {
+            if let Some(peer) = self.map.replica_of(victim) {
+                if cfg.shards >= 3 {
+                    let mut target = (peer + 1) % cfg.shards;
+                    if target == victim {
+                        target = (target + 1) % cfg.shards;
+                    }
+                    let copy = {
+                        let host = &self.machines[peer as usize];
+                        let replica =
+                            host.replica_of(victim)
+                                .ok_or(pmem_store::StoreError::OutOfBounds {
+                                    offset: u64::from(victim),
+                                    len: 0,
+                                    capacity: 0,
+                                })?;
+                        replica.replicate_to(self.machines[target as usize].replica_ns())?
+                    };
+                    rereplicated_bytes = copy.total_bytes();
+                    self.machines[target as usize].host_replica(victim, copy);
+                    redundancy_restored_at = failover_at
+                        .map(|t| t + cfg.interconnect.transfer_seconds(rereplicated_bytes));
+                }
+            }
+        }
+
+        Ok(ClusterReport {
+            shards: cfg.shards,
+            replicated: cfg.replicate,
+            per_shard,
+            outcomes,
+            makespan,
+            goodput_bytes_per_sec: window_bytes as f64 / cfg.horizon.max(1e-9),
+            e2e: Percentiles::of(&e2e_samples),
+            jobs,
+            completed,
+            shed,
+            rerouted_jobs: rerouted_counts.iter().sum(),
+            shard_breaker_trips: trips_total,
+            lost_shard: lost.map(|(v, _)| v),
+            failover_at,
+            query,
+            reference: self.reference,
+            rereplicated_bytes,
+            redundancy_restored_at,
+        })
+    }
+
+    /// Fan the Q1.1 verification query out to every shard and sum the
+    /// partials. A lost shard's key range is served by the replica its
+    /// ring successor hosts; with replication off those rows are gone.
+    pub fn scatter_gather(&self, lost: Option<u32>) -> ScatterGather {
+        let cfg = &self.cfg;
+        let mut partials = vec![0i64; cfg.shards as usize];
+        let mut lost_rows = 0;
+        let mut replica_served_rows = 0;
+        // Request fan-out + tiny partial results back: latency-dominated.
+        let mut transfer_seconds = 2.0 * cfg.shards as f64 * cfg.interconnect.latency_seconds;
+        for (s, machine) in self.machines.iter().enumerate() {
+            if lost == Some(s as u32) {
+                let replica = self
+                    .map
+                    .replica_of(s as u32)
+                    .and_then(|peer| self.machines[peer as usize].replica_of(s as u32));
+                match replica {
+                    Some(fact) => {
+                        partials[s] = ShardMachine::q11_partial(fact);
+                        replica_served_rows += fact.rows();
+                        transfer_seconds += cfg.interconnect.latency_seconds;
+                    }
+                    None => lost_rows += machine.rows,
+                }
+            } else {
+                partials[s] = ShardMachine::q11_partial(&machine.fact);
+            }
+        }
+        ScatterGather {
+            aggregate: partials.iter().sum(),
+            partials,
+            lost_rows,
+            replica_served_rows,
+            transfer_seconds,
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! `pmem-cluster`: a shard router over N simulated PMEM machines.
+//!
+//! Everything below `pmem-cluster` models *one* calibrated dual-socket
+//! Optane box. This crate scales that model out: SSB facts are
+//! hash-partitioned by order key across N machines
+//! ([`partition::ShardMap`]), each machine wraps its own store + serve
+//! stack ([`machine::ShardMachine`]), and a router
+//! ([`cluster::Cluster`]) fans queries out scatter-gather with partial
+//! aggregation while ingest load is admitted per shard through the
+//! existing planner.
+//!
+//! Robustness is the point of the design:
+//!
+//! * **Peer replication.** Every shard's columnar partition is copied to
+//!   its successor shard (`ColumnarFact::replicate_to`), so a media
+//!   error can be repaired from a *remote replica*
+//!   (`ColumnarFact::repair_from_replica`) — not just the local
+//!   checkpoint mirror — and a whole lost machine does not lose data.
+//! * **Failover.** A seeded whole-machine blackout
+//!   ([`pmem_sim::fleet::FleetFaultPlans::with_lost_machine`]) kills one
+//!   shard mid-run; the router re-routes the dead shard's key range to
+//!   its replica (arrivals pay the interconnect transfer), a per-shard
+//!   circuit breaker ([`pmem_serve::CircuitBreaker`]) isolates the
+//!   failure, and a background re-replication pass restores redundancy
+//!   on a surviving peer.
+//! * **Accounting.** [`report::ClusterReport`] carries fleet goodput,
+//!   merged latency percentiles, per-shard [`pmem_serve::ServeReport`]s
+//!   with fan-out outcomes, and the committed-vs-served aggregate that
+//!   proves zero committed-data loss (or, with replication off,
+//!   demonstrates the loss).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(clippy::unwrap_used)]
+
+pub mod cluster;
+pub mod machine;
+pub mod partition;
+pub mod report;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use machine::ShardMachine;
+pub use partition::ShardMap;
+pub use report::{ClusterReport, ScatterGather, ShardOutcome};

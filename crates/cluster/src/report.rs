@@ -1,0 +1,158 @@
+//! Cluster-wide accounting: fleet goodput, merged percentiles, failover
+//! and re-replication outcomes, and the committed-data ledger.
+
+use pmem_serve::{Percentiles, ServeReport};
+
+/// One shard's router-side summary (the full [`ServeReport`] rides in
+/// [`ClusterReport::per_shard`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOutcome {
+    /// Shard index.
+    pub shard: u32,
+    /// Jobs routed here as primary.
+    pub routed: u64,
+    /// Jobs re-routed here after a peer died.
+    pub rerouted: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Completed bytes (the shard's goodput contribution).
+    pub bytes_completed: u64,
+    /// Cluster-level breaker trips observed for this shard.
+    pub breaker_trips: u32,
+}
+
+/// One scatter-gather query: per-shard partials and their sum, plus the
+/// rows that had no surviving source (replication off + lost shard).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScatterGather {
+    /// Per-shard Q1.1 partials, indexed by shard.
+    pub partials: Vec<i64>,
+    /// Sum of the partials — the answer the router returns.
+    pub aggregate: i64,
+    /// Rows unreachable on any survivor (0 when replication holds).
+    pub lost_rows: u64,
+    /// Rows served from a peer replica instead of their dead primary.
+    pub replica_served_rows: u64,
+    /// Interconnect seconds the fan-out paid (request + partial returns).
+    pub transfer_seconds: f64,
+}
+
+/// The outcome of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Shards in the fleet.
+    pub shards: u32,
+    /// Whether peer replication was enabled.
+    pub replicated: bool,
+    /// Per-shard serve reports, fan-out outcomes filled in.
+    pub per_shard: Vec<ServeReport>,
+    /// Router-side per-shard summaries.
+    pub outcomes: Vec<ShardOutcome>,
+    /// Longest shard makespan (the fleet finishes when its slowest
+    /// member does).
+    pub makespan: f64,
+    /// Bytes completed inside the offered window `[0, horizon]` divided
+    /// by the horizon, bytes/s. Post-window drain is excluded for every
+    /// run alike, so fleets with different end-of-run queue depths
+    /// compare cleanly; the latency percentiles cover the tails.
+    pub goodput_bytes_per_sec: f64,
+    /// End-to-end latency percentiles over every completed job fleet-wide.
+    pub e2e: Percentiles,
+    /// Jobs routed across the fleet (reroutes not double-counted).
+    pub jobs: u64,
+    /// Jobs completed fleet-wide.
+    pub completed: u64,
+    /// Jobs shed fleet-wide.
+    pub shed: u64,
+    /// Jobs re-routed off the lost shard.
+    pub rerouted_jobs: u64,
+    /// Cluster-level per-shard breaker trips, summed.
+    pub shard_breaker_trips: u32,
+    /// The shard the fault plan killed, if any.
+    pub lost_shard: Option<u32>,
+    /// Virtual time the router detected the loss and re-routed.
+    pub failover_at: Option<f64>,
+    /// The scatter-gather verification query the router ran after the
+    /// run (Q1.1 partial aggregation over every key range).
+    pub query: ScatterGather,
+    /// Ground-truth committed aggregate (from the generated rows).
+    pub reference: i64,
+    /// Bytes copied to restore redundancy after the loss.
+    pub rereplicated_bytes: u64,
+    /// Virtual time redundancy was restored (failover + transfer).
+    pub redundancy_restored_at: Option<f64>,
+}
+
+impl ClusterReport {
+    /// Zero committed-data loss: every key range was served by some
+    /// survivor and the scatter-gather aggregate equals the committed
+    /// ground truth.
+    pub fn data_intact(&self) -> bool {
+        self.query.lost_rows == 0 && self.query.aggregate == self.reference
+    }
+
+    /// Completed-bytes goodput in GiB/s.
+    pub fn goodput_gib_s(&self) -> f64 {
+        self.goodput_bytes_per_sec / (1u64 << 30) as f64
+    }
+}
+
+impl std::fmt::Display for ClusterReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cluster report: {} shards{}, {} jobs ({} done, {} shed, {} rerouted), makespan {:.3}s",
+            self.shards,
+            if self.replicated {
+                ""
+            } else {
+                " (replication off)"
+            },
+            self.jobs,
+            self.completed,
+            self.shed,
+            self.rerouted_jobs,
+            self.makespan,
+        )?;
+        writeln!(
+            f,
+            "  goodput {:.2} GiB/s, e2e p50/p95/p99 {:.3}/{:.3}/{:.3}s, {} shard breaker trips",
+            self.goodput_gib_s(),
+            self.e2e.p50,
+            self.e2e.p95,
+            self.e2e.p99,
+            self.shard_breaker_trips,
+        )?;
+        if let Some(lost) = self.lost_shard {
+            writeln!(
+                f,
+                "  lost shard {} at {:.3}s; data {}; re-replicated {:.1} MiB{}",
+                lost,
+                self.failover_at.unwrap_or_default(),
+                if self.data_intact() {
+                    "intact".to_string()
+                } else {
+                    format!("LOST ({} rows unreachable)", self.query.lost_rows)
+                },
+                self.rereplicated_bytes as f64 / (1 << 20) as f64,
+                match self.redundancy_restored_at {
+                    Some(t) => format!(", redundancy restored at {t:.3}s"),
+                    None => String::new(),
+                },
+            )?;
+        }
+        for o in &self.outcomes {
+            writeln!(
+                f,
+                "  shard {}: {} routed + {} rerouted, {} done, {:.1} MiB good, {} trips",
+                o.shard,
+                o.routed,
+                o.rerouted,
+                o.completed,
+                o.bytes_completed as f64 / (1 << 20) as f64,
+                o.breaker_trips,
+            )?;
+        }
+        Ok(())
+    }
+}

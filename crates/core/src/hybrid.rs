@@ -280,6 +280,33 @@ impl HybridAdvisor {
             .collect()
     }
 
+    /// [`HybridAdvisor::heat_profile`] with the buffer pool's observed
+    /// eviction pressure folded back in: an object evicted `n` times has
+    /// its heat divided by `1 + demotion × n`. Repeated evictions mean
+    /// the object keeps being admitted but cannot hold its frames — its
+    /// working set thrashes through the clock — so planning it into DRAM
+    /// wastes fill traffic that a PMEM stream would not pay. `pressure`
+    /// is [`pmem_buffer::BufferPool::eviction_pressure`] output (object
+    /// id → eviction count); ids follow `heat_profile`'s enumeration
+    /// (position in `objects`). With an empty pressure vector or a zero
+    /// `demotion` gain the profile equals [`HybridAdvisor::heat_profile`].
+    pub fn heat_profile_with_pressure(
+        objects: &[DataObject],
+        pressure: &[(u64, u64)],
+        demotion: f64,
+    ) -> Vec<pmem_buffer::HeatObject> {
+        let demotion = demotion.max(0.0);
+        let mut profile = Self::heat_profile(objects);
+        for obj in &mut profile {
+            let evictions = pressure
+                .iter()
+                .find(|&&(id, _)| id == obj.id)
+                .map_or(0, |&(_, n)| n);
+            obj.heat_bytes /= 1.0 + demotion * evictions as f64;
+        }
+        profile
+    }
+
     /// The SSB-shaped example: sf-100 fact table, join indexes, and an
     /// intermediate buffer, under the paper machine's 186 GB of DRAM.
     pub fn ssb_example(&self) -> HybridPlan {
@@ -442,6 +469,47 @@ mod tests {
         assert_eq!(heat[2].heat_bytes, 0.0); // writes are not read heat
         assert_eq!(heat[1].id, 1);
         assert_eq!(heat[1].bytes, 1 << 20);
+    }
+
+    #[test]
+    fn eviction_pressure_demotes_a_thrashing_column() {
+        // Two equally hot scan columns compete for a budget that fits one.
+        let objects = [
+            DataObject::new(
+                "col-a",
+                4096,
+                AccessProfile::SequentialScan {
+                    scans_per_query: 8.0,
+                },
+            ),
+            DataObject::new(
+                "col-b",
+                4096,
+                AccessProfile::SequentialScan {
+                    scans_per_query: 7.9,
+                },
+            ),
+        ];
+        let budget = 4096u64;
+
+        // Without pressure, col-a's marginally higher heat wins the frame.
+        let calm = HybridAdvisor::heat_profile(&objects);
+        let plan = pmem_buffer::AdmissionPlan::plan(&calm, budget);
+        assert!(plan.is_admitted(0) && !plan.is_admitted(1));
+
+        // The pool reports col-a churning through the clock: its heat is
+        // discounted and the stable col-b takes the DRAM residency.
+        let pressured = HybridAdvisor::heat_profile_with_pressure(&objects, &[(0, 12)], 0.25);
+        assert!(pressured[0].heat_bytes < calm[0].heat_bytes);
+        assert_eq!(pressured[1].heat_bytes, calm[1].heat_bytes);
+        let plan = pmem_buffer::AdmissionPlan::plan(&pressured, budget);
+        assert!(!plan.is_admitted(0) && plan.is_admitted(1), "demoted");
+
+        // No pressure (or zero gain) reduces to the plain profile.
+        let same = HybridAdvisor::heat_profile_with_pressure(&objects, &[], 0.25);
+        assert_eq!(same, calm);
+        let zero_gain = HybridAdvisor::heat_profile_with_pressure(&objects, &[(0, 12)], 0.0);
+        assert_eq!(zero_gain, calm);
     }
 
     #[test]

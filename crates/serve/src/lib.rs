@@ -56,11 +56,11 @@ pub use admission::{
 pub use batch::{ScanBatch, ScanBatcher, ScanJobInfo};
 pub use fairness::FairnessPolicy;
 pub use job::{JobId, JobKind, JobSpec, OpenLoopPlan, Side, TenantLoad};
-pub use overload::{BreakerConfig, BreakerState, BrownoutConfig, OverloadPolicy};
+pub use overload::{BreakerConfig, BreakerState, BrownoutConfig, CircuitBreaker, OverloadPolicy};
 pub use pool::{PoolSet, WorkItem};
 pub use report::{
-    tenant_reports, HotTierReport, JobOutcome, JobRecord, Percentiles, ServeHealth, ServeReport,
-    TenantReport, TierCurvePoint,
+    tenant_reports, FanoutOutcome, HotTierReport, JobOutcome, JobRecord, Percentiles, ServeHealth,
+    ServeReport, ShardRole, TenantReport, TierCurvePoint,
 };
 pub use resilience::ResiliencePolicy;
 pub use scheduler::{QueryServer, ServeConfig};

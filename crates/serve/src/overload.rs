@@ -85,9 +85,11 @@ pub enum BreakerState {
     HalfOpen,
 }
 
-/// One socket's deadline-miss circuit breaker.
+/// One deadline-miss circuit breaker. The scheduler runs one per
+/// socket; the cluster router reuses the same state machine per shard,
+/// so the type and its transitions are public.
 #[derive(Debug)]
-pub(crate) struct CircuitBreaker {
+pub struct CircuitBreaker {
     cfg: BreakerConfig,
     state: BreakerState,
     open_until: f64,
@@ -96,7 +98,8 @@ pub(crate) struct CircuitBreaker {
 }
 
 impl CircuitBreaker {
-    pub(crate) fn new(cfg: BreakerConfig) -> Self {
+    /// A closed breaker with the given tripping policy.
+    pub fn new(cfg: BreakerConfig) -> Self {
         CircuitBreaker {
             cfg,
             state: BreakerState::Closed,
@@ -108,19 +111,25 @@ impl CircuitBreaker {
 
     /// Advance virtual time: an Open breaker half-opens once its cooldown
     /// elapses.
-    pub(crate) fn poll(&mut self, now: f64) {
+    pub fn poll(&mut self, now: f64) {
         if self.state == BreakerState::Open && now >= self.open_until - 1e-12 {
             self.state = BreakerState::HalfOpen;
         }
     }
 
-    pub(crate) fn state(&self) -> BreakerState {
+    /// Current breaker state.
+    pub fn state(&self) -> BreakerState {
         self.state
     }
 
     /// When the current Open window lifts (None unless Open).
-    pub(crate) fn next_transition(&self) -> Option<f64> {
+    pub fn next_transition(&self) -> Option<f64> {
         (self.state == BreakerState::Open).then_some(self.open_until)
+    }
+
+    /// Times the breaker tripped open (re-opens from Half-Open included).
+    pub fn trips(&self) -> u32 {
+        self.trips
     }
 
     fn trip(&mut self, now: f64) {
@@ -133,7 +142,7 @@ impl CircuitBreaker {
     /// Record one deadline outcome on this socket. In Half-Open state the
     /// outcome is the probe's verdict: a miss re-opens, a success closes.
     /// In Closed state a sustained miss rate trips the breaker.
-    pub(crate) fn record(&mut self, miss: bool, now: f64) {
+    pub fn record(&mut self, miss: bool, now: f64) {
         match self.state {
             BreakerState::Open => {} // stragglers draining; ignore
             BreakerState::HalfOpen => {

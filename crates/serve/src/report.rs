@@ -235,6 +235,41 @@ pub fn tenant_reports(jobs: &[JobRecord]) -> Vec<TenantReport> {
         .collect()
 }
 
+/// The role one server plays in a sharded fan-out run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardRole {
+    /// Serving its own hash-partitioned key range.
+    Primary,
+    /// Additionally absorbing a dead peer's re-routed key range.
+    Failover,
+}
+
+impl ShardRole {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShardRole::Primary => "primary",
+            ShardRole::Failover => "failover",
+        }
+    }
+}
+
+/// What one shard contributed to a cluster-wide scatter-gather run.
+/// Attached by the shard router; `None` for standalone servers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanoutOutcome {
+    /// Shard index within the cluster.
+    pub shard: u32,
+    /// Whether this shard also absorbed a failed peer's traffic.
+    pub role: ShardRole,
+    /// Jobs the router sent here as the primary for their key range.
+    pub routed_jobs: u64,
+    /// Jobs re-routed here after a peer shard was lost.
+    pub rerouted_jobs: u64,
+    /// Interconnect seconds spent moving re-routed payloads here.
+    pub transfer_seconds: f64,
+}
+
 /// One point of the hit-rate-vs-latency curve: the same workload
 /// replayed with the DRAM hot tier scaled to a fraction of its budget
 /// (`budget_scale = 0` is the pure-PMEM baseline).
@@ -327,6 +362,9 @@ pub struct ServeReport {
     /// DRAM hot-tier accounting and the hit-rate-vs-latency curve
     /// (`None` when the tier is disabled).
     pub hot_tier: Option<HotTierReport>,
+    /// This server's slice of a cluster fan-out (`None` outside a
+    /// sharded run; filled in by the shard router).
+    pub fanout: Option<FanoutOutcome>,
 }
 
 const GIB: f64 = (1u64 << 30) as f64;
@@ -478,6 +516,17 @@ impl std::fmt::Display for ServeReport {
                 self.batch_window_used,
             )?;
         }
+        if let Some(fanout) = &self.fanout {
+            writeln!(
+                f,
+                "  fan-out: shard {} ({}), {} routed, {} rerouted, transfer {:.4}s",
+                fanout.shard,
+                fanout.role.label(),
+                fanout.routed_jobs,
+                fanout.rerouted_jobs,
+                fanout.transfer_seconds,
+            )?;
+        }
         if let Some(tier) = &self.hot_tier {
             writeln!(
                 f,
@@ -608,6 +657,7 @@ mod tests {
             brownout_seconds: 0.0,
             batch_window_used: 0.0,
             hot_tier: None,
+            fanout: None,
         };
         assert!((report.read_bandwidth_gib_s() - 30.0).abs() < 1e-9);
         assert!((report.write_bandwidth_gib_s() - 10.0).abs() < 1e-9);
@@ -640,6 +690,7 @@ mod tests {
             brownout_seconds: 0.0,
             batch_window_used: 0.0,
             hot_tier: None,
+            fanout: None,
         };
         assert_eq!(report.read_bandwidth_gib_s(), 0.0);
         assert_eq!(report.mean_queue_wait_seconds(), 0.0);
@@ -694,6 +745,7 @@ mod tests {
             brownout_seconds: 0.0,
             batch_window_used: 0.0,
             hot_tier: None,
+            fanout: None,
         };
         assert_eq!(report.shed_jobs(), 1);
         assert_eq!(report.retried_jobs(), 1);

@@ -647,6 +647,7 @@ impl<'s> QueryServer<'s> {
             batch_window_used,
             stats,
             hot_tier,
+            fanout: None,
         })
     }
 

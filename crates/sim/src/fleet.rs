@@ -1,0 +1,269 @@
+//! Fleet-level modeling: per-machine fault plans and inter-machine
+//! transfer pricing for a cluster of simulated PMEM boxes.
+//!
+//! The single-machine model ([`crate::analytic`], [`crate::faults`])
+//! calibrates one dual-socket Optane server. Scale-out serving shards
+//! data across N such machines, which introduces two things the
+//! single-box model cannot express:
+//!
+//! * **Independent failure domains.** Each machine degrades on its own
+//!   timeline. [`FleetFaultPlans`] derives one [`FaultPlan`] per machine
+//!   from a single fleet seed (splitmix64 sub-seeding, the same scheme
+//!   the arrival processes use), so a cluster experiment replays
+//!   exactly from one number. A whole-machine *blackout* — the failure
+//!   unit motivated by the DIMM-loss caveats in the early Optane
+//!   evaluations — is composed from existing fault kinds: every channel
+//!   of both sockets drops out, the residual channel is write-throttled
+//!   to a trickle, and the iMC queues stall for the window. Bandwidth
+//!   never reaches exactly zero (the simulator keeps completion times
+//!   finite), but the machine is effectively dead to its deadline-
+//!   carrying work.
+//! * **A priced interconnect.** Replication, failover re-routing and
+//!   re-replication move bytes between machines over a network that is
+//!   an order of magnitude slower than the local memory bus.
+//!   [`Interconnect`] prices a transfer with a latency + bandwidth
+//!   model so cluster reports charge remote repairs honestly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultScheduleConfig};
+use crate::topology::SocketId;
+
+/// Write-throttle factor applied to a blacked-out socket: the WPQ drain
+/// trickles but never fully stops, keeping simulated times finite.
+pub const BLACKOUT_THROTTLE: f64 = 1e-3;
+
+/// splitmix64 — the same mixer the arrival processes use for sub-seeding.
+/// One fleet seed fans out into per-machine streams that are mutually
+/// independent but individually reproducible.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derive machine `m`'s seed from the fleet seed. Deterministic, and
+/// distinct machines get uncorrelated streams.
+pub fn machine_seed(fleet_seed: u64, machine: usize) -> u64 {
+    splitmix64(fleet_seed ^ splitmix64(machine as u64 ^ 0xf1ee_7000_0000_0000))
+}
+
+/// Latency + bandwidth pricing for the network between machines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Sustained point-to-point bandwidth in bytes/second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Per-transfer latency floor in seconds (propagation + stack).
+    pub latency_seconds: f64,
+}
+
+impl Interconnect {
+    /// A 100 GbE datacenter link: ~12.5 GB/s sustained, ~10 µs latency.
+    /// An order of magnitude below even a degraded socket's PMEM
+    /// bandwidth, which is why replication traffic must be priced.
+    pub fn paper_default() -> Self {
+        Interconnect {
+            bandwidth_bytes_per_sec: 12.5e9,
+            latency_seconds: 10e-6,
+        }
+    }
+
+    /// Seconds to move `bytes` from one machine to another.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.latency_seconds + bytes as f64 / self.bandwidth_bytes_per_sec.max(1.0)
+    }
+}
+
+/// The blackout window of a lost machine, if the fleet schedules one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Blackout {
+    /// Machine index that goes dark.
+    pub machine: usize,
+    /// Virtual time the machine drops.
+    pub at: f64,
+    /// Virtual time the window closes (usually past the run horizon:
+    /// the machine stays dead for the whole experiment).
+    pub until: f64,
+}
+
+/// One seeded [`FaultPlan`] per machine of a simulated fleet.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetFaultPlans {
+    plans: Vec<FaultPlan>,
+    blackout: Option<Blackout>,
+}
+
+impl FleetFaultPlans {
+    /// A healthy fleet: every machine gets the empty plan.
+    pub fn healthy(machines: usize) -> Self {
+        FleetFaultPlans {
+            plans: vec![FaultPlan::none(); machines],
+            blackout: None,
+        }
+    }
+
+    /// Seed-derived background fault schedules: machine `m` runs
+    /// `FaultPlan::generate(machine_seed(seed, m), config)`. Identical
+    /// `(seed, machines, config)` triples produce identical fleets.
+    pub fn generate(seed: u64, machines: usize, config: &FaultScheduleConfig) -> Self {
+        FleetFaultPlans {
+            plans: (0..machines)
+                .map(|m| FaultPlan::generate(machine_seed(seed, m), config))
+                .collect(),
+            blackout: None,
+        }
+    }
+
+    /// Overlay a whole-machine blackout on machine `victim` over
+    /// `[at, until)`: both sockets lose every interleaved channel the
+    /// dropout clamp allows, the surviving channel is throttled to
+    /// [`BLACKOUT_THROTTLE`], and the iMC queues stall. The machine's
+    /// effective bandwidth collapses by >10³ — dead for any deadline-
+    /// carrying job — while virtual time still advances.
+    pub fn with_lost_machine(mut self, victim: usize, at: f64, until: f64) -> Self {
+        if let Some(plan) = self.plans.get_mut(victim) {
+            let mut events = plan.events().to_vec();
+            events.extend(blackout_events(at, until));
+            *plan = FaultPlan::from_events(events);
+            self.blackout = Some(Blackout {
+                machine: victim,
+                at,
+                until,
+            });
+        }
+        self
+    }
+
+    /// Machine `m`'s plan. Out-of-range machines are healthy.
+    pub fn plan(&self, machine: usize) -> FaultPlan {
+        self.plans.get(machine).cloned().unwrap_or_default()
+    }
+
+    /// Number of machines in the fleet.
+    pub fn machines(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The scheduled blackout, if [`Self::with_lost_machine`] installed one.
+    pub fn blackout(&self) -> Option<Blackout> {
+        self.blackout
+    }
+}
+
+/// The event stack that kills one whole machine over `[at, until)`.
+pub fn blackout_events(at: f64, until: f64) -> Vec<FaultEvent> {
+    let mut events = Vec::with_capacity(6);
+    for socket in [SocketId(0), SocketId(1)] {
+        events.push(FaultEvent {
+            start: at,
+            end: until,
+            kind: FaultKind::DimmDropout { socket, dimms: 255 },
+        });
+        events.push(FaultEvent {
+            start: at,
+            end: until,
+            kind: FaultKind::WriteThrottle {
+                socket,
+                factor: BLACKOUT_THROTTLE,
+            },
+        });
+        events.push(FaultEvent {
+            start: at,
+            end: until,
+            kind: FaultKind::QueueStall { socket },
+        });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::STALL_SCALE;
+    use crate::topology::Machine;
+
+    #[test]
+    fn machine_seeds_are_deterministic_and_distinct() {
+        let a: Vec<u64> = (0..16).map(|m| machine_seed(7, m)).collect();
+        let b: Vec<u64> = (0..16).map(|m| machine_seed(7, m)).collect();
+        assert_eq!(a, b, "same fleet seed, same per-machine seeds");
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "machines get distinct seeds");
+        assert_ne!(machine_seed(7, 0), machine_seed(8, 0), "seed matters");
+    }
+
+    #[test]
+    fn generated_fleet_is_reproducible_and_per_machine_distinct() {
+        let cfg = FaultScheduleConfig::over(1.0);
+        let a = FleetFaultPlans::generate(42, 4, &cfg);
+        let b = FleetFaultPlans::generate(42, 4, &cfg);
+        for m in 0..4 {
+            assert_eq!(a.plan(m), b.plan(m), "machine {m} replays exactly");
+        }
+        assert_ne!(a.plan(0), a.plan(1), "machines fail independently");
+    }
+
+    #[test]
+    fn blackout_collapses_both_sockets_for_the_window() {
+        let fleet = FleetFaultPlans::healthy(3).with_lost_machine(1, 0.2, 1.0);
+        let machine = Machine::paper_default();
+        let dead = fleet.plan(1);
+        for socket in [SocketId(0), SocketId(1)] {
+            let s = dead.state_at(&machine, 0.5).socket(socket);
+            // Dropout leaves 1/channels, the stall multiplies STALL_SCALE
+            // on top, and writes also carry the throttle factor.
+            assert!(
+                s.read_scale <= STALL_SCALE / 2.0,
+                "reads dead: {}",
+                s.read_scale
+            );
+            assert!(
+                s.write_scale <= BLACKOUT_THROTTLE,
+                "writes dead: {}",
+                s.write_scale
+            );
+            assert!(
+                s.read_scale > 0.0 && s.write_scale > 0.0,
+                "never exactly zero"
+            );
+        }
+        // Before the window and on healthy peers nothing degrades.
+        assert!(!dead.state_at(&machine, 0.1).is_degraded());
+        assert!(!fleet.plan(0).state_at(&machine, 0.5).is_degraded());
+        assert_eq!(
+            fleet.blackout(),
+            Some(Blackout {
+                machine: 1,
+                at: 0.2,
+                until: 1.0
+            })
+        );
+    }
+
+    #[test]
+    fn interconnect_prices_latency_plus_bytes() {
+        let net = Interconnect::paper_default();
+        let small = net.transfer_seconds(0);
+        assert!((small - 10e-6).abs() < 1e-12, "latency floor");
+        let gib = net.transfer_seconds(1 << 30);
+        assert!(
+            gib > 0.08 && gib < 0.09,
+            "1 GiB over 100 GbE ~ 86 ms: {gib}"
+        );
+        assert!(
+            net.transfer_seconds(2 << 30) > 2.0 * gib - 10e-6,
+            "bytes dominate large transfers"
+        );
+    }
+
+    #[test]
+    fn out_of_range_machines_are_healthy() {
+        let fleet = FleetFaultPlans::healthy(2);
+        assert!(fleet.plan(9).is_empty());
+        assert_eq!(fleet.machines(), 2);
+    }
+}

@@ -53,6 +53,7 @@ pub mod bandwidth;
 pub mod coherence;
 pub mod des;
 pub mod faults;
+pub mod fleet;
 pub mod params;
 pub mod sched;
 pub mod stats;
@@ -73,6 +74,7 @@ pub mod prelude {
         FaultEvent, FaultKind, FaultPlan, FaultScheduleConfig, MachineFaultState, MediaHit,
         SocketFaultState, XPLINE_BYTES,
     };
+    pub use crate::fleet::{Blackout, FleetFaultPlans, Interconnect};
     pub use crate::params::{DeviceClass, SystemParams};
     pub use crate::sched::Pinning;
     pub use crate::simulation::{Evaluation, Simulation};

@@ -277,6 +277,110 @@ impl ColumnarFact {
         Ok(repair)
     }
 
+    /// Copy every column into `ns`, producing an independent replica of
+    /// this partition (the peer-shard copy the cluster keeps). The copy
+    /// goes through tracked reads and `ntstore` writes, so replication
+    /// traffic is priced on both namespaces, and the replica seals its
+    /// own checksums over the landed bytes.
+    ///
+    /// Fails with [`StoreError::Poisoned`] if any source column holds a
+    /// poisoned or checksum-mismatched block — a dirty table must be
+    /// repaired before it may serve as a replication source.
+    pub fn replicate_to(&self, ns: &Namespace) -> Result<ColumnarFact> {
+        let mut columns = Vec::with_capacity(self.columns.len());
+        let mut checks = Vec::with_capacity(self.columns.len());
+        for ((column, region), check) in self.columns.iter().zip(self.checks.iter()) {
+            if !check.scrub(region).is_clean() {
+                return Err(StoreError::Poisoned { offset: 0, len: 0 });
+            }
+            let len = region.len();
+            let bytes = region.try_read(0, len, AccessHint::Sequential)?.to_vec();
+            let mut copy = ns.alloc_region(len)?;
+            if !bytes.is_empty() {
+                copy.try_ntstore(0, &bytes, AccessHint::Sequential)?;
+                copy.sfence();
+            }
+            checks.push(BlockChecksums::seal_bytes(
+                copy.untracked_slice(),
+                SCRUB_BLOCK,
+            ));
+            columns.push((*column, Arc::new(copy)));
+        }
+        Ok(ColumnarFact {
+            rows: self.rows,
+            columns,
+            checks,
+        })
+    }
+
+    /// Rebuild every poisoned or checksum-mismatched block from a *remote
+    /// replica* of the same partition — the cluster counterpart of
+    /// [`ColumnarFact::repair_from_checkpoint`]. The replica is scrubbed
+    /// first; a dirty replica is refused with [`StoreError::Poisoned`]
+    /// before anything is rewritten (this table stays untouched, awaiting
+    /// a good source). Each bad block's byte range is read from the
+    /// replica's matching column with checked reads, rewritten here with
+    /// `ntstore` (clearing the poison), and verified against this table's
+    /// sealed checksum — so a repaired block is byte-exact by
+    /// construction, and a divergent replica shows up as `unrepairable`
+    /// rather than silent corruption.
+    ///
+    /// Fails with [`StoreError::OutOfBounds`] if the replica holds fewer
+    /// rows than this table.
+    pub fn repair_from_replica(&mut self, replica: &ColumnarFact) -> Result<ColumnarRepair> {
+        if replica.rows() < self.rows {
+            return Err(StoreError::OutOfBounds {
+                offset: 0,
+                len: self.rows,
+                capacity: replica.rows(),
+            });
+        }
+        if replica.scrub().iter().any(|(_, r)| !r.is_clean()) {
+            // The rebuild source itself is dirty: refuse loudly.
+            return Err(StoreError::Poisoned { offset: 0, len: 0 });
+        }
+        let mut repair = ColumnarRepair::default();
+        for ((column, region), checks) in self.columns.iter_mut().zip(self.checks.iter()) {
+            let bad = checks.scrub(region).bad_blocks();
+            if bad.is_empty() {
+                continue;
+            }
+            let source = replica.region(*column);
+            let region = Arc::get_mut(region).expect("no scan in flight during repair");
+            for block in bad {
+                let (offset, blen) = checks.block_range(block);
+                let good = source.try_read(offset, blen, AccessHint::Sequential)?;
+                region.try_ntstore(offset, good, AccessHint::Sequential)?;
+                repair.bytes_rewritten += blen;
+                if checks.verify_block(region, block)? {
+                    repair.blocks_repaired += 1;
+                } else {
+                    repair.unrepairable += 1;
+                }
+            }
+            region.sfence();
+        }
+        Ok(repair)
+    }
+
+    /// FNV-1a content hash over every column's bytes (untracked — a
+    /// fingerprint for byte-exactness assertions, not device traffic).
+    pub fn content_hash(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for (_, region) in &self.columns {
+            for &byte in region.untracked_slice() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        hash
+    }
+
+    /// Total bytes across all column regions.
+    pub fn total_bytes(&self) -> u64 {
+        self.columns.iter().map(|(_, r)| r.len()).sum()
+    }
+
     fn region(&self, column: Column) -> &Arc<Region> {
         &self
             .columns
@@ -677,6 +781,90 @@ mod tests {
         )
         .into_iter()
         .sum()
+    }
+
+    #[test]
+    fn replicate_to_is_byte_exact_and_priced() {
+        let (_data, fact, _ns) = setup();
+        let peer = Namespace::devdax(SocketId(1), 64 << 20);
+        peer.tracker().reset();
+        let replica = fact.replicate_to(&peer).unwrap();
+        assert_eq!(replica.rows(), fact.rows());
+        assert_eq!(replica.content_hash(), fact.content_hash(), "byte-exact");
+        assert_eq!(run_q11(&replica), run_q11(&fact));
+        for (column, report) in replica.scrub() {
+            assert!(report.is_clean(), "{column:?} dirty after replication");
+        }
+        // Replication traffic lands on the replica's namespace.
+        let snap = peer.tracker().snapshot();
+        assert!(snap.write_bytes() >= fact.total_bytes());
+    }
+
+    #[test]
+    fn poisoned_blocks_are_rebuilt_from_the_replica() {
+        let (_data, mut fact, _ns) = setup();
+        let peer = Namespace::devdax(SocketId(1), 64 << 20);
+        let replica = fact.replicate_to(&peer).unwrap();
+        let before = run_q11(&fact);
+        let hash_before = fact.content_hash();
+
+        fact.inject_poison(Column::Revenue, 4096, 16);
+        fact.inject_poison(Column::ExtendedPrice, 8192, 300);
+        fact.inject_poison(Column::Quantity, 0, 16);
+        let dirty: u64 = fact
+            .scrub()
+            .iter()
+            .map(|(_, r)| r.poisoned.len() as u64)
+            .sum();
+        assert!(dirty >= 3, "poison landed");
+
+        let repair = fact.repair_from_replica(&replica).unwrap();
+        assert!(repair.is_fully_repaired());
+        assert!(repair.blocks_repaired >= 3);
+        for (_, report) in fact.scrub() {
+            assert!(report.is_clean());
+        }
+        assert_eq!(fact.content_hash(), hash_before, "byte-exact rebuild");
+        assert_eq!(run_q11(&fact), before);
+
+        // Idempotent: a clean table has nothing left to repair.
+        let again = fact.repair_from_replica(&replica).unwrap();
+        assert_eq!(again, ColumnarRepair::default());
+    }
+
+    #[test]
+    fn replica_repair_refuses_a_poisoned_replica() {
+        let (_data, mut fact, _ns) = setup();
+        let peer = Namespace::devdax(SocketId(1), 64 << 20);
+        let mut replica = fact.replicate_to(&peer).unwrap();
+        fact.inject_poison(Column::Revenue, 0, 16);
+        // The replica takes its own media error: it cannot serve as a
+        // rebuild source, and the table must stay untouched.
+        replica.inject_poison(Column::Revenue, 0, 1);
+        assert!(matches!(
+            fact.repair_from_replica(&replica),
+            Err(StoreError::Poisoned { .. })
+        ));
+        assert!(fact.scrub().iter().any(|(_, r)| !r.poisoned.is_empty()));
+        // A dirty table likewise refuses to be a replication source.
+        let other = Namespace::devdax(SocketId(0), 64 << 20);
+        assert!(matches!(
+            fact.replicate_to(&other),
+            Err(StoreError::Poisoned { .. })
+        ));
+    }
+
+    #[test]
+    fn replica_repair_requires_enough_rows() {
+        let (_data, mut fact, _ns) = setup();
+        let small = generate(0.001, 5);
+        let peer = Namespace::devdax(SocketId(1), 64 << 20);
+        let short = ColumnarFact::load(&peer, &small).unwrap();
+        assert!(short.rows() < fact.rows());
+        assert!(matches!(
+            fact.repair_from_replica(&short),
+            Err(StoreError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
