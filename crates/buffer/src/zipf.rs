@@ -6,14 +6,7 @@
 //! `splitmix64` stream, so identical seeds reproduce identical access
 //! traces across runs and platforms.
 
-/// The splitmix64 mixing function — cheap, well-distributed, and already
-/// the workspace's idiom for deriving deterministic sub-seeds.
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
+pub use pmem_sim::rng::splitmix64;
 
 /// Deterministic Zipfian sampler over ranks `0..n`.
 #[derive(Debug, Clone)]

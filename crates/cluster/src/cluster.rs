@@ -4,7 +4,7 @@
 use pmem_olap::planner::AccessPlanner;
 use pmem_serve::{
     BreakerConfig, BreakerState, CircuitBreaker, FanoutOutcome, JobSpec, OpenLoopPlan, Percentiles,
-    QueryServer, ServeConfig, ShardRole, ShedReason, TenantLoad,
+    QueryServer, ServeConfig, ShardRole, ShedReason, SloClass, SloPolicy, TenantLoad,
 };
 use pmem_sim::des::arrivals::ArrivalProcess;
 use pmem_sim::fleet::{machine_seed, FleetFaultPlans, Interconnect};
@@ -42,6 +42,11 @@ pub struct ClusterConfig {
     pub deadline: f64,
     /// Inter-machine network pricing.
     pub interconnect: Interconnect,
+    /// SLO-class policy every shard's server runs under. When enabled,
+    /// each shard's steady tenant is tagged `Interactive` and its bursty
+    /// tenant `BestEffort`, and failover re-routing carries the class
+    /// with the job — the replica host inherits the victim's tiers.
+    pub slo: SloPolicy,
 }
 
 impl ClusterConfig {
@@ -58,12 +63,20 @@ impl ClusterConfig {
             unit_bytes: 64 << 20,
             deadline: 0.25,
             interconnect: Interconnect::paper_default(),
+            slo: SloPolicy::disabled(),
         }
     }
 
     /// The no-replication baseline (demonstrates data loss).
     pub fn without_replication(mut self) -> Self {
         self.replicate = false;
+        self
+    }
+
+    /// Serve every shard under `slo` (class-tagged tenants, class-banded
+    /// admission on each machine).
+    pub fn with_slo(mut self, slo: SloPolicy) -> Self {
+        self.slo = slo;
         self
     }
 }
@@ -201,17 +214,28 @@ impl Cluster {
         let template = JobSpec::ingest(cfg.unit_bytes)
             .threads(2)
             .deadline(cfg.deadline);
+        // With SLO classes on, the steady tenant is the latency tier and
+        // the bursty one rides best-effort; disabled policies leave both
+        // at the default class (inert — the PR-6 plan, byte for byte).
+        let (steady, bursty) = if cfg.slo.enabled {
+            (
+                template.slo(SloClass::Interactive),
+                template.slo(SloClass::BestEffort),
+            )
+        } else {
+            (template, template)
+        };
         let seed = machine_seed(cfg.seed, shard as usize);
         OpenLoopPlan::new(seed, cfg.horizon)
             .tenant(TenantLoad::new(
                 shard * 2 + 1,
                 ArrivalProcess::poisson(per_tenant),
-                template,
+                steady,
             ))
             .tenant(TenantLoad::new(
                 shard * 2 + 2,
                 ArrivalProcess::bursty(per_tenant * 2.0, 0.05, 0.05),
-                template,
+                bursty,
             ))
     }
 
@@ -265,7 +289,9 @@ impl Cluster {
         // Run every machine's serve stack over its routed jobs.
         let mut per_shard = Vec::with_capacity(shards);
         for (s, machine) in self.machines.iter().enumerate() {
-            let config = ServeConfig::surge(&planner).with_faults(fleet.plan(s));
+            let config = ServeConfig::surge(&planner)
+                .with_faults(fleet.plan(s))
+                .with_slo_classes(cfg.slo);
             let mut server = QueryServer::new(&machine.store, config);
             server.submit_all(routed[s].iter().copied());
             let mut report = server.run()?;

@@ -9,16 +9,8 @@
 //! star-schema broadcast), so scatter-gather queries never move
 //! dimension rows at query time.
 
+use pmem_sim::rng::splitmix64;
 use pmem_ssb::datagen::SsbData;
-
-/// splitmix64 finalizer: uniform, stateless key → shard mixing.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
 
 /// The cluster's partitioning function: `shards` hash buckets over the
 /// fact table's order keys, plus the successor-replica layout.

@@ -10,6 +10,7 @@ use pmem_sim::topology::SocketId;
 use pmem_ssb::QueryId;
 
 use crate::resilience::splitmix64;
+use crate::slo::SloClass;
 
 /// Identifier of one submitted job (unique per server, monotonic).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -99,6 +100,10 @@ pub struct JobSpec {
     /// means best-effort. A resilient scheduler cancels, retries, or sheds
     /// jobs around their deadlines; a plain scheduler records the miss.
     pub deadline: Option<f64>,
+    /// SLO class: admission band, brownout shielding, eviction order,
+    /// and the per-class report section the job is accounted under.
+    /// Inert unless the server enables [`crate::slo::SloPolicy`].
+    pub class: SloClass,
 }
 
 impl JobSpec {
@@ -110,6 +115,7 @@ impl JobSpec {
             tenant: 0,
             socket: None,
             deadline: None,
+            class: SloClass::Standard,
         }
     }
 
@@ -121,6 +127,7 @@ impl JobSpec {
             tenant: 0,
             socket: None,
             deadline: None,
+            class: SloClass::Standard,
         }
     }
 
@@ -154,6 +161,13 @@ impl JobSpec {
     /// Require completion within `seconds` of arrival (must be positive).
     pub fn deadline(mut self, seconds: f64) -> Self {
         self.deadline = (seconds > 0.0).then_some(seconds);
+        self
+    }
+
+    /// Set the SLO class. Sharded routing and retries preserve it, so a
+    /// fan-out inherits the class of the job that spawned it.
+    pub fn slo(mut self, class: SloClass) -> Self {
+        self.class = class;
         self
     }
 
@@ -273,6 +287,17 @@ mod tests {
         assert_eq!(ingest.kind.side(), Side::Write);
         assert_eq!(ingest.kind.threads(), 2);
         assert_eq!(ingest.kind.label(), "ingest 64 MiB");
+
+        assert_eq!(spec.class, SloClass::Standard, "standard by default");
+        let hot = JobSpec::query(QueryId::Q1_1).slo(SloClass::Interactive);
+        assert_eq!(hot.class, SloClass::Interactive);
+        // Generated open-loop copies keep the template's class.
+        let plan = OpenLoopPlan::new(1, 0.2).tenant(TenantLoad::new(
+            5,
+            ArrivalProcess::poisson(100.0),
+            JobSpec::ingest(1 << 20).slo(SloClass::BestEffort),
+        ));
+        assert!(plan.jobs().iter().all(|j| j.class == SloClass::BestEffort));
     }
 
     #[test]

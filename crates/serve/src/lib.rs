@@ -30,6 +30,12 @@
 //!   global retry budget, per-socket circuit breakers, and brownout-mode
 //!   quality degradation keep tail latency bounded and goodput near the
 //!   saturation bandwidth instead of collapsing.
+//! * **Closed-loop SLO control** ([`slo`], [`control`]): per-job service
+//!   classes with earliest-deadline-first admission inside class bands,
+//!   class-aware ingress eviction, brownout shielding for the high
+//!   classes, and a deterministic epoch-based AIMD controller that tunes
+//!   the overload knobs from interim per-class report windows until the
+//!   declared per-class objectives hold.
 //!
 //! The front door is [`QueryServer`]: submit [`JobSpec`]s, call
 //! [`QueryServer::run`], read the [`ServeReport`].
@@ -41,6 +47,7 @@
 
 pub mod admission;
 pub mod batch;
+pub mod control;
 pub mod fairness;
 pub mod job;
 pub mod overload;
@@ -48,20 +55,23 @@ pub mod pool;
 pub mod report;
 pub mod resilience;
 pub mod scheduler;
+pub mod slo;
 pub mod tier;
 
 pub use admission::{
     AdmissionController, AdmissionPolicy, QueueReason, ShedReason, SocketLoad, Verdict,
 };
 pub use batch::{ScanBatch, ScanBatcher, ScanJobInfo};
+pub use control::{auto_tune, ControllerConfig, EpochObservation, Knobs, TuneOutcome};
 pub use fairness::FairnessPolicy;
 pub use job::{JobId, JobKind, JobSpec, OpenLoopPlan, Side, TenantLoad};
 pub use overload::{BreakerConfig, BreakerState, BrownoutConfig, CircuitBreaker, OverloadPolicy};
 pub use pool::{PoolSet, WorkItem};
 pub use report::{
-    tenant_reports, FanoutOutcome, HotTierReport, JobOutcome, JobRecord, Percentiles, ServeHealth,
-    ServeReport, ShardRole, TenantReport, TierCurvePoint,
+    class_reports, tenant_reports, ClassReport, FanoutOutcome, HotTierReport, JobOutcome,
+    JobRecord, Percentiles, ServeHealth, ServeReport, ShardRole, TenantReport, TierCurvePoint,
 };
 pub use resilience::ResiliencePolicy;
 pub use scheduler::{QueryServer, ServeConfig};
+pub use slo::{ClassTarget, SloClass, SloPolicy};
 pub use tier::{HotTierPolicy, SocketDemand, TierAssignment};

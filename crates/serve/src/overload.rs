@@ -295,6 +295,12 @@ impl RetryLedger {
     pub(crate) fn release(&mut self) {
         self.outstanding = self.outstanding.saturating_sub(1);
     }
+
+    /// Units currently holding a retry slot. Invariant: every terminal
+    /// path releases its slot, so this drains to zero by loop exit.
+    pub(crate) fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use pmem_ssb::OpCounters;
 
 use crate::admission::{ShedReason, Verdict};
 use crate::job::{JobId, Side};
+use crate::slo::SloClass;
 
 /// How a job left the server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +107,8 @@ pub struct JobRecord {
     /// DRAM hot-tier hit rate the job's reads were priced at (0 for
     /// writes and when the tier is disabled).
     pub hit_rate: f64,
+    /// SLO class the job was served under.
+    pub class: SloClass,
 }
 
 impl JobRecord {
@@ -134,11 +137,14 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    /// Nearest-rank percentiles of a population (order irrelevant).
-    /// All-zero for an empty population.
-    pub fn of(values: &[f64]) -> Self {
+    /// Nearest-rank percentiles of a population (order irrelevant), or
+    /// `None` for an empty one. This is the typed form the closed-loop
+    /// controller consumes: an interim window with no completions early
+    /// in a run must read as "no signal", not as a perfect 0-second p99
+    /// that an AIMD step would happily loosen the knobs against.
+    pub fn try_of(values: &[f64]) -> Option<Self> {
         if values.is_empty() {
-            return Percentiles::default();
+            return None;
         }
         let mut sorted: Vec<f64> = values.to_vec();
         sorted.sort_by(f64::total_cmp);
@@ -146,11 +152,18 @@ impl Percentiles {
             let idx = (q * sorted.len() as f64).ceil() as usize;
             sorted[idx.clamp(1, sorted.len()) - 1]
         };
-        Percentiles {
+        Some(Percentiles {
             p50: rank(0.50),
             p95: rank(0.95),
             p99: rank(0.99),
-        }
+        })
+    }
+
+    /// Nearest-rank percentiles of a population (order irrelevant).
+    /// All-zero for an empty population — display-friendly; decision
+    /// code should prefer [`Percentiles::try_of`].
+    pub fn of(values: &[f64]) -> Self {
+        Self::try_of(values).unwrap_or_default()
     }
 }
 
@@ -231,6 +244,83 @@ pub fn tenant_reports(jobs: &[JobRecord]) -> Vec<TenantReport> {
                 end_to_end: Percentiles::of(&e2e),
                 hit_rate,
             }
+        })
+        .collect()
+}
+
+/// One SLO class's slice of a serving run: deadline outcomes, latency
+/// percentiles, and shed attribution — the per-class section the
+/// closed-loop controller reads between epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// The class.
+    pub class: SloClass,
+    /// Jobs served under this class.
+    pub jobs: usize,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Jobs dropped by load shedding (any [`ShedReason`]).
+    pub shed: usize,
+    /// Jobs that exhausted their retry budget.
+    pub failed: usize,
+    /// Jobs that carried a deadline (explicit or class default).
+    pub deadline_carrying: usize,
+    /// Deadline-carrying jobs that completed within their deadline.
+    pub met_deadline: usize,
+    /// Logical bytes the class's completed jobs moved (its goodput).
+    pub bytes_completed: u64,
+    /// Queue-wait percentiles over completed jobs; `None` when nothing
+    /// of this class completed.
+    pub queue_wait: Option<Percentiles>,
+    /// End-to-end (arrival → finish) percentiles over completed jobs;
+    /// `None` when nothing of this class completed.
+    pub end_to_end: Option<Percentiles>,
+}
+
+impl ClassReport {
+    /// Fraction of deadline-carrying jobs that met their deadline;
+    /// `None` when the class carried no deadlines.
+    pub fn met_fraction(&self) -> Option<f64> {
+        (self.deadline_carrying > 0)
+            .then(|| self.met_deadline as f64 / self.deadline_carrying as f64)
+    }
+}
+
+/// Fold per-job records into per-class slices, in priority order.
+/// Classes with no jobs are omitted.
+pub fn class_reports(jobs: &[JobRecord]) -> Vec<ClassReport> {
+    SloClass::ALL
+        .iter()
+        .filter_map(|&class| {
+            let mine: Vec<&JobRecord> = jobs.iter().filter(|j| j.class == class).collect();
+            if mine.is_empty() {
+                return None;
+            }
+            let done: Vec<&&JobRecord> = mine.iter().filter(|j| j.outcome.is_completed()).collect();
+            let waits: Vec<f64> = done.iter().map(|j| j.queue_wait_seconds).collect();
+            let e2e: Vec<f64> = done
+                .iter()
+                .map(|j| (j.finished_at - j.arrival).max(0.0))
+                .collect();
+            let carrying: Vec<&&JobRecord> = mine.iter().filter(|j| j.deadline.is_some()).collect();
+            Some(ClassReport {
+                class,
+                jobs: mine.len(),
+                completed: done.len(),
+                shed: mine
+                    .iter()
+                    .filter(|j| matches!(j.outcome, JobOutcome::Shed(_)))
+                    .count(),
+                failed: mine
+                    .iter()
+                    .filter(|j| j.outcome == JobOutcome::Failed)
+                    .count(),
+                deadline_carrying: carrying.len(),
+                met_deadline: carrying.iter().filter(|j| j.met_deadline()).count(),
+                bytes_completed: done.iter().map(|j| j.bytes).sum(),
+                queue_wait: Percentiles::try_of(&waits),
+                end_to_end: Percentiles::try_of(&e2e),
+            })
         })
         .collect()
 }
@@ -349,6 +439,9 @@ pub struct ServeReport {
     pub repaired: u32,
     /// Per-tenant accounting and latency percentiles, sorted by tenant.
     pub tenants: Vec<TenantReport>,
+    /// Per-SLO-class accounting in priority order (classes with no jobs
+    /// omitted).
+    pub classes: Vec<ClassReport>,
     /// Circuit-breaker trips across all sockets (re-opens included).
     pub breaker_trips: u32,
     /// Retries refused by the global retry budget.
@@ -461,6 +554,55 @@ impl ServeReport {
         }
         with.iter().filter(|j| j.met_deadline()).count() as f64 / with.len() as f64
     }
+
+    /// One class's slice, if anything ran under it.
+    pub fn class_report(&self, class: SloClass) -> Option<&ClassReport> {
+        self.classes.iter().find(|c| c.class == class)
+    }
+
+    /// The fraction of all sheds absorbed by `class` (0 when nothing
+    /// was shed at all).
+    pub fn shed_share(&self, class: SloClass) -> f64 {
+        let total = self.shed_jobs();
+        if total == 0 {
+            return 0.0;
+        }
+        self.class_report(class).map_or(0, |c| c.shed) as f64 / total as f64
+    }
+
+    /// Completed bytes over the makespan, in bytes/second — the goodput
+    /// number the controller maximizes.
+    pub fn goodput_bytes_per_sec(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.jobs
+            .iter()
+            .filter(|j| j.outcome.is_completed())
+            .map(|j| j.bytes as f64)
+            .sum::<f64>()
+            / self.makespan
+    }
+
+    /// Split the run into `n` equal time windows by completion instant
+    /// and return each window's end-to-end percentiles for `class`.
+    /// Windows with no completions are typed `None` — early-run windows
+    /// routinely are, which is exactly the case [`Percentiles::try_of`]
+    /// hardens the controller against.
+    pub fn class_windows(&self, class: SloClass, n: usize) -> Vec<Option<Percentiles>> {
+        let n = n.max(1);
+        let span = self.makespan.max(1e-12);
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); n];
+        for j in self
+            .jobs
+            .iter()
+            .filter(|j| j.class == class && j.outcome.is_completed())
+        {
+            let w = (((j.finished_at / span) * n as f64) as usize).min(n - 1);
+            buckets[w].push((j.finished_at - j.arrival).max(0.0));
+        }
+        buckets.iter().map(|b| Percentiles::try_of(b)).collect()
+    }
 }
 
 impl std::fmt::Display for ServeReport {
@@ -556,6 +698,25 @@ impl std::fmt::Display for ServeReport {
                 )?;
             }
         }
+        for c in &self.classes {
+            let p = c.end_to_end.unwrap_or_default();
+            writeln!(
+                f,
+                "  class {:>11}: {:>4} jobs ({} done, {} shed, {} failed), \
+                 deadlines {}/{} met, e2e p50/p95/p99 {:.3}/{:.3}/{:.3}s, {:>8.1} MiB good",
+                c.class.label(),
+                c.jobs,
+                c.completed,
+                c.shed,
+                c.failed,
+                c.met_deadline,
+                c.deadline_carrying,
+                p.p50,
+                p.p95,
+                p.p99,
+                c.bytes_completed as f64 / (1 << 20) as f64,
+            )?;
+        }
         for t in &self.tenants {
             writeln!(
                 f,
@@ -627,6 +788,7 @@ mod tests {
             retries: 0,
             outcome: JobOutcome::Completed,
             hit_rate: 0.0,
+            class: SloClass::Standard,
         }
     }
 
@@ -652,6 +814,7 @@ mod tests {
             quarantined: 0,
             repaired: 0,
             tenants: Vec::new(),
+            classes: Vec::new(),
             breaker_trips: 0,
             retry_budget_denied: 0,
             brownout_seconds: 0.0,
@@ -685,6 +848,7 @@ mod tests {
             quarantined: 0,
             repaired: 0,
             tenants: Vec::new(),
+            classes: Vec::new(),
             breaker_trips: 0,
             retry_budget_denied: 0,
             brownout_seconds: 0.0,
@@ -740,6 +904,7 @@ mod tests {
             quarantined: 1,
             repaired: 1,
             tenants: Vec::new(),
+            classes: Vec::new(),
             breaker_trips: 0,
             retry_budget_denied: 0,
             brownout_seconds: 0.0,
@@ -769,6 +934,111 @@ mod tests {
         let tiny = Percentiles::of(&[0.3]);
         assert_eq!((tiny.p50, tiny.p95, tiny.p99), (0.3, 0.3, 0.3));
         assert_eq!(Percentiles::of(&[]), Percentiles::default());
+    }
+
+    #[test]
+    fn empty_and_single_sample_windows_are_typed_not_zero() {
+        // An empty window is `None`, distinguishable from a population
+        // whose latencies really are zero — the controller must never
+        // read "no completions yet" as "p99 = 0, loosen the knobs".
+        assert_eq!(Percentiles::try_of(&[]), None);
+        assert_eq!(
+            Percentiles::try_of(&[0.0]),
+            Some(Percentiles::default()),
+            "a real all-zero sample still reads as data"
+        );
+        let single = Percentiles::try_of(&[0.7]).expect("one sample is a population");
+        assert_eq!((single.p50, single.p95, single.p99), (0.7, 0.7, 0.7));
+        // The display-friendly form keeps its old silent-zero behavior.
+        assert_eq!(Percentiles::of(&[]), Percentiles::default());
+    }
+
+    #[test]
+    fn class_reports_partition_attribute_and_type_empties() {
+        let mut hot = record(0, Side::Read, 100, 0.1);
+        hot.class = SloClass::Interactive;
+        hot.deadline = Some(2.0); // finished_at 1.1 <= 2.0: met
+        let mut hot2 = record(1, Side::Read, 50, 0.0);
+        hot2.class = SloClass::Interactive;
+        hot2.deadline = Some(0.5); // finished_at 1.0 > 0.5: missed
+        let mut bulk = record(2, Side::Write, 400, 0.2);
+        bulk.class = SloClass::BestEffort;
+        bulk.outcome = JobOutcome::Shed(ShedReason::QueueFull);
+        let jobs = vec![hot, hot2, bulk];
+
+        let classes = class_reports(&jobs);
+        assert_eq!(classes.len(), 2, "standard had no jobs and is omitted");
+        let i = &classes[0];
+        assert_eq!(i.class, SloClass::Interactive);
+        assert_eq!((i.jobs, i.completed, i.shed, i.failed), (2, 2, 0, 0));
+        assert_eq!((i.deadline_carrying, i.met_deadline), (2, 1));
+        assert_eq!(i.met_fraction(), Some(0.5));
+        assert_eq!(i.bytes_completed, 150);
+        assert!(i.end_to_end.is_some());
+
+        let b = &classes[1];
+        assert_eq!(b.class, SloClass::BestEffort);
+        assert_eq!((b.jobs, b.completed, b.shed), (1, 0, 1));
+        assert_eq!(b.met_fraction(), None, "no deadlines carried");
+        assert_eq!(b.end_to_end, None, "nothing completed: typed empty");
+        assert_eq!(b.queue_wait, None);
+    }
+
+    #[test]
+    fn shed_share_and_class_windows_read_off_the_report() {
+        let gib = 1u64 << 30;
+        let mut early = record(0, Side::Read, gib, 0.0);
+        early.class = SloClass::Interactive;
+        early.finished_at = 0.5;
+        let mut late = record(1, Side::Read, gib, 0.0);
+        late.class = SloClass::Interactive;
+        late.finished_at = 1.9;
+        let mut dropped = record(2, Side::Write, gib, 0.0);
+        dropped.class = SloClass::BestEffort;
+        dropped.outcome = JobOutcome::Shed(ShedReason::QueueFull);
+        let jobs = vec![early, late, dropped];
+        let classes = class_reports(&jobs);
+        let report = ServeReport {
+            jobs,
+            makespan: 2.0,
+            read_bytes_moved: 2 * gib,
+            write_bytes_moved: 0,
+            read_busy_seconds: 1.0,
+            write_busy_seconds: 0.0,
+            peak_concurrent_readers: 2,
+            peak_concurrent_writers: 0,
+            batches: 0,
+            shared_scan_bytes_saved: 0,
+            stats: SimStats::default(),
+            health: ServeHealth::Overloaded,
+            replan_events: 0,
+            power_loss_events: 0,
+            degraded_seconds: 0.0,
+            quarantined: 0,
+            repaired: 0,
+            tenants: Vec::new(),
+            classes,
+            breaker_trips: 0,
+            retry_budget_denied: 0,
+            brownout_seconds: 0.0,
+            batch_window_used: 0.0,
+            hot_tier: None,
+            fanout: None,
+        };
+        assert_eq!(report.shed_share(SloClass::BestEffort), 1.0);
+        assert_eq!(report.shed_share(SloClass::Interactive), 0.0);
+        assert!((report.goodput_bytes_per_sec() - gib as f64).abs() < 1.0);
+        // Four windows over makespan 2.0: completions land in windows
+        // 1 (t=0.5) and 3 (t=1.9); windows 0 and 2 are typed empty.
+        let windows = report.class_windows(SloClass::Interactive, 4);
+        assert_eq!(windows.len(), 4);
+        assert_eq!(windows[0], None);
+        assert!(windows[1].is_some());
+        assert_eq!(windows[2], None);
+        assert!(windows[3].is_some());
+        let text = format!("{report}");
+        assert!(text.contains("interactive"), "class section renders");
+        assert!(text.contains("best-effort"));
     }
 
     #[test]

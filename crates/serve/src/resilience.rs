@@ -122,14 +122,9 @@ impl ResiliencePolicy {
     }
 }
 
-/// SplitMix64: a tiny, well-mixed hash used to derive deterministic
-/// per-job jitter and per-tenant sub-seeds from one master seed.
-pub(crate) fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// The workspace-wide splitmix64 lives in `pmem_sim::rng`; re-exported
+// here because per-job jitter and per-tenant sub-seeds derive from it.
+pub(crate) use pmem_sim::rng::splitmix64;
 
 #[cfg(test)]
 mod tests {

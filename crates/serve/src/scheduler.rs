@@ -34,6 +34,7 @@ use crate::report::{
     TierCurvePoint,
 };
 use crate::resilience::ResiliencePolicy;
+use crate::slo::{SloClass, SloPolicy};
 use crate::tier::{self, HotTierPolicy, SocketDemand};
 
 /// Bytes below which a unit counts as finished (float-remainder guard).
@@ -69,6 +70,9 @@ pub struct ServeConfig {
     pub batch_window_max: f64,
     /// DRAM hot tier pricing reads (disabled = pure-PMEM reads).
     pub hot_tier: HotTierPolicy,
+    /// SLO classes: EDF-within-class admission bands, class-aware ingress
+    /// eviction, brownout shielding, per-class default deadlines.
+    pub slo: SloPolicy,
 }
 
 impl ServeConfig {
@@ -88,6 +92,7 @@ impl ServeConfig {
             adaptive_batch: false,
             batch_window_max: 0.040,
             hot_tier: HotTierPolicy::disabled(),
+            slo: SloPolicy::disabled(),
         }
     }
 
@@ -168,12 +173,20 @@ impl ServeConfig {
             adaptive_batch: false,
             batch_window_max: 0.040,
             hot_tier: HotTierPolicy::disabled(),
+            slo: SloPolicy::disabled(),
         }
     }
 
     /// Price reads through a DRAM hot tier with `policy`.
     pub fn with_hot_tier(mut self, policy: HotTierPolicy) -> Self {
         self.hot_tier = policy;
+        self
+    }
+
+    /// Enable (or reconfigure) SLO classes: class-banded EDF admission,
+    /// class-aware ingress eviction, and brownout shielding.
+    pub fn with_slo_classes(mut self, slo: SloPolicy) -> Self {
+        self.slo = slo;
         self
     }
 }
@@ -206,6 +219,9 @@ struct Unit {
     /// Primary tenant (the first member's) — what the ingress queue bound
     /// counts against.
     tenant: u32,
+    /// Highest-priority member class: the unit's admission band,
+    /// eviction rank, and brownout shield.
+    class: SloClass,
     /// Per-member `(tenant, bytes)` demands the fairness buckets charge.
     charges: Vec<(u32, u64)>,
     /// Hot-tier hit rate the unit's reads see (0 for writes / no tier).
@@ -401,16 +417,30 @@ impl<'s> QueryServer<'s> {
         let mut shared_scan_bytes_saved = 0u64;
         for batch in &batches {
             shared_scan_bytes_saved += batch.saved_bytes;
+            // Effective deadlines: explicit spec deadlines, with the class
+            // default filling any gap once the SLO policy is enabled.
+            let eff = |m: &ScanJobInfo| {
+                let spec = &routed[m.id.0 as usize].1;
+                self.config
+                    .slo
+                    .effective_deadline(spec.class, spec.deadline)
+            };
             let deadline_rel = batch
                 .members
                 .iter()
-                .filter_map(|m| routed[m.id.0 as usize].1.deadline)
+                .filter_map(&eff)
                 .fold(f64::INFINITY, f64::min);
             let deadline_at = batch
                 .members
                 .iter()
-                .filter_map(|m| routed[m.id.0 as usize].1.deadline_at())
+                .filter_map(|m| eff(m).map(|d| routed[m.id.0 as usize].1.arrival + d))
                 .fold(f64::INFINITY, f64::min);
+            let class = batch
+                .members
+                .iter()
+                .map(|m| routed[m.id.0 as usize].1.class)
+                .min()
+                .unwrap_or_default();
             units.push(Unit {
                 side: Side::Read,
                 socket: batch.socket,
@@ -431,6 +461,7 @@ impl<'s> QueryServer<'s> {
                 retries: 0,
                 outcome: JobOutcome::Completed,
                 tenant: routed[batch.members[0].id.0 as usize].1.tenant,
+                class,
                 charges: batch
                     .members
                     .iter()
@@ -442,6 +473,10 @@ impl<'s> QueryServer<'s> {
         }
         for (idx, (_, spec, socket)) in routed.iter().enumerate() {
             if let JobKind::Ingest { bytes, threads } = spec.kind {
+                let eff = self
+                    .config
+                    .slo
+                    .effective_deadline(spec.class, spec.deadline);
                 units.push(Unit {
                     side: Side::Write,
                     socket: *socket,
@@ -453,12 +488,13 @@ impl<'s> QueryServer<'s> {
                     admitted_at: f64::NAN,
                     finished_at: f64::NAN,
                     pinned: spec.socket.is_some(),
-                    deadline_rel: spec.deadline,
-                    deadline_at: spec.deadline_at(),
+                    deadline_rel: eff,
+                    deadline_at: eff.map(|d| spec.arrival + d),
                     ready_at: spec.arrival,
                     retries: 0,
                     outcome: JobOutcome::Completed,
                     tenant: spec.tenant,
+                    class: spec.class,
                     charges: vec![(spec.tenant, bytes.max(1))],
                     hit_rate: 0.0,
                     hit_rate_browned: 0.0,
@@ -576,6 +612,7 @@ impl<'s> QueryServer<'s> {
             records.push(JobRecord {
                 id: *id,
                 tenant: spec.tenant,
+                class: spec.class,
                 label: spec.kind.label(),
                 side: spec.kind.side(),
                 socket: unit.socket,
@@ -590,7 +627,11 @@ impl<'s> QueryServer<'s> {
                 stats,
                 verdicts: unit.verdicts.clone(),
                 batch_peers: unit.members.len() as u32 - 1,
-                deadline: spec.deadline_at(),
+                deadline: self
+                    .config
+                    .slo
+                    .effective_deadline(spec.class, spec.deadline)
+                    .map(|d| spec.arrival + d),
                 retries: unit.retries,
                 outcome: unit.outcome,
                 hit_rate: unit.hit_rate,
@@ -600,6 +641,7 @@ impl<'s> QueryServer<'s> {
 
         let stats = SimStats::merged(records.iter().map(|r| &r.stats));
         let tenants = report::tenant_reports(&records);
+        let classes = report::class_reports(&records);
         let shed_overloaded = records.iter().any(|r| {
             matches!(
                 r.outcome,
@@ -641,6 +683,7 @@ impl<'s> QueryServer<'s> {
             quarantined: loop_out.quarantined,
             repaired: loop_out.repaired,
             tenants,
+            classes,
             breaker_trips: loop_out.breaker_trips,
             retry_budget_denied: loop_out.retry_budget_denied,
             brownout_seconds: loop_out.brownout_seconds,
@@ -689,6 +732,7 @@ impl<'s> QueryServer<'s> {
         let faults = &self.config.faults;
         let res = self.config.resilience;
         let overload = self.config.overload;
+        let slo = self.config.slo;
         let sockets = self.planner.sockets().max(1);
         // With no re-planning in force the effective caps are exactly the
         // policy caps (decide_with_caps takes the min of the two).
@@ -782,19 +826,65 @@ impl<'s> QueryServer<'s> {
                 ptr += 1;
                 // Bounded ingress: an arrival past its tenant's queue cap
                 // is refused here, before it costs queue space or device
-                // time — the typed [`ShedReason::QueueFull`] refusal.
+                // time — the typed [`ShedReason::QueueFull`] refusal. With
+                // SLO classes on, a full line evicts its worst queued unit
+                // of a strictly lower class instead of refusing a
+                // higher-class arrival: the shed lands on best-effort
+                // headroom first.
                 if overload.enabled && overload.queue_cap > 0 {
                     let depth = waiting
                         .iter()
                         .filter(|&&w| units[w].tenant == units[u].tenant)
                         .count();
                     if depth as u32 >= overload.queue_cap {
+                        let victim = if slo.enabled {
+                            waiting
+                                .iter()
+                                .copied()
+                                .enumerate()
+                                .filter(|&(_, w)| {
+                                    units[w].tenant == units[u].tenant
+                                        && units[w].class > units[u].class
+                                })
+                                .max_by(|&(pa, a), &(pb, b)| {
+                                    // Worst class first; most slack (latest
+                                    // deadline, None = infinite) breaks
+                                    // ties; queue position last.
+                                    units[a]
+                                        .class
+                                        .cmp(&units[b].class)
+                                        .then(
+                                            units[a]
+                                                .deadline_at
+                                                .unwrap_or(f64::INFINITY)
+                                                .total_cmp(
+                                                    &units[b].deadline_at.unwrap_or(f64::INFINITY),
+                                                ),
+                                        )
+                                        .then(pa.cmp(&pb))
+                                })
+                        } else {
+                            None
+                        };
                         let reason = ShedReason::QueueFull;
-                        units[u].verdicts.push((now, Verdict::Shed { reason }));
-                        units[u].outcome = JobOutcome::Shed(reason);
-                        units[u].admitted_at = units[u].arrival;
-                        units[u].finished_at = units[u].arrival;
-                        continue;
+                        if let Some((pos, w)) = victim {
+                            units[w].verdicts.push((now, Verdict::Shed { reason }));
+                            units[w].outcome = JobOutcome::Shed(reason);
+                            if units[w].admitted_at.is_nan() {
+                                units[w].admitted_at = now;
+                            }
+                            units[w].finished_at = now;
+                            if units[w].retries > 0 {
+                                ledger.release();
+                            }
+                            waiting.remove(pos);
+                        } else {
+                            units[u].verdicts.push((now, Verdict::Shed { reason }));
+                            units[u].outcome = JobOutcome::Shed(reason);
+                            units[u].admitted_at = units[u].arrival;
+                            units[u].finished_at = units[u].arrival;
+                            continue;
+                        }
                     }
                 }
                 // Arrivals routed to a quarantined socket sit out the
@@ -886,7 +976,12 @@ impl<'s> QueryServer<'s> {
             // bandwidth drifts past the threshold, its saturation points
             // shrink — admitting the healthy thread count would only deepen
             // the queues, so the budget shrinks with it.
-            let mut caps_by_socket: HashMap<u8, ConcurrencyBudget> = HashMap::new();
+            // Each socket carries two budgets: the (possibly re-planned)
+            // plain caps, and the brownout-tightened caps. Which one an
+            // admission sees depends on the unit's class: shielded classes
+            // keep the plain budget, everyone else browns out.
+            let mut caps_by_socket: HashMap<u8, (ConcurrencyBudget, ConcurrencyBudget)> =
+                HashMap::new();
             for s in 0..sockets {
                 let sf = fstate.socket(SocketId(s));
                 let drift = (1.0 - sf.read_scale).max(1.0 - sf.write_scale);
@@ -901,18 +996,36 @@ impl<'s> QueryServer<'s> {
                 }
                 // Brownout tightening stacks on top of fault re-planning
                 // but is not a replan event — it lifts with the queue.
-                let mut caps = caps;
+                let mut browned = caps;
                 if brownout_active {
                     if let Some(b) = browned_caps {
-                        caps.reader_threads = caps.reader_threads.min(b.reader_threads);
+                        browned.reader_threads = browned.reader_threads.min(b.reader_threads);
                     }
                 }
-                caps_by_socket.insert(s, caps);
+                caps_by_socket.insert(s, (caps, browned));
             }
 
             // Admission pass: FIFO with bypass — a queued unit does not
             // block later-arriving admissible ones. Units backing off
-            // (ready_at in the future) are not yet eligible.
+            // (ready_at in the future) are not yet eligible. With SLO
+            // classes on, the queue is re-ordered earliest-deadline-first
+            // within class bands before the pass: every interactive unit
+            // is considered before any standard one, EDF inside each band.
+            if slo.enabled {
+                waiting.sort_by(|&a, &b| {
+                    units[a]
+                        .class
+                        .cmp(&units[b].class)
+                        .then(
+                            units[a]
+                                .deadline_at
+                                .unwrap_or(f64::INFINITY)
+                                .total_cmp(&units[b].deadline_at.unwrap_or(f64::INFINITY)),
+                        )
+                        .then(units[a].arrival.total_cmp(&units[b].arrival))
+                        .then(a.cmp(&b))
+                });
+            }
             let mut i = 0;
             while i < waiting.len() {
                 let u = waiting[i];
@@ -973,7 +1086,13 @@ impl<'s> QueryServer<'s> {
                 let load = socket_load(units, &active, socket);
                 let caps = caps_by_socket
                     .get(&socket.0)
-                    .copied()
+                    .map(|&(plain, browned)| {
+                        if slo.shielded(units[u].class) {
+                            plain
+                        } else {
+                            browned
+                        }
+                    })
                     .unwrap_or(policy_caps);
                 let verdict = controller.decide_with_caps(
                     &self.planner,
@@ -1136,7 +1255,9 @@ impl<'s> QueryServer<'s> {
                 run.rate = unit.threads as f64
                     * match unit.side {
                         Side::Read => {
-                            let hit = if brownout_active {
+                            // Shielded classes keep the full tier even
+                            // while the brownout ladder shrinks it.
+                            let hit = if brownout_active && !slo.shielded(unit.class) {
                                 unit.hit_rate_browned
                             } else {
                                 unit.hit_rate
@@ -1241,7 +1362,7 @@ impl<'s> QueryServer<'s> {
                 run.remaining -= progressed;
                 let unit = &units[run.unit];
                 if unit.side == Side::Read {
-                    let hit = if brownout_active {
+                    let hit = if brownout_active && !slo.shielded(unit.class) {
                         unit.hit_rate_browned
                     } else {
                         unit.hit_rate
@@ -1371,6 +1492,14 @@ impl<'s> QueryServer<'s> {
         }
 
         out.makespan = now;
+        // Every terminal path — completion, failure, every typed shed
+        // (including class-aware ingress eviction) — must hand its
+        // retry-budget slot back; a leak here starves later retries.
+        debug_assert_eq!(
+            ledger.outstanding(),
+            0,
+            "retry ledger must drain by loop exit"
+        );
         out.breaker_trips = (0..sockets)
             .filter_map(|s| breakers.get(&s))
             .map(|b| b.trips)

@@ -33,16 +33,7 @@ use crate::topology::SocketId;
 /// trickles but never fully stops, keeping simulated times finite.
 pub const BLACKOUT_THROTTLE: f64 = 1e-3;
 
-/// splitmix64 — the same mixer the arrival processes use for sub-seeding.
-/// One fleet seed fans out into per-machine streams that are mutually
-/// independent but individually reproducible.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+use crate::rng::splitmix64;
 
 /// Derive machine `m`'s seed from the fleet seed. Deterministic, and
 /// distinct machines get uncorrelated streams.

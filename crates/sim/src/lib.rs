@@ -55,6 +55,7 @@ pub mod des;
 pub mod faults;
 pub mod fleet;
 pub mod params;
+pub mod rng;
 pub mod sched;
 pub mod stats;
 pub mod topology;
@@ -63,6 +64,7 @@ pub mod workload;
 mod simulation;
 
 pub use bandwidth::{tiered_rate, Bandwidth};
+pub use rng::{splitmix64, SplitMix64};
 pub use simulation::{Evaluation, Simulation};
 
 /// Convenient re-exports of the types needed for typical use.

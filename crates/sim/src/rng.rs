@@ -1,0 +1,82 @@
+//! The workspace's one seeded-PRNG helper: the splitmix64 finalizer.
+//!
+//! Every subsystem that needs deterministic sub-seeding or a cheap
+//! uniform stream — arrival processes, fleet fault plans, Zipf access
+//! traces, shard routing, retry jitter — uses the same mixing function
+//! so a single experiment seed fans out into mutually independent but
+//! individually reproducible streams. Until this module existed the
+//! finalizer was copy-pasted per crate; the copies had already started
+//! to drift in style (if not yet in bits). This is now the only
+//! implementation; the old call sites re-export it.
+//!
+//! The constants are Steele et al.'s SplitMix64 (JDK 8
+//! `SplittableRandom`). They must never change: shard placement
+//! (`pmem-cluster`), per-machine fault seeds (`pmem-sim::fleet`) and
+//! per-tenant arrival sub-seeds (`pmem-serve`) all persist decisions
+//! derived from these exact bits, and tests pin the resulting layouts.
+
+/// splitmix64 — one round of the SplitMix64 output mix over `x`.
+///
+/// Uniform, stateless, invertible; equally usable as a hash finalizer
+/// (key → shard), a sub-seed deriver (`seed ^ splitmix64(id)`), or the
+/// transition function of a tiny PRNG (feed the output back in).
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A caller-owned splitmix64 stream: the two-line idiom
+/// (`state = splitmix64(state); use state`) with a name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A stream seeded with `seed`. Identical seeds replay identically.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = splitmix64(self.state);
+        self.state
+    }
+
+    /// Next uniform f64 in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_outputs_never_drift() {
+        // Shard layouts, fleet seeds and arrival sub-seeds are derived
+        // from these exact bits; pin the first few outputs.
+        assert_eq!(splitmix64(0), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(1), 0x910a_2dec_8902_5cc1);
+        assert_eq!(splitmix64(0xdead_beef), 0x4adf_b90f_68c9_eb9b);
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_uniformish() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys, "same seed, same stream");
+
+        let mut r = SplitMix64::new(42);
+        let mean: f64 = (0..4096).map(|_| r.next_f64()).sum::<f64>() / 4096.0;
+        assert!((mean - 0.5).abs() < 0.02, "uniform mean, got {mean}");
+        let mut s = SplitMix64::new(42);
+        assert!((0..64).all(|_| (0.0..1.0).contains(&s.next_f64())));
+    }
+}

@@ -11,7 +11,7 @@
 //! whole fleet prices in the virtual plane and the suite stays cheap.
 
 use pmem_cluster::{Cluster, ClusterConfig, ShardMachine};
-use pmem_serve::ShardRole;
+use pmem_serve::{ShardRole, SloClass, SloPolicy};
 use pmem_ssb::columnar::Column;
 
 /// The master seed: identical seeds must reproduce identical reports.
@@ -196,6 +196,46 @@ fn scaling_out_is_near_linear() {
         "4 shards {:.3e} < 3.2x one shard {:.3e}",
         goodput[2],
         goodput[0]
+    );
+}
+
+#[test]
+fn slo_classes_propagate_through_failover_rerouting() {
+    // With the SLO policy on, each shard's steady tenant is Interactive
+    // and its bursty tenant BestEffort. Losing a shard re-routes its
+    // post-detection arrivals to the replica host, and the class must
+    // travel with the job: the failover host's report carries both
+    // tiers, and no job is left at the default class.
+    let cfg = ClusterConfig::demo(2, SEED).with_slo(SloPolicy::default_on());
+    let mut cluster = Cluster::build(cfg).expect("cluster builds");
+    let lost = cluster
+        .run_with_lost_shard(0, BLACKOUT_AT)
+        .expect("failover run");
+    assert!(lost.rerouted_jobs > 0, "failover actually re-routed work");
+    let host = lost
+        .per_shard
+        .iter()
+        .find(|r| {
+            r.fanout
+                .as_ref()
+                .is_some_and(|f| f.role == ShardRole::Failover)
+        })
+        .expect("a replica host served the victim's range");
+    assert!(
+        host.class_report(SloClass::Interactive).is_some(),
+        "the victim's interactive tenant landed on the host"
+    );
+    assert!(host.class_report(SloClass::BestEffort).is_some());
+    assert!(
+        host.jobs.iter().all(|j| j.class != SloClass::Standard),
+        "every tenant was class-tagged; nothing fell back to default"
+    );
+    // Class-aware shedding holds on the overloaded failover host too:
+    // best-effort absorbs at least as many sheds as the latency tier.
+    let sheds = |class| host.class_report(class).map(|c| c.shed).unwrap_or_default();
+    assert!(
+        sheds(SloClass::BestEffort) >= sheds(SloClass::Interactive),
+        "best-effort must absorb the shed load before interactive"
     );
 }
 
