@@ -12,14 +12,10 @@ use pmem_ssb::columnar::ColumnarRepair;
 use pmem_ssb::datagen;
 use pmem_store::Result;
 
+use crate::detector::{DetectorConfig, DetectorMode};
 use crate::machine::ShardMachine;
 use crate::partition::ShardMap;
 use crate::report::{ClusterReport, ScatterGather, ShardOutcome};
-
-/// Virtual seconds between a machine going dark and the router's health
-/// probes noticing: arrivals inside this window still go to the dead
-/// shard (and are shed there); arrivals after it are re-routed.
-pub const DETECT_DELAY: f64 = 0.005;
 
 /// How a cluster experiment is shaped.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,6 +43,11 @@ pub struct ClusterConfig {
     /// tenant `BestEffort`, and failover re-routing carries the class
     /// with the job — the replica host inherits the victim's tiers.
     pub slo: SloPolicy,
+    /// How the router detects unhealthy shards. [`DetectorConfig::oracle`]
+    /// is the PR-7 behavior (fixed blackout delay, blind to gray
+    /// failures); [`DetectorConfig::accrual`] scores probes and
+    /// completion outcomes and grades demotion.
+    pub detector: DetectorConfig,
 }
 
 impl ClusterConfig {
@@ -64,6 +65,7 @@ impl ClusterConfig {
             deadline: 0.25,
             interconnect: Interconnect::paper_default(),
             slo: SloPolicy::disabled(),
+            detector: DetectorConfig::oracle(),
         }
     }
 
@@ -79,16 +81,22 @@ impl ClusterConfig {
         self.slo = slo;
         self
     }
+
+    /// Swap the failure detector (oracle ↔ accrual, threshold sweeps).
+    pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
+        self.detector = detector;
+        self
+    }
 }
 
 /// N simulated machines behind one hash router.
 #[derive(Debug)]
 pub struct Cluster {
-    cfg: ClusterConfig,
-    map: ShardMap,
-    machines: Vec<ShardMachine>,
+    pub(crate) cfg: ClusterConfig,
+    pub(crate) map: ShardMap,
+    pub(crate) machines: Vec<ShardMachine>,
     /// Committed ground-truth aggregate over the whole data set.
-    reference: i64,
+    pub(crate) reference: i64,
 }
 
 impl Cluster {
@@ -155,6 +163,18 @@ impl Cluster {
         self.reference
     }
 
+    /// The cluster's configuration.
+    pub fn config(&self) -> ClusterConfig {
+        self.cfg
+    }
+
+    /// Swap the failure detector on a built cluster (the gray suite
+    /// contrasts oracle vs accrual over the same data set without
+    /// paying data generation twice).
+    pub fn set_detector(&mut self, detector: DetectorConfig) {
+        self.cfg.detector = detector;
+    }
+
     /// Repair shard `shard`'s columnar partition from the peer replica
     /// its ring successor hosts. Errors if replication is off (no
     /// replica exists) — mirroring an operator pointing repair at a
@@ -196,10 +216,19 @@ impl Cluster {
 
     /// Per-shard ingest capacity the surge is sized against (what the
     /// planner projects one machine sustains at its writer caps).
-    fn machine_write_bw(planner: &AccessPlanner) -> f64 {
+    pub(crate) fn machine_write_bw(planner: &AccessPlanner) -> f64 {
         let budget = planner.concurrency_budget();
         let (_, write) = planner.expected_mixed(0, budget.writer_threads);
         write.bytes_per_sec() * f64::from(planner.sockets().max(1))
+    }
+
+    /// Per-machine scan bandwidth the query plane prices partial
+    /// aggregations against (what the planner projects at its reader
+    /// caps, both sockets).
+    pub(crate) fn machine_scan_bw(planner: &AccessPlanner) -> f64 {
+        let budget = planner.concurrency_budget();
+        let (read, _) = planner.expected_mixed(budget.reader_threads, 0);
+        read.bytes_per_sec() * f64::from(planner.sockets().max(1))
     }
 
     /// One shard's open-loop plan: two tenants (steady + bursty) whose
@@ -207,7 +236,7 @@ impl Cluster {
     /// ids are globally unique; each shard draws from its own
     /// [`machine_seed`], so plans are independent and a shard's plan is
     /// identical whether the fleet has 1 machine or 16.
-    fn shard_plan(&self, shard: u32, planner: &AccessPlanner) -> OpenLoopPlan {
+    pub(crate) fn shard_plan(&self, shard: u32, planner: &AccessPlanner) -> OpenLoopPlan {
         let cfg = &self.cfg;
         let total_rate = cfg.overload * Self::machine_write_bw(planner) / cfg.unit_bytes as f64;
         let per_tenant = total_rate / 2.0;
@@ -254,7 +283,15 @@ impl Cluster {
         let mut rerouted_counts: Vec<u64> = vec![0; shards];
         let mut failover_at = None;
         if let Some((victim, at)) = lost {
-            let detect_at = at + DETECT_DELAY;
+            // Oracle mode is told about the death after a fixed delay
+            // (the PR-7 behavior, now a config field). Accrual mode is
+            // told nothing: it replays the detector over the victim's
+            // observable probe/completion streams and fails over at the
+            // replayed death verdict.
+            let detect_at = match cfg.detector.mode {
+                DetectorMode::Oracle => at + cfg.detector.oracle_delay,
+                DetectorMode::Accrual => self.accrual_blackout_detect_at(victim, at)?,
+            };
             failover_at = Some(detect_at);
             // Ingest for a key range must land on a machine that owns the
             // data; only a replica host qualifies. With replication off
@@ -305,6 +342,8 @@ impl Cluster {
                 },
                 routed_jobs: routed_counts[s],
                 rerouted_jobs: rerouted,
+                rebalanced_jobs: 0,
+                router_weight: 1.0,
                 transfer_seconds: rerouted as f64
                     * cfg.interconnect.transfer_seconds(cfg.unit_bytes),
             });

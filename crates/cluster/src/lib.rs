@@ -23,22 +23,39 @@
 //!   circuit breaker ([`pmem_serve::CircuitBreaker`]) isolates the
 //!   failure, and a background re-replication pass restores redundancy
 //!   on a surviving peer.
+//! * **Gray failures.** A machine that *keeps answering slowly* never
+//!   trips a binary breaker, yet drags every scatter-gather query's tail
+//!   behind its slowest partial. The accrual detector
+//!   ([`detector::HealthTimeline`]) replays probe and completion streams
+//!   into per-shard health scores — suspect → demote → (for true
+//!   blackouts) dead — demotion is *graded* (reduced router weight, not
+//!   exile; the shard re-earns full weight when its score clears), and
+//!   the query plane ([`gray`]) hedges straggling partials to the ring
+//!   replica over the priced interconnect, first result wins, loser
+//!   cancelled, exactly one partial per key range ever counted.
 //! * **Accounting.** [`report::ClusterReport`] carries fleet goodput,
 //!   merged latency percentiles, per-shard [`pmem_serve::ServeReport`]s
 //!   with fan-out outcomes, and the committed-vs-served aggregate that
 //!   proves zero committed-data loss (or, with replication off,
-//!   demonstrates the loss).
+//!   demonstrates the loss). [`report::GrayReport`] does the same for
+//!   the gray plane: deadline-met query goodput, hedge/cancel counters,
+//!   and the per-query aggregate-vs-ground-truth check that proves no
+//!   partial was lost or double-counted.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![deny(clippy::unwrap_used)]
 
 pub mod cluster;
+pub mod detector;
+pub mod gray;
 pub mod machine;
 pub mod partition;
 pub mod report;
 
 pub use cluster::{Cluster, ClusterConfig};
+pub use detector::{DetectorConfig, DetectorMode, HealthState, HealthTimeline, Observation};
+pub use gray::GrayConfig;
 pub use machine::ShardMachine;
 pub use partition::ShardMap;
-pub use report::{ClusterReport, ScatterGather, ShardOutcome};
+pub use report::{ClusterReport, GrayReport, ScatterGather, ShardOutcome};

@@ -87,6 +87,16 @@ impl ShardMachine {
             .map(|(_, f)| f)
     }
 
+    /// Bytes one Q1.1 partial scan over this machine's partition is
+    /// priced at on the query plane. The demo data set is a miniature
+    /// (sf ≈ 0.002), so each row stands in for `bytes_per_row` of the
+    /// paper-scale table — that keeps per-shard service times large
+    /// enough to be visible over the 10 µs interconnect, which is what
+    /// the hedging experiments are about.
+    pub fn virtual_scan_bytes(&self, bytes_per_row: u64) -> u64 {
+        self.rows.max(1) * bytes_per_row.max(1)
+    }
+
     /// Q1.1 partial aggregate over a columnar partition (4 threads; the
     /// per-thread partials sum associatively, so the result is
     /// scheduling-independent).

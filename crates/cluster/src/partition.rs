@@ -44,6 +44,16 @@ impl ShardMap {
         (self.shards > 1).then(|| (shard + 1) % self.shards)
     }
 
+    /// A uniform `[0, 1)` draw deciding whether job `index` *stays* on a
+    /// demoted `shard` (stay while the draw is below the shard's router
+    /// weight). Pure function of `(seed, shard, index)`: the router and
+    /// every replayed run agree on each job's placement without shared
+    /// state, the same property [`ShardMap::shard_of`] gives key routing.
+    pub fn rebalance_draw(seed: u64, shard: u32, index: u64) -> f64 {
+        let bits = splitmix64(seed ^ splitmix64((u64::from(shard) << 32) ^ index));
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+
     /// Split `data` into one [`SsbData`] per shard: `lineorder` rows
     /// routed by [`ShardMap::shard_of`], dimension tables copied whole
     /// into every shard.
@@ -132,6 +142,32 @@ mod tests {
                 assert_eq!(map.shard_of(row.orderkey) as usize, s);
             }
         }
+    }
+
+    #[test]
+    fn rebalance_draws_are_deterministic_uniform_and_independent() {
+        let a: Vec<f64> = (0..256)
+            .map(|i| ShardMap::rebalance_draw(7, 3, i))
+            .collect();
+        let b: Vec<f64> = (0..256)
+            .map(|i| ShardMap::rebalance_draw(7, 3, i))
+            .collect();
+        assert_eq!(a, b, "replays agree on every job's placement");
+        assert!(a.iter().all(|d| (0.0..1.0).contains(d)));
+        let mean = a.iter().sum::<f64>() / a.len() as f64;
+        assert!((mean - 0.5).abs() < 0.06, "uniform-ish, got {mean}");
+        // Different shards and seeds draw independently.
+        assert_ne!(
+            ShardMap::rebalance_draw(7, 3, 0),
+            ShardMap::rebalance_draw(7, 4, 0)
+        );
+        assert_ne!(
+            ShardMap::rebalance_draw(7, 3, 0),
+            ShardMap::rebalance_draw(8, 3, 0)
+        );
+        // At weight w, roughly w of the jobs stay.
+        let stay = a.iter().filter(|d| **d < 0.1).count();
+        assert!((10..=45).contains(&stay), "~10% stay at weight 0.1: {stay}");
     }
 
     #[test]

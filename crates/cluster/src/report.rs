@@ -2,6 +2,9 @@
 //! and re-replication outcomes, and the committed-data ledger.
 
 use pmem_serve::{Percentiles, ServeReport};
+use pmem_sim::fleet::FailSlowWindow;
+
+use crate::detector::DetectorMode;
 
 /// One shard's router-side summary (the full [`ServeReport`] rides in
 /// [`ClusterReport::per_shard`]).
@@ -94,6 +97,166 @@ impl ClusterReport {
     /// Completed-bytes goodput in GiB/s.
     pub fn goodput_gib_s(&self) -> f64 {
         self.goodput_bytes_per_sec / (1u64 << 30) as f64
+    }
+}
+
+/// The outcome of one gray-failure run: an ingest plane routed by the
+/// detector's graded weights, plus a stream of scatter-gather queries
+/// with (optional) hedging — the plane where a fail-slow machine either
+/// drags the whole fleet's tail or does not.
+#[derive(Debug, Clone)]
+pub struct GrayReport {
+    /// Shards in the fleet.
+    pub shards: u32,
+    /// The injected fail-slow window, if the run scheduled one.
+    pub fault: Option<FailSlowWindow>,
+    /// Detector mode the run routed under.
+    pub mode: DetectorMode,
+    /// Whether scatter-gather hedging was armed.
+    pub hedging: bool,
+    /// Offered window the goodput is measured over.
+    pub horizon: f64,
+    /// When the detector first suspected the victim, if ever.
+    pub suspected_at: Option<f64>,
+    /// When the detector declared the victim dead, if ever (a fail-slow
+    /// machine must never be).
+    pub dead_at: Option<f64>,
+    /// When the victim re-earned full router weight, if it did.
+    pub cleared_at: Option<f64>,
+    /// Lowest router weight the victim served at.
+    pub victim_weight_min: f64,
+    /// The victim's router weight at the end of the run.
+    pub victim_weight_end: f64,
+    /// Ingest jobs the router moved off demoted shards.
+    pub rebalanced_jobs: u64,
+    /// Ingest goodput over the window (completed bytes / horizon).
+    pub ingest_goodput_bytes_per_sec: f64,
+    /// Ingest end-to-end latency percentiles (completed jobs).
+    pub ingest_e2e: Percentiles,
+    /// Per-shard ingest serve reports, fan-out outcomes attached.
+    pub per_shard: Vec<ServeReport>,
+    /// Scatter-gather queries issued.
+    pub queries: u64,
+    /// Queries whose full fan-out completed within the query deadline.
+    pub queries_met: u64,
+    /// The per-query completion deadline the goodput gates on.
+    pub query_deadline: f64,
+    /// Query-plane goodput: virtual bytes scanned by deadline-met
+    /// queries, over the horizon.
+    pub query_goodput_bytes_per_sec: f64,
+    /// Query completion-latency percentiles (all queries).
+    pub query_latency: Percentiles,
+    /// Slowest query of the run.
+    pub query_latency_max: f64,
+    /// Backup requests fired (tied + reactive).
+    pub hedges_fired: u64,
+    /// Hedges fired at issue because the detector had the primary
+    /// demoted (the rest fired reactively at the hedge quantile).
+    pub hedges_tied: u64,
+    /// Hedges whose backup beat the primary.
+    pub hedge_wins: u64,
+    /// Loser requests cancelled (must equal `hedges_fired`: every race
+    /// has exactly one loser, counted or cancelled — never both).
+    pub hedges_cancelled: u64,
+    /// Partials served from a ring replica instead of the primary.
+    pub replica_partials: u64,
+    /// Queries whose aggregate differed from the committed ground truth
+    /// (0 = zero data loss, zero double count).
+    pub mismatched_queries: u64,
+    /// Partials counted beyond exactly-one-per-key-range, summed over
+    /// all queries. Structural invariant: 0.
+    pub double_counted: u64,
+    /// Committed ground-truth aggregate every query must reproduce.
+    pub reference: i64,
+    /// Interconnect seconds the query fan-outs and hedges paid.
+    pub query_transfer_seconds: f64,
+}
+
+impl GrayReport {
+    /// Zero committed-data loss and zero double counting: every query's
+    /// aggregate matched the committed ground truth exactly.
+    pub fn data_intact(&self) -> bool {
+        self.mismatched_queries == 0 && self.double_counted == 0
+    }
+
+    /// Query-plane goodput as a fraction of `healthy`'s.
+    pub fn goodput_vs(&self, healthy: &GrayReport) -> f64 {
+        self.query_goodput_bytes_per_sec / healthy.query_goodput_bytes_per_sec.max(1e-9)
+    }
+
+    /// Query p99 as a multiple of `healthy`'s.
+    pub fn p99_vs(&self, healthy: &GrayReport) -> f64 {
+        self.query_latency.p99 / healthy.query_latency.p99.max(1e-12)
+    }
+}
+
+impl std::fmt::Display for GrayReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "gray report: {} shards, {:?} detector, hedging {}{}",
+            self.shards,
+            self.mode,
+            if self.hedging { "on" } else { "off" },
+            match self.fault {
+                Some(w) => format!(
+                    ", machine {} at {:.0}% rate over [{:.3}, {:.3})s",
+                    w.machine,
+                    w.factor * 100.0,
+                    w.at,
+                    w.until
+                ),
+                None => ", healthy fleet".to_string(),
+            },
+        )?;
+        writeln!(
+            f,
+            "  queries: {}/{} met {:.1} ms deadline, goodput {:.2} GiB/s, p50/p95/p99 {:.2}/{:.2}/{:.2} ms (max {:.2})",
+            self.queries_met,
+            self.queries,
+            self.query_deadline * 1e3,
+            self.query_goodput_bytes_per_sec / (1u64 << 30) as f64,
+            self.query_latency.p50 * 1e3,
+            self.query_latency.p95 * 1e3,
+            self.query_latency.p99 * 1e3,
+            self.query_latency_max * 1e3,
+        )?;
+        writeln!(
+            f,
+            "  hedges: {} fired ({} tied), {} won, {} cancelled, {} replica partials; {} mismatched, {} double-counted",
+            self.hedges_fired,
+            self.hedges_tied,
+            self.hedge_wins,
+            self.hedges_cancelled,
+            self.replica_partials,
+            self.mismatched_queries,
+            self.double_counted,
+        )?;
+        writeln!(
+            f,
+            "  detector: suspected {}, dead {}, cleared {}; victim weight min {:.2} end {:.2}; {} ingest jobs rebalanced",
+            match self.suspected_at {
+                Some(t) => format!("{t:.3}s"),
+                None => "never".to_string(),
+            },
+            match self.dead_at {
+                Some(t) => format!("{t:.3}s"),
+                None => "never".to_string(),
+            },
+            match self.cleared_at {
+                Some(t) => format!("{t:.3}s"),
+                None => "never".to_string(),
+            },
+            self.victim_weight_min,
+            self.victim_weight_end,
+            self.rebalanced_jobs,
+        )?;
+        writeln!(
+            f,
+            "  ingest: goodput {:.2} GiB/s, e2e p99 {:.3}s",
+            self.ingest_goodput_bytes_per_sec / (1u64 << 30) as f64,
+            self.ingest_e2e.p99,
+        )
     }
 }
 

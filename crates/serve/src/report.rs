@@ -332,6 +332,10 @@ pub enum ShardRole {
     Primary,
     /// Additionally absorbing a dead peer's re-routed key range.
     Failover,
+    /// Suspected by the failure detector: still serving its range, but
+    /// at reduced router weight — most new arrivals rebalance to the
+    /// replica host until the health score clears.
+    Demoted,
 }
 
 impl ShardRole {
@@ -340,6 +344,7 @@ impl ShardRole {
         match self {
             ShardRole::Primary => "primary",
             ShardRole::Failover => "failover",
+            ShardRole::Demoted => "demoted",
         }
     }
 }
@@ -356,6 +361,12 @@ pub struct FanoutOutcome {
     pub routed_jobs: u64,
     /// Jobs re-routed here after a peer shard was lost.
     pub rerouted_jobs: u64,
+    /// Jobs the router moved *away* from this shard while the failure
+    /// detector had it demoted (graded rebalancing, not failover).
+    pub rebalanced_jobs: u64,
+    /// The lowest router weight this shard served at during the run
+    /// (1.0 = never demoted, 0.0 = declared dead).
+    pub router_weight: f64,
     /// Interconnect seconds spent moving re-routed payloads here.
     pub transfer_seconds: f64,
 }

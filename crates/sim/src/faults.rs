@@ -71,6 +71,17 @@ pub enum FaultKind {
         /// Socket whose iMC queues stall.
         socket: SocketId,
     },
+    /// A sustained machine-wide service-rate degradation ("fail-slow"):
+    /// every socket's read *and* write bandwidth is scaled by `factor`
+    /// for the window. This is the gray-failure unit — thermal
+    /// throttling, a misbehaving firmware background task, a saturated
+    /// CPU — where the machine keeps answering, just 10× slower, and
+    /// nothing binary (heartbeats, connects) ever trips. Composable
+    /// with the blackout event stack in [`crate::fleet`].
+    FailSlow {
+        /// Remaining fraction of the machine's service rate in `(0, 1)`.
+        factor: f64,
+    },
     /// An instantaneous power-loss event on one socket. Carries no duration;
     /// the storage layer replays it as `Region::crash` (unfenced lines are
     /// lost) and the serving layer fails the jobs running there.
@@ -103,7 +114,7 @@ impl FaultKind {
             | FaultKind::QueueStall { socket }
             | FaultKind::PowerLoss { socket }
             | FaultKind::MediaError { socket, .. } => Some(socket),
-            FaultKind::UpiDegrade { .. } => None,
+            FaultKind::UpiDegrade { .. } | FaultKind::FailSlow { .. } => None,
         }
     }
 }
@@ -176,6 +187,7 @@ impl SocketFaultState {
                 self.write_scale *= STALL_SCALE;
             }
             FaultKind::UpiDegrade { .. }
+            | FaultKind::FailSlow { .. }
             | FaultKind::PowerLoss { .. }
             | FaultKind::MediaError { .. } => {}
         }
@@ -212,6 +224,13 @@ impl MachineFaultState {
     /// Whether anything on the machine is degraded.
     pub fn is_degraded(&self) -> bool {
         self.upi_scale < 0.999 || self.sockets.iter().any(|s| s.is_degraded())
+    }
+
+    /// Mean read-path scale across both sockets — the service rate a
+    /// scan (or a health probe pricing one) sees on this machine, since
+    /// the query plane reads partitions resident on either socket.
+    pub fn service_scale(&self) -> f64 {
+        (self.sockets[0].read_scale + self.sockets[1].read_scale) / 2.0
     }
 }
 
@@ -259,6 +278,12 @@ pub struct FaultScheduleConfig {
     /// Maximum number of consecutive XPLines one media error poisons
     /// (drawn uniformly from `1..=media_lines_max`).
     pub media_lines_max: u32,
+    /// Number of sustained machine-wide fail-slow windows. Defaults to 0
+    /// so schedules generated before the gray-failure plane existed keep
+    /// their exact timelines; gray experiments opt in explicitly.
+    pub fail_slows: u32,
+    /// Range the fail-slow service-rate factor is drawn from.
+    pub fail_slow_factor: (f64, f64),
 }
 
 impl FaultScheduleConfig {
@@ -280,6 +305,8 @@ impl FaultScheduleConfig {
             media_errors: 0,
             media_span: 64 << 20,
             media_lines_max: 4,
+            fail_slows: 0,
+            fail_slow_factor: (0.05, 0.25),
         }
     }
 
@@ -288,6 +315,15 @@ impl FaultScheduleConfig {
     pub fn with_media_errors(horizon: f64, count: u32) -> Self {
         FaultScheduleConfig {
             media_errors: count,
+            ..FaultScheduleConfig::over(horizon)
+        }
+    }
+
+    /// The hostile default plus `count` fail-slow windows — the opt-in
+    /// used by gray-failure experiments.
+    pub fn with_fail_slows(horizon: f64, count: u32) -> Self {
+        FaultScheduleConfig {
+            fail_slows: count,
             ..FaultScheduleConfig::over(horizon)
         }
     }
@@ -408,6 +444,21 @@ impl FaultPlan {
             });
         }
 
+        // Fail-slow windows draw after media errors for the same reason
+        // media errors draw after everything else: appending keeps the
+        // non-fail-slow prefix of a seed's event stream byte-identical
+        // when a config opts in.
+        for _ in 0..config.fail_slows {
+            let factor = range(&mut rng, config.fail_slow_factor);
+            let start = rng.gen_range(0.0..horizon * 0.7);
+            let len = rng.gen_range(horizon * 0.2..horizon * 0.6);
+            events.push(FaultEvent {
+                start,
+                end: (start + len).min(horizon),
+                kind: FaultKind::FailSlow { factor },
+            });
+        }
+
         Self::from_events(events)
     }
 
@@ -431,6 +482,12 @@ impl FaultPlan {
             }
             if let FaultKind::UpiDegrade { factor } = event.kind {
                 state.upi_scale *= factor.clamp(0.0, 1.0);
+            } else if let FaultKind::FailSlow { factor } = event.kind {
+                let f = factor.clamp(0.0, 1.0);
+                for socket in &mut state.sockets {
+                    socket.read_scale *= f;
+                    socket.write_scale *= f;
+                }
             } else if let Some(socket) = event.kind.socket() {
                 state.sockets[socket.0 as usize % 2].apply(&event.kind, machine);
             }
@@ -792,6 +849,93 @@ mod tests {
         );
         assert!(plan.media_errors_in(0.5, 1.0).is_empty(), "half-open");
         assert!(plan.power_losses_in(0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn fail_slow_scales_both_sockets_both_directions() {
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            start: 0.2,
+            end: 0.8,
+            kind: FaultKind::FailSlow { factor: 0.1 },
+        }]);
+        let m = machine();
+        assert!(!plan.state_at(&m, 0.1).is_degraded(), "before the window");
+        let during = plan.state_at(&m, 0.5);
+        for socket in [SocketId(0), SocketId(1)] {
+            let s = during.socket(socket);
+            assert!((s.read_scale - 0.1).abs() < 1e-12, "reads slow 10x");
+            assert!((s.write_scale - 0.1).abs() < 1e-12, "writes slow 10x");
+        }
+        assert!((during.service_scale() - 0.1).abs() < 1e-12);
+        assert!((during.upi_scale - 1.0).abs() < 1e-12, "link untouched");
+        // The machine is degraded but *alive*: never anywhere near the
+        // blackout collapse, which is what makes the failure gray.
+        assert!(during.service_scale() > 0.05);
+        assert!(!plan.state_at(&m, 0.8).is_degraded(), "window is half-open");
+        assert_eq!(FaultKind::FailSlow { factor: 0.1 }.socket(), None);
+    }
+
+    #[test]
+    fn fail_slow_composes_with_socket_faults() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                start: 0.0,
+                end: 1.0,
+                kind: FaultKind::FailSlow { factor: 0.5 },
+            },
+            FaultEvent {
+                start: 0.0,
+                end: 1.0,
+                kind: FaultKind::WriteThrottle {
+                    socket: SocketId(0),
+                    factor: 0.5,
+                },
+            },
+        ]);
+        let state = plan.state_at(&machine(), 0.5);
+        let s0 = state.socket(SocketId(0));
+        assert!((s0.write_scale - 0.25).abs() < 1e-12, "factors multiply");
+        assert!((s0.read_scale - 0.5).abs() < 1e-12);
+        assert!((state.service_scale() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fail_slows_are_opt_in_and_deterministic() {
+        let horizon = 2.0;
+        // Default config draws zero fail-slow windows, so plans generated
+        // before the kind existed keep their exact timelines.
+        let base = FaultPlan::generate(42, &FaultScheduleConfig::over(horizon));
+        assert!(!base
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::FailSlow { .. })));
+
+        let cfg = FaultScheduleConfig::with_fail_slows(horizon, 3);
+        let a = FaultPlan::generate(42, &cfg);
+        let b = FaultPlan::generate(42, &cfg);
+        assert_eq!(a, b, "same seed, same gray timeline");
+        let slows: Vec<_> = a
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::FailSlow { .. }))
+            .collect();
+        assert_eq!(slows.len(), 3);
+        for e in &slows {
+            assert!(e.end > e.start, "fail-slow is sustained, never a point");
+            if let FaultKind::FailSlow { factor } = e.kind {
+                assert!((0.05..0.25).contains(&factor));
+            }
+        }
+        // Fail-slow draws are appended after every pre-existing draw, so
+        // the rest of the event stream is unchanged by opting in.
+        let strip = |plan: &FaultPlan| {
+            plan.events()
+                .iter()
+                .filter(|e| !matches!(e.kind, FaultKind::FailSlow { .. }))
+                .copied()
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&a), strip(&base));
     }
 
     #[test]
