@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>]
 //!       [--media <seed>] [--crashes] [--surge <seed>] [--cache <seed>] [--cluster <seed>]
-//!       [--slo <seed>] [--gray <seed>] [--all [seed]]
+//!       [--slo <seed>] [--gray <seed>] [--recover <seed>] [--all [seed]]
 //! ```
 //!
 //! Prints each characterization figure (3–13 plus the devdax/fsdax
@@ -11,6 +11,11 @@
 //! Figure 14a/14b and Table 1 next to the paper's published values, and
 //! closes with the §7 price/performance comparison. With `--csv <dir>`
 //! each figure is also written as a CSV file for plotting.
+//!
+//! Every seeded section carries a pass/fail gate (the claim its closing
+//! line prints); the run ends with a verdict table and a non-zero exit
+//! status if any section's gate failed — so `repro --all` is usable as
+//! a single CI check.
 
 #![deny(clippy::unwrap_used)]
 
@@ -44,6 +49,7 @@ struct Args {
     cluster: Option<u64>,
     slo: Option<u64>,
     gray: Option<u64>,
+    recover: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -60,6 +66,7 @@ fn parse_args() -> Args {
         cluster: None,
         slo: None,
         gray: None,
+        recover: None,
     };
     let mut it = env::args().skip(1).peekable();
     while let Some(arg) = it.next() {
@@ -130,6 +137,13 @@ fn parse_args() -> Args {
                         .expect("--gray needs a u64 seed"),
                 );
             }
+            "--recover" => {
+                args.recover = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--recover needs a u64 seed"),
+                );
+            }
             "--all" => {
                 // Every section in one run; the optional seed feeds each
                 // seeded section (already-given per-section seeds win).
@@ -149,13 +163,14 @@ fn parse_args() -> Args {
                     &mut args.cluster,
                     &mut args.slo,
                     &mut args.gray,
+                    &mut args.recover,
                 ] {
                     slot.get_or_insert(seed);
                 }
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>] [--media <seed>] [--crashes] [--surge <seed>] [--cache <seed>] [--cluster <seed>] [--slo <seed>] [--gray <seed>] [--all [seed]]"
+                    "repro [--sf <f64>] [--threads <u32>] [--csv <dir>] [--skip-ssb] [--faults <seed>] [--media <seed>] [--crashes] [--surge <seed>] [--cache <seed>] [--cluster <seed>] [--slo <seed>] [--gray <seed>] [--recover <seed>] [--all [seed]]"
                 );
                 std::process::exit(0);
             }
@@ -171,13 +186,14 @@ fn parse_args() -> Args {
 /// Scheduled vs free-for-all serving of a mixed multi-tenant workload:
 /// the concurrency counterpart of Figure 11, with the scheduler applying
 /// Insight #11 and Best Practices #2/#5 instead of merely measuring them.
-fn serve_section(sf: f64) {
+/// Gate: every configuration serves the workload to completion.
+fn serve_section(sf: f64) -> Option<bool> {
     let store =
         match SsbStore::generate_and_load(sf, 2021, EngineMode::Aware, StorageDevice::PmemFsdax) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("serve section skipped: {e}");
-                return;
+                return None;
             }
         };
     let planner = AccessPlanner::paper_default();
@@ -222,6 +238,7 @@ fn serve_section(sf: f64) {
         ("cap-only", ServeConfig::capped_mixed(&planner)),
         ("free-for-all", ServeConfig::free_for_all()),
     ];
+    let mut ok = true;
     for (label, config) in configs {
         let mut server = QueryServer::new(&store, config);
         server.submit_all(workload());
@@ -236,24 +253,29 @@ fn serve_section(sf: f64) {
                 r.peak_concurrent_readers,
                 r.peak_concurrent_writers,
             ),
-            Err(e) => eprintln!("{label}: serve run failed: {e}"),
+            Err(e) => {
+                eprintln!("{label}: serve run failed: {e}");
+                ok = false;
+            }
         }
     }
     println!(
         "paper: mixed phases crush scans (Fig 11); the scheduler serializes them (Insight #11)"
     );
+    Some(ok)
 }
 
 /// Resilient vs baseline serving under a seeded fault schedule: socket 0
 /// spends the horizon write-throttled, takes stall bursts, and loses
-/// power once. Identical seeds reproduce identical timelines.
-fn faulted_serve_section(sf: f64, seed: u64) {
+/// power once. Identical seeds reproduce identical timelines. Gate: the
+/// resilient policy meets at least as many deadlines as the baseline.
+fn faulted_serve_section(sf: f64, seed: u64) -> Option<bool> {
     let store =
         match SsbStore::generate_and_load(sf, 2021, EngineMode::Aware, StorageDevice::PmemFsdax) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("faulted serve section skipped: {e}");
-                return;
+                return None;
             }
         };
     let planner = AccessPlanner::paper_default();
@@ -278,6 +300,7 @@ fn faulted_serve_section(sf: f64, seed: u64) {
         ("baseline", ResiliencePolicy::disabled()),
         ("resilient", ResiliencePolicy::paper()),
     ];
+    let mut met = Vec::new();
     for (label, resilience) in modes {
         let mut server = QueryServer::new(
             &store,
@@ -294,24 +317,28 @@ fn faulted_serve_section(sf: f64, seed: u64) {
             );
         }
         match server.run() {
-            Ok(r) => println!(
-                "{:<12} {:>6.1} {:>7} {:>5} {:>8} {:>8} {:>7} {:>10.3} {:>10}",
-                label,
-                100.0 * r.deadline_met_fraction(),
-                r.deadline_misses(),
-                r.shed_jobs(),
-                r.retried_jobs(),
-                r.replan_events,
-                r.power_loss_events,
-                r.degraded_seconds,
-                r.health.label(),
-            ),
+            Ok(r) => {
+                println!(
+                    "{:<12} {:>6.1} {:>7} {:>5} {:>8} {:>8} {:>7} {:>10.3} {:>10}",
+                    label,
+                    100.0 * r.deadline_met_fraction(),
+                    r.deadline_misses(),
+                    r.shed_jobs(),
+                    r.retried_jobs(),
+                    r.replan_events,
+                    r.power_loss_events,
+                    r.degraded_seconds,
+                    r.health.label(),
+                );
+                met.push(r.deadline_met_fraction());
+            }
             Err(e) => eprintln!("{label}: faulted serve run failed: {e}"),
         }
     }
     println!(
         "deadlines enforced, degraded sockets re-planned and avoided, power-loss victims retried"
     );
+    Some(met.len() == 2 && met[1] >= met[0])
 }
 
 /// Open-loop surge at twice the machine's sustained write capacity:
@@ -319,15 +346,16 @@ fn faulted_serve_section(sf: f64, seed: u64) {
 /// processes, and the overload-controlled server — bounded ingress
 /// queues, weighted-fair token buckets, retry budget, circuit breakers,
 /// brownout — is printed next to the no-backpressure baseline. Uses its
-/// own tiny store so it runs even with `--skip-ssb`.
-fn surge_section(seed: u64) {
+/// own tiny store so it runs even with `--skip-ssb`. Gate: both planes
+/// serve to completion and the controlled plane sheds at ingress.
+fn surge_section(seed: u64) -> Option<bool> {
     let store =
         match SsbStore::generate_and_load(0.005, 2021, EngineMode::Aware, StorageDevice::PmemFsdax)
         {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("surge section skipped: {e}");
-                return;
+                return None;
             }
         };
     let planner = AccessPlanner::paper_default();
@@ -366,6 +394,8 @@ fn surge_section(seed: u64) {
             ServeConfig::scheduled(&planner).with_open_loop(plan),
         ),
     ];
+    let mut ok = true;
+    let mut controlled_shed = 0usize;
     for (label, config) in configs {
         let mut server = QueryServer::new(&store, config);
         match server.run() {
@@ -376,6 +406,9 @@ fn surge_section(seed: u64) {
                     .filter(|j| j.outcome.is_completed())
                     .map(|j| j.bytes)
                     .sum();
+                if label == "controlled" {
+                    controlled_shed = r.shed_jobs();
+                }
                 let worst = |f: fn(&pmem_serve::TenantReport) -> f64| {
                     r.tenants.iter().map(f).fold(0.0f64, f64::max)
                 };
@@ -392,12 +425,16 @@ fn surge_section(seed: u64) {
                     r.health.label(),
                 );
             }
-            Err(e) => eprintln!("{label}: surge run failed: {e}"),
+            Err(e) => {
+                eprintln!("{label}: surge run failed: {e}");
+                ok = false;
+            }
         }
     }
     println!(
         "bounded queues shed at ingress; fair shares hold; the baseline's waits grow with the horizon"
     );
+    Some(ok && controlled_shed > 0)
 }
 
 /// DRAM hot tier vs pure PMEM on a seeded Zipfian multi-tenant query mix
@@ -405,8 +442,9 @@ fn surge_section(seed: u64) {
 /// goodput/latency comparison and the hit-rate-vs-latency curve from
 /// [`pmem_serve::HotTierReport`], and writes `BENCH_buffer.json` next to
 /// the working directory for machine consumption. Uses its own tiny
-/// store so it runs even with `--skip-ssb`.
-fn cache_section(seed: u64) {
+/// store so it runs even with `--skip-ssb`. Gate: the hot tier hits and
+/// does not regress goodput.
+fn cache_section(seed: u64) -> Option<bool> {
     use pmem_serve::{HotTierPolicy, Percentiles, ServeReport};
 
     let store = match SsbStore::generate_and_load(
@@ -418,7 +456,7 @@ fn cache_section(seed: u64) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cache section skipped: {e}");
-            return;
+            return None;
         }
     };
     let planner = AccessPlanner::paper_default();
@@ -472,15 +510,11 @@ fn cache_section(seed: u64) {
         )
     };
 
-    let Some(pure) = run(HotTierPolicy::disabled()) else {
-        return;
-    };
-    let Some(tiered) = run(HotTierPolicy::with_budget(budget)) else {
-        return;
-    };
+    let pure = run(HotTierPolicy::disabled())?;
+    let tiered = run(HotTierPolicy::with_budget(budget))?;
     let Some(tier) = tiered.hot_tier.as_ref() else {
         eprintln!("cache section: tiered run carried no hot-tier report");
-        return;
+        return None;
     };
     let (pure_good, pure_e2e) = summarize(&pure);
     let (tier_good, tier_e2e) = summarize(&tiered);
@@ -558,14 +592,16 @@ fn cache_section(seed: u64) {
         Err(e) => eprintln!("  BENCH_buffer.json not written: {e}"),
     }
     println!("the hot tier buys goodput at flat p99; the curve prices each MiB of DRAM");
+    Some(tier.hit_rate > 0.0 && tier_good >= 0.9 * pure_good)
 }
 
 /// Sharded serving across N simulated machines: a healthy 8-shard fleet
 /// against the same fleet losing one machine a quarter into the run
 /// (key range failed over to the ring replica), plus the 1→N scaling
 /// curve, written to `BENCH_cluster.json` for machine consumption. Uses
-/// its own tiny stores so it runs even with `--skip-ssb`.
-fn cluster_section(seed: u64) {
+/// its own tiny stores so it runs even with `--skip-ssb`. Gate: the
+/// failover keeps the committed data and more than half the goodput.
+fn cluster_section(seed: u64) -> Option<bool> {
     use pmem_cluster::{Cluster, ClusterConfig, ClusterReport};
 
     let shards = 8u32;
@@ -575,21 +611,21 @@ fn cluster_section(seed: u64) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("cluster section skipped: {e}");
-            return;
+            return None;
         }
     };
     let healthy = match cluster.run_healthy() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("cluster section skipped: healthy run failed: {e}");
-            return;
+            return None;
         }
     };
     let lost = match cluster.run_with_lost_shard(victim, blackout_at) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("cluster section skipped: failover run failed: {e}");
-            return;
+            return None;
         }
     };
 
@@ -695,6 +731,7 @@ fn cluster_section(seed: u64) {
         Err(e) => eprintln!("  BENCH_cluster.json not written: {e}"),
     }
     println!("replication turns a lost machine into a re-route, not a data loss");
+    Some(lost.data_intact() && ratio > 0.5)
 }
 
 /// Gray-failure contrast: one of eight machines serves at 10% rate for
@@ -702,8 +739,10 @@ fn cluster_section(seed: u64) {
 /// hedged scatter-gather plane is printed against the healthy fleet and
 /// the oracle/no-hedge baseline, and the contrast is written to
 /// `BENCH_gray.json`. Uses its own tiny stores so it runs even with
-/// `--skip-ssb`.
-fn gray_section(seed: u64) {
+/// `--skip-ssb`. Gate: the accrual+hedge plane keeps the data intact,
+/// never declares the slow machine dead, and holds at least the
+/// baseline's goodput.
+fn gray_section(seed: u64) -> Option<bool> {
     use pmem_cluster::{Cluster, ClusterConfig, DetectorConfig, GrayConfig, GrayReport};
 
     let shards = 8u32;
@@ -714,7 +753,7 @@ fn gray_section(seed: u64) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("gray section skipped: {e}");
-            return;
+            return None;
         }
     };
     let gray = GrayConfig::demo().with_fail_slow(victim, fault_at, fault_until, factor);
@@ -727,16 +766,10 @@ fn gray_section(seed: u64) {
             }
         }
     };
-    let Some(healthy) = run(&mut cluster, &gray.healthy(), "healthy") else {
-        return;
-    };
-    let Some(hedged) = run(&mut cluster, &gray, "hedged") else {
-        return;
-    };
+    let healthy = run(&mut cluster, &gray.healthy(), "healthy")?;
+    let hedged = run(&mut cluster, &gray, "hedged")?;
     cluster.set_detector(DetectorConfig::oracle());
-    let Some(baseline) = run(&mut cluster, &gray.without_hedging(), "baseline") else {
-        return;
-    };
+    let baseline = run(&mut cluster, &gray.without_hedging(), "baseline")?;
 
     println!(
         "\n== gray failure (seed {seed}): machine {victim} of {shards} at {:.0}% rate over [{fault_at}, {fault_until})s ==",
@@ -833,6 +866,11 @@ fn gray_section(seed: u64) {
         Err(e) => eprintln!("  BENCH_gray.json not written: {e}"),
     }
     println!("a fail-slow machine is demoted and hedged around, never declared dead");
+    Some(
+        hedged.data_intact()
+            && hedged.dead_at.is_none()
+            && hedged.goodput_vs(&healthy) >= baseline.goodput_vs(&healthy),
+    )
 }
 
 /// Closed-loop SLO control: the same 2× class-tagged surge served three
@@ -840,8 +878,9 @@ fn gray_section(seed: u64) {
 /// (trained on a different seed, graded here on the held-out one), and
 /// the static class-blind baseline — with the per-class verdicts and
 /// the controller trajectory written to `BENCH_slo.json`. Uses its own
-/// tiny store so it runs even with `--skip-ssb`.
-fn slo_section(seed: u64) {
+/// tiny store so it runs even with `--skip-ssb`. Gate: the auto-tuned
+/// knobs violate no more class targets than the static baseline.
+fn slo_section(seed: u64) -> Option<bool> {
     use pmem_serve::control::violations;
     use pmem_serve::{
         auto_tune, ClassTarget, ControllerConfig, Knobs, ServeReport, SloClass, SloPolicy,
@@ -854,7 +893,7 @@ fn slo_section(seed: u64) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("slo section skipped: {e}");
-                return;
+                return None;
             }
         };
     let planner = AccessPlanner::paper_default();
@@ -916,7 +955,7 @@ fn slo_section(seed: u64) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("slo section skipped: tuning failed: {e}");
-            return;
+            return None;
         }
     };
 
@@ -934,15 +973,9 @@ fn slo_section(seed: u64) {
             }
         }
     };
-    let Some(hand) = serve(Knobs::hand(), true) else {
-        return;
-    };
-    let Some(auto) = serve(outcome.best, true) else {
-        return;
-    };
-    let Some(baseline) = serve(Knobs::naive(), false) else {
-        return;
-    };
+    let hand = serve(Knobs::hand(), true)?;
+    let auto = serve(outcome.best, true)?;
+    let baseline = serve(Knobs::naive(), false)?;
 
     println!(
         "\n== closed-loop SLO control (seed {seed}, trained on {tune_seed}): 2x classed surge =="
@@ -1033,13 +1066,187 @@ fn slo_section(seed: u64) {
         Err(e) => eprintln!("  BENCH_slo.json not written: {e}"),
     }
     println!("the controller re-derives the hand-tuned knobs from violations alone");
+    Some(summarize(&auto).1 <= summarize(&baseline).1)
+}
+
+/// Recovery plane: the same 8-machine fleet is run healthy, with a
+/// machine written off at the blackout instant (the no-rejoin baseline),
+/// and with the machine *rejoining* after the window — scrub, incremental
+/// anti-entropy catch-up from the ring replica, probe-earned weight, key
+/// range handed back, extra replica GC'd. The three-way contrast plus
+/// the catch-up/recovery metrics land in `BENCH_recover.json`. Uses its
+/// own tiny stores so it runs even with `--skip-ssb`. Gate: the rejoin
+/// verifies, loses nothing, and the post-recovery tail returns to ≥ 95%
+/// of healthy goodput while the no-rejoin baseline stays degraded.
+fn recover_section(seed: u64) -> Option<bool> {
+    use pmem_cluster::{Cluster, ClusterConfig, DetectorConfig, RecoveryConfig};
+
+    let shards = 8u32;
+    let victim = 3u32;
+    let rcfg = RecoveryConfig::demo(victim);
+    let cfg = ClusterConfig::demo(shards, seed).with_detector(DetectorConfig::accrual());
+    let mut cluster = match Cluster::build(cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("recover section skipped: {e}");
+            return None;
+        }
+    };
+    let healthy = match cluster.run_healthy() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("recover section skipped: healthy run failed: {e}");
+            return None;
+        }
+    };
+    let pinned = match cluster.run_with_lost_shard(victim, rcfg.blackout_at) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("recover section skipped: no-rejoin baseline failed: {e}");
+            return None;
+        }
+    };
+    let rejoin = match cluster.run_rejoin(&rcfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("recover section skipped: rejoin run failed: {e}");
+            return None;
+        }
+    };
+
+    println!(
+        "\n== recovery plane (seed {seed}): machine {victim} of {shards} dark over [{:.2}, {:.2})s, then back ==",
+        rcfg.blackout_at, rcfg.blackout_until
+    );
+    let tail_from = rejoin.full_weight_at.unwrap_or(rcfg.blackout_until);
+    let horizon = cfg.horizon;
+    let healthy_tail = healthy.goodput_in_window(tail_from, horizon);
+    let pinned_tail = pinned.goodput_in_window(tail_from, horizon);
+    let rejoin_tail = rejoin.goodput_in_window(tail_from, horizon);
+    let gib = (1u64 << 30) as f64;
+    println!(
+        "{:<12} {:>11} {:>11} {:>9} {:>6} {:>6} {:>7}",
+        "fleet", "good GiB/s", "tail GiB/s", "e2e p99", "done", "shed", "data"
+    );
+    println!(
+        "{:<12} {:>11.2} {:>11.2} {:>9.3} {:>6} {:>6} {:>7}",
+        "healthy",
+        healthy.goodput_gib_s(),
+        healthy_tail / gib,
+        healthy.e2e.p99,
+        healthy.completed,
+        healthy.shed,
+        if healthy.data_intact() {
+            "intact"
+        } else {
+            "LOST"
+        },
+    );
+    println!(
+        "{:<12} {:>11.2} {:>11.2} {:>9.3} {:>6} {:>6} {:>7}",
+        "no-rejoin",
+        pinned.goodput_gib_s(),
+        pinned_tail / gib,
+        pinned.e2e.p99,
+        pinned.completed,
+        pinned.shed,
+        if pinned.data_intact() {
+            "intact"
+        } else {
+            "LOST"
+        },
+    );
+    println!(
+        "{:<12} {:>11.2} {:>11.2} {:>9.3} {:>6} {:>6} {:>7}",
+        "rejoined",
+        rejoin.goodput_gib_s(),
+        rejoin_tail / gib,
+        rejoin.e2e.p99,
+        rejoin.completed,
+        rejoin.shed,
+        if rejoin.data_intact() {
+            "intact"
+        } else {
+            "LOST"
+        },
+    );
+    println!("{rejoin}");
+    let recovery_fraction = rejoin_tail / healthy_tail.max(1e-9);
+    let pinned_fraction = pinned_tail / healthy_tail.max(1e-9);
+    println!(
+        "tail after full weight ({tail_from:.3}s): rejoined holds {:.1}% of healthy, the write-off stays at {:.1}%; \
+         catch-up shipped {:.1}% of the shard in {:.1} ms wire time",
+        100.0 * recovery_fraction,
+        100.0 * pinned_fraction,
+        100.0 * rejoin.shipped_fraction(),
+        rejoin.catch_up_seconds * 1e3,
+    );
+
+    let opt = |t: Option<f64>| t.map_or("null".to_string(), |v| format!("{v:.6}"));
+    let json = format!(
+        "{{\n  \"seed\": {seed},\n  \"shards\": {shards},\n  \"victim\": {victim},\n  \
+         \"blackout\": {{\"at_s\": {:.6}, \"until_s\": {:.6}, \"detect_at_s\": {:.6}}},\n  \
+         \"scrub\": {{\"bad_blocks\": {}, \"seconds\": {:.6}}},\n  \
+         \"catch_up\": {{\"blocks_examined\": {}, \"hash_bytes_exchanged\": {}, \
+         \"blocks_shipped\": {}, \"bytes_shipped\": {}, \"refetched_blocks\": {}, \
+         \"unrepairable\": {}, \"full_shard_bytes\": {}, \"shipped_fraction\": {:.6}, \
+         \"wire_seconds\": {:.6}}},\n  \
+         \"hand_back\": {{\"caught_up\": {}, \"ready_at_s\": {:.6}, \"full_weight_at_s\": {}, \
+         \"time_to_full_weight_s\": {}, \"rerouted_jobs\": {}, \"handed_back_jobs\": {}, \
+         \"rereplicated_bytes\": {}, \"replica_gc_bytes\": {}}},\n  \
+         \"goodput\": {{\"healthy_gib_s\": {:.6}, \"rejoined_gib_s\": {:.6}, \
+         \"no_rejoin_gib_s\": {:.6}, \"tail_from_s\": {:.6}, \
+         \"goodput_recovery_fraction\": {:.6}, \"no_rejoin_fraction\": {:.6}}},\n  \
+         \"data_intact\": {}\n}}\n",
+        rcfg.blackout_at,
+        rcfg.blackout_until,
+        rejoin.detect_at,
+        rejoin.scrub_bad_blocks,
+        rejoin.scrub_seconds,
+        rejoin.catch_up.blocks_examined,
+        rejoin.catch_up.hash_bytes_exchanged,
+        rejoin.catch_up.blocks_shipped,
+        rejoin.catch_up.bytes_shipped,
+        rejoin.catch_up.refetched_blocks,
+        rejoin.catch_up.unrepairable,
+        rejoin.full_shard_bytes,
+        rejoin.shipped_fraction(),
+        rejoin.catch_up_seconds,
+        rejoin.caught_up,
+        rejoin.ready_at,
+        opt(rejoin.full_weight_at),
+        opt(rejoin.time_to_full_weight()),
+        rejoin.rerouted_jobs,
+        rejoin.handed_back_jobs,
+        rejoin.rereplicated_bytes,
+        rejoin.replica_gc_bytes,
+        healthy.goodput_gib_s(),
+        rejoin.goodput_gib_s(),
+        pinned.goodput_gib_s(),
+        tail_from,
+        recovery_fraction,
+        pinned_fraction,
+        rejoin.data_intact(),
+    );
+    match fs::write("BENCH_recover.json", &json) {
+        Ok(()) => println!("  (json: BENCH_recover.json)"),
+        Err(e) => eprintln!("  BENCH_recover.json not written: {e}"),
+    }
+    println!("a blackout is a window, not a funeral: scrub, catch up, earn the traffic back");
+    Some(
+        rejoin.caught_up
+            && rejoin.data_intact()
+            && recovery_fraction >= 0.95
+            && pinned_fraction < 0.95,
+    )
 }
 
 /// Media-error injection and self-healing repair: seeded poison lands on
 /// 256 B XPLines inside the fact shards; the unprotected engine fails its
 /// scans with a typed error, the protected engine scrubs, repairs from
-/// the durable mirror, and re-runs every query correctly.
-fn media_section(sf: f64, threads: u32, seed: u64) {
+/// the durable mirror, and re-runs every query correctly. Gate: every
+/// query is byte-exact after repair and the store scrubs clean.
+fn media_section(sf: f64, threads: u32, seed: u64) -> Option<bool> {
     use pmem_ssb::{reference::reference_query, run_query, StoreIntegrity};
     use pmem_store::StoreError;
 
@@ -1048,14 +1255,14 @@ fn media_section(sf: f64, threads: u32, seed: u64) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("media section skipped: {e}");
-            return;
+            return None;
         }
     };
     let integ = match StoreIntegrity::seal(&store) {
         Ok(i) => i,
         Err(e) => {
             eprintln!("media section skipped: seal failed: {e}");
-            return;
+            return None;
         }
     };
     let plan = FaultPlan::generate(seed, &FaultScheduleConfig::with_media_errors(1.0, 6));
@@ -1100,7 +1307,7 @@ fn media_section(sf: f64, threads: u32, seed: u64) {
         ),
         Err(e) => {
             eprintln!("repair failed: {e}");
-            return;
+            return None;
         }
     }
     let mut correct = 0usize;
@@ -1116,12 +1323,14 @@ fn media_section(sf: f64, threads: u32, seed: u64) {
         integ.is_clean(&store)
     );
     println!("identical seeds reproduce identical poison placements and scrub reports");
+    Some(correct == QueryId::ALL.len() && integ.is_clean(&store))
 }
 
 /// Crash-state model checking of the durable structures: every
 /// ADR-reachable crash state of the worker log, the Dash segment, and the
 /// SSB columnar checkpoint is materialized, recovered, and checked.
-fn crash_section() {
+/// Gate: zero invariant violations across every explored crash state.
+fn crash_section() -> Option<bool> {
     println!("\n== crash-state model checker (pmem-crashmc) ==");
     println!(
         "{:<16} {:>8} {:>8} {:>8} {:>11} {:>7}",
@@ -1158,10 +1367,12 @@ fn crash_section() {
         "{total_states} distinct crash states explored, {total_violations} invariant violation(s)"
     );
     println!("no lost committed data, no resurrected uncommitted data, recovery idempotent");
+    Some(total_violations == 0)
 }
 
 fn main() {
     let args = parse_args();
+    let mut verdicts: Vec<(&'static str, bool)> = Vec::new();
 
     println!("pmem-olap repro — \"Maximizing Persistent Memory Bandwidth");
     println!("Utilization for OLAP Workloads\" (SIGMOD 2021) on a simulated");
@@ -1265,54 +1476,76 @@ fn main() {
         }
     }
 
+    // Record a section's gate verdict; a `None` (skipped: its stack
+    // failed to come up) counts as a failure — in this simulated
+    // environment a skip is never benign.
+    fn record(verdicts: &mut Vec<(&'static str, bool)>, name: &'static str, verdict: Option<bool>) {
+        verdicts.push((name, verdict.unwrap_or(false)));
+    }
+
     // ---- Serving: scheduled vs unscheduled concurrency ----
     if !args.skip_ssb {
-        serve_section(args.sf);
+        record(&mut verdicts, "serve", serve_section(args.sf));
         if let Some(seed) = args.faults {
-            faulted_serve_section(args.sf, seed);
+            record(
+                &mut verdicts,
+                "faults",
+                faulted_serve_section(args.sf, seed),
+            );
         }
         if let Some(seed) = args.media {
-            media_section(args.sf, args.threads, seed);
+            record(
+                &mut verdicts,
+                "media",
+                media_section(args.sf, args.threads, seed),
+            );
         }
     }
 
     // ---- Overload: open-loop surge serving (cheap; runs even with
     // --skip-ssb so CI can smoke it) ----
     if let Some(seed) = args.surge {
-        surge_section(seed);
+        record(&mut verdicts, "surge", surge_section(seed));
     }
 
     // ---- DRAM hot tier: cached vs pure-PMEM serving (cheap; runs even
     // with --skip-ssb so CI can smoke it) ----
     if let Some(seed) = args.cache {
-        cache_section(seed);
+        record(&mut verdicts, "cache", cache_section(seed));
     }
 
     // ---- Cluster: sharded serving, failover, scaling (cheap; runs even
     // with --skip-ssb so CI can smoke it) ----
     if let Some(seed) = args.cluster {
-        cluster_section(seed);
+        record(&mut verdicts, "cluster", cluster_section(seed));
     }
 
     // ---- SLO: closed-loop class control (cheap; runs even with
     // --skip-ssb so CI can smoke it) ----
     if let Some(seed) = args.slo {
-        slo_section(seed);
+        record(&mut verdicts, "slo", slo_section(seed));
     }
 
     // ---- Gray failure: fail-slow detection + hedged scatter-gather
     // (cheap; runs even with --skip-ssb so CI can smoke it) ----
     if let Some(seed) = args.gray {
-        gray_section(seed);
+        record(&mut verdicts, "gray", gray_section(seed));
+    }
+
+    // ---- Recovery plane: blackout, rejoin, anti-entropy catch-up
+    // (cheap; runs even with --skip-ssb so CI can smoke it) ----
+    if let Some(seed) = args.recover {
+        record(&mut verdicts, "recover", recover_section(seed));
     }
 
     // ---- Crash-state model checking ----
     if args.crashes {
-        crash_section();
+        record(&mut verdicts, "crashes", crash_section());
     }
 
     // ---- Insight verification ----
     println!("\n== the 12 insights, machine-checked ==");
+    let mut insights_hold = true;
     for check in pmem_olap::verify::verify_all() {
         println!(
             "  [{}] {}: {}",
@@ -1320,11 +1553,28 @@ fn main() {
             check.insight,
             check.evidence
         );
+        insights_hold &= check.holds;
     }
+    verdicts.push(("insights", insights_hold));
 
     // ---- Best practices ----
     println!("\n== The 7 best practices (§7) ==");
     for bp in BestPractice::ALL {
         println!("  {bp}");
     }
+
+    // ---- Section verdicts: one exit status for the whole run ----
+    println!("\n== section gate verdicts ==");
+    let mut failed = 0u32;
+    for (name, ok) in &verdicts {
+        println!("  [{}] {name}", if *ok { "ok" } else { "FAIL" });
+        if !ok {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} section gate(s) failed");
+        std::process::exit(1);
+    }
+    println!("all {} section gate(s) held", verdicts.len());
 }

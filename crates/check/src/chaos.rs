@@ -1,0 +1,197 @@
+//! The compositional chaos fuzzer: seeded random fault schedules over
+//! the full serve/cluster stack, standing-invariant checks on every run,
+//! and deterministic shrinking of any failure to a minimal reproducer.
+//!
+//! Where the crash model checker ([`crate::checker`]) enumerates *one*
+//! fault axis exhaustively (every ADR-reachable crash state of one
+//! trace), the chaos fuzzer samples the *composition* axis: media
+//! poison, whole-socket power loss, fail-slow, link jitter, and
+//! blackout/rejoin, stacked in one schedule
+//! ([`pmem_sim::chaos::ChaosSchedule`]) and run through
+//! [`pmem_cluster::Cluster::run_chaos`]. Invariants checked per run
+//! ([`pmem_cluster::ChaosReport::violations`]):
+//!
+//! * **zero committed-data loss** — the guarded scatter-gather aggregate
+//!   matches the committed reference with no unreachable rows,
+//! * **no unverified hand-back** — a rejoined primary never serves
+//!   blocks that fail their sealed checksums,
+//! * **exactly one partial per key range**,
+//! * **the retry ledger drains** — every submitted job reaches a
+//!   terminal record,
+//! * **bounded p99 inflation** — tail latency stays under the
+//!   fault-window + deadline + queue-slack bound.
+//!
+//! A failing schedule is delta-debugged by
+//! [`pmem_sim::chaos::shrink`]: greedily drop events while the failure
+//! reproduces, to a 1-minimal reproducer. The whole campaign is seeded —
+//! same seed, same schedules, same verdicts, same shrink.
+
+use pmem_cluster::{ChaosReport, Cluster, ClusterConfig};
+use pmem_sim::chaos::{shrink, ChaosConfig, ChaosSchedule};
+use pmem_sim::rng::splitmix64;
+use pmem_store::Result;
+
+/// Sub-seed salt separating the campaign's schedule stream from every
+/// other consumer of the master seed.
+const CAMPAIGN_SALT: u64 = 0x6368616f73; // "chaos"
+
+/// Shape of one fuzz campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosFuzzConfig {
+    /// Master seed: schedules are drawn from `splitmix64(seed ^ i)`.
+    pub seed: u64,
+    /// Schedules to run.
+    pub schedules: u32,
+    /// Shards in the cluster under test.
+    pub shards: u32,
+    /// Whether the anti-entropy catch-up verifies landed blocks. `false`
+    /// plants the regression the fuzzer must rediscover.
+    pub verify_catch_up: bool,
+    /// Per-schedule fault shape.
+    pub faults: ChaosConfig,
+}
+
+impl ChaosFuzzConfig {
+    /// The CI-smoke shape: a small cluster (3 shards at a miniature
+    /// scale factor lives in [`ClusterConfig::demo`]) and a bounded
+    /// schedule budget.
+    pub fn smoke(seed: u64, schedules: u32) -> Self {
+        let shards = 3;
+        ChaosFuzzConfig {
+            seed,
+            schedules,
+            shards,
+            verify_catch_up: true,
+            faults: ChaosConfig::demo(shards as usize, 0.06),
+        }
+    }
+
+    /// The planted-regression shape: identical campaign, verification
+    /// disabled.
+    pub fn without_verification(mut self) -> Self {
+        self.verify_catch_up = false;
+        self
+    }
+
+    /// The schedule the campaign's `i`-th iteration runs.
+    pub fn schedule(&self, i: u32) -> ChaosSchedule {
+        ChaosSchedule::generate(
+            splitmix64(self.seed ^ CAMPAIGN_SALT ^ u64::from(i)),
+            &self.faults,
+        )
+    }
+}
+
+/// One failing schedule with its violations.
+#[derive(Debug, Clone)]
+pub struct ChaosFailure {
+    /// Campaign iteration that failed.
+    pub iteration: u32,
+    /// The failing schedule as generated (pre-shrink).
+    pub schedule: ChaosSchedule,
+    /// Invariant violations the run reported.
+    pub violations: Vec<String>,
+}
+
+/// Outcome of a fuzz campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Schedules actually run.
+    pub schedules_run: u32,
+    /// Total fault events across all schedules.
+    pub events_run: u64,
+    /// Schedules that included a blackout/rejoin arc.
+    pub rejoin_arcs: u32,
+    /// The healthy-cluster p99 the tail-inflation bound is relative to.
+    pub healthy_p99: f64,
+    /// Every schedule that violated a standing invariant.
+    pub failures: Vec<ChaosFailure>,
+}
+
+impl FuzzOutcome {
+    /// True when every schedule upheld every invariant.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Build the cluster one fuzz campaign runs against. One build serves
+/// the whole campaign: [`Cluster::run_chaos`] restores clean state
+/// (verified repairs, no leftover replicas) between schedules.
+pub fn build_cluster(cfg: &ChaosFuzzConfig) -> Result<Cluster> {
+    let mut ccfg = ClusterConfig::demo(cfg.shards, cfg.seed);
+    ccfg.sf = 0.001;
+    ccfg.horizon = cfg.faults.horizon;
+    Cluster::build(ccfg)
+}
+
+/// Run the campaign: `cfg.schedules` seeded schedules through
+/// [`Cluster::run_chaos`], collecting every invariant violation.
+pub fn fuzz_cluster(cfg: &ChaosFuzzConfig) -> Result<FuzzOutcome> {
+    let mut cluster = build_cluster(cfg)?;
+    let healthy_p99 = cluster.run_healthy()?.e2e.p99;
+    let mut outcome = FuzzOutcome {
+        schedules_run: 0,
+        events_run: 0,
+        rejoin_arcs: 0,
+        healthy_p99,
+        failures: Vec::new(),
+    };
+    for i in 0..cfg.schedules {
+        let schedule = cfg.schedule(i);
+        let report = cluster.run_chaos(&schedule, cfg.verify_catch_up)?;
+        outcome.schedules_run += 1;
+        outcome.events_run += schedule.len() as u64;
+        if report.blackout.is_some() {
+            outcome.rejoin_arcs += 1;
+        }
+        let violations = report.violations(healthy_p99);
+        if !violations.is_empty() {
+            outcome.failures.push(ChaosFailure {
+                iteration: i,
+                schedule,
+                violations,
+            });
+        }
+    }
+    Ok(outcome)
+}
+
+/// Re-run one schedule and report whether it still violates an
+/// invariant. Schedules that fail to *run* (a propagated store error)
+/// count as non-failing for shrinking purposes: the shrinker must stay
+/// on the original failure, not wander onto a different crash.
+fn still_fails(
+    cluster: &mut Cluster,
+    schedule: &ChaosSchedule,
+    verify: bool,
+    healthy_p99: f64,
+) -> bool {
+    match cluster.run_chaos(schedule, verify) {
+        Ok(report) => !report.violations(healthy_p99).is_empty(),
+        Err(_) => false,
+    }
+}
+
+/// Delta-debug a failing schedule to a 1-minimal reproducer: greedily
+/// drop events while the invariant violation still reproduces. Returns
+/// the shrunk schedule and the violations it still trips.
+pub fn shrink_failure(
+    cfg: &ChaosFuzzConfig,
+    failure: &ChaosFailure,
+) -> Result<(ChaosSchedule, Vec<String>)> {
+    let mut cluster = build_cluster(cfg)?;
+    let healthy_p99 = cluster.run_healthy()?.e2e.p99;
+    let minimal = shrink(&failure.schedule, |s| {
+        still_fails(&mut cluster, s, cfg.verify_catch_up, healthy_p99)
+    });
+    let report = cluster.run_chaos(&minimal, cfg.verify_catch_up)?;
+    Ok((minimal, report.violations(healthy_p99)))
+}
+
+/// Run one schedule against a fresh campaign cluster (the reproducer
+/// entry point: paste a seed + event list, get the report back).
+pub fn run_one(cfg: &ChaosFuzzConfig, schedule: &ChaosSchedule) -> Result<ChaosReport> {
+    let mut cluster = build_cluster(cfg)?;
+    cluster.run_chaos(schedule, cfg.verify_catch_up)
+}

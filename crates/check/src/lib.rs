@@ -22,15 +22,24 @@
 //!
 //! [`clients`] packages those drivers for the stack's three recovery paths:
 //! the worker log, the Dash hash table, and the SSB columnar checkpoint.
+//!
+//! [`chaos`] is the crate's second leg: where the crash checker
+//! enumerates one fault axis exhaustively, the chaos fuzzer samples
+//! *compositions* of faults (media poison + power loss + fail-slow +
+//! link jitter + blackout/rejoin) over the full cluster stack, checks
+//! the standing robustness invariants on every seeded schedule, and
+//! shrinks any failure to a minimal reproducer.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![deny(clippy::unwrap_used)]
 
+pub mod chaos;
 pub mod checker;
 pub mod clients;
 pub mod model;
 
+pub use chaos::{fuzz_cluster, shrink_failure, ChaosFuzzConfig, FuzzOutcome};
 pub use checker::{
     materialize, recovery_is_durable, CheckReport, CheckerConfig, CrashChecker, CrashState,
     EpochCoverage, Violation,

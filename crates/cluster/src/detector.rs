@@ -177,17 +177,49 @@ impl HealthTimeline {
         probe_latency: impl Fn(f64) -> f64,
         terminals: &[Observation],
     ) -> Self {
+        Self::replay_from(
+            cfg,
+            0.0,
+            HealthState::Healthy,
+            horizon,
+            baseline,
+            probe_latency,
+            terminals,
+        )
+    }
+
+    /// [`Self::replay`] generalized to a mid-run start: the detector
+    /// begins at virtual time `start` in state `initial` and probes
+    /// forward from there. This is the rejoin path — a machine back
+    /// from a blackout re-enters the fleet `Suspect` and must re-earn
+    /// full weight through `clear_probes` clean probes, exactly like a
+    /// demoted gray machine. `replay` is `replay_from(cfg, 0, Healthy,
+    /// ..)`, byte for byte. Completion outcomes before `start` are
+    /// ignored (they predate the detector's view of this incarnation).
+    pub fn replay_from(
+        cfg: &DetectorConfig,
+        start: f64,
+        initial: HealthState,
+        horizon: f64,
+        baseline: f64,
+        probe_latency: impl Fn(f64) -> f64,
+        terminals: &[Observation],
+    ) -> Self {
         let baseline = baseline.max(1e-12);
         let interval = cfg.probe_interval.max(1e-6);
-        let mut terms: Vec<Observation> = terminals.to_vec();
+        let mut terms: Vec<Observation> = terminals
+            .iter()
+            .copied()
+            .filter(|o| o.at >= start)
+            .collect();
         terms.sort_by(|a, b| a.at.total_cmp(&b.at));
 
-        let mut transitions = vec![(0.0, HealthState::Healthy)];
-        let mut state = HealthState::Healthy;
+        let mut transitions = vec![(start, initial)];
+        let mut state = initial;
         let mut probes: VecDeque<f64> = VecDeque::with_capacity(cfg.probe_window.max(1));
         let mut misses: VecDeque<bool> = VecDeque::with_capacity(cfg.terminal_window.max(1));
         // Frozen after the first suspicion: see the module docs.
-        let mut terminals_live = true;
+        let mut terminals_live = state == HealthState::Healthy;
         let mut probes_since_suspect = 0u32;
 
         let median = |window: &VecDeque<f64>| -> f64 {
@@ -197,9 +229,9 @@ impl HealthTimeline {
         };
 
         let mut ti = 0usize;
-        let probe_count = (horizon / interval).floor() as u64;
+        let probe_count = ((horizon - start).max(0.0) / interval).floor() as u64;
         for k in 1..=probe_count {
-            let t = k as f64 * interval;
+            let t = start + k as f64 * interval;
             // Completion outcomes that landed since the last probe are
             // scored first, at their own timestamps.
             while ti < terms.len() && terms[ti].at <= t {
@@ -451,6 +483,60 @@ mod tests {
         ];
         let run = || HealthTimeline::replay(&cfg(), 0.2, BASE, probe(scale), &terminals);
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rejoin_starts_suspect_and_earns_weight_back_through_probes() {
+        let c = cfg();
+        // A machine back from a blackout re-enters at 0.1 `Suspect` with
+        // its hardware healthy again: the dwell is the only barrier.
+        let tl = HealthTimeline::replay_from(
+            &c,
+            0.1,
+            HealthState::Suspect,
+            0.2,
+            BASE,
+            probe(|_| 1.0),
+            &[],
+        );
+        assert_eq!(tl.transitions()[0], (0.1, HealthState::Suspect));
+        assert_eq!(tl.state_at(0.1), HealthState::Suspect);
+        let cleared = tl.cleared_at().expect("clean probes re-earn weight");
+        assert!(
+            cleared > 0.1 && cleared <= 0.1 + (c.clear_probes as f64 + 1.0) * c.probe_interval,
+            "cleared after the dwell: {cleared}"
+        );
+        assert_eq!(tl.state_at(0.19), HealthState::Healthy);
+
+        // Still-degraded hardware keeps the rejoiner demoted.
+        let slow = HealthTimeline::replay_from(
+            &c,
+            0.1,
+            HealthState::Suspect,
+            0.2,
+            BASE,
+            probe(|_| 0.1),
+            &[],
+        );
+        assert_eq!(slow.cleared_at(), None, "10x slow stays demoted");
+        assert_eq!(slow.state_at(0.19), HealthState::Suspect);
+    }
+
+    #[test]
+    fn replay_is_replay_from_time_zero_healthy() {
+        let scale = |t: f64| if (0.04..0.16).contains(&t) { 0.1 } else { 1.0 };
+        let c = cfg();
+        let a = HealthTimeline::replay(&c, 0.2, BASE, probe(scale), &[]);
+        let b = HealthTimeline::replay_from(
+            &c,
+            0.0,
+            HealthState::Healthy,
+            0.2,
+            BASE,
+            probe(scale),
+            &[],
+        );
+        assert_eq!(a, b, "delegation is byte-identical");
     }
 
     #[test]

@@ -41,6 +41,17 @@
 //!   the gray plane: deadline-met query goodput, hedge/cancel counters,
 //!   and the per-query aggregate-vs-ground-truth check that proves no
 //!   partial was lost or double-counted.
+//! * **Recovery.** Losses stop being terminal: a blacked-out machine
+//!   rejoins after its window closes ([`recovery`]), scrubs its shard
+//!   against the sealed checksums, catches up divergence from the ring
+//!   replica through incremental anti-entropy (per-block hash exchange
+//!   over the priced link, only divergent blocks shipped, verified on
+//!   landing), re-earns traffic through the accrual detector's probe
+//!   path (suspect → demoted weight → full weight), takes its key range
+//!   back, and the extra replica re-replication made is GC'd. The same
+//!   module's chaos runner stacks compositional fault schedules
+//!   ([`pmem_sim::chaos`]) on the full stack and checks the standing
+//!   invariants, for the `pmem-crashmc` fuzzer to search and shrink.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -51,6 +62,7 @@ pub mod detector;
 pub mod gray;
 pub mod machine;
 pub mod partition;
+pub mod recovery;
 pub mod report;
 
 pub use cluster::{Cluster, ClusterConfig};
@@ -58,4 +70,7 @@ pub use detector::{DetectorConfig, DetectorMode, HealthState, HealthTimeline, Ob
 pub use gray::GrayConfig;
 pub use machine::ShardMachine;
 pub use partition::ShardMap;
-pub use report::{ClusterReport, GrayReport, ScatterGather, ShardOutcome};
+pub use recovery::RecoveryConfig;
+pub use report::{
+    ChaosReport, ClusterReport, GrayReport, RecoveryReport, ScatterGather, ShardOutcome,
+};

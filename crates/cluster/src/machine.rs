@@ -79,6 +79,16 @@ impl ShardMachine {
         self.replicas.push((source, copy));
     }
 
+    /// Garbage-collect the hosted replica of `source` (the rejoin
+    /// hand-back path: once the owner's shard is verified caught up, the
+    /// extra copy re-replication made is redundant). Returns the bytes
+    /// freed, or `None` if no such replica was hosted.
+    pub fn drop_replica(&mut self, source: u32) -> Option<u64> {
+        let index = self.replicas.iter().position(|(s, _)| *s == source)?;
+        let (_, copy) = self.replicas.remove(index);
+        Some(copy.total_bytes())
+    }
+
     /// The hosted replica of shard `source`, if this machine carries one.
     pub fn replica_of(&self, source: u32) -> Option<&ColumnarFact> {
         self.replicas
@@ -143,5 +153,10 @@ mod tests {
         assert_eq!(host.replicas.len(), 1, "refresh replaces, never duplicates");
         assert!(host.replica_of(0).is_some());
         assert!(host.replica_of(1).is_none());
+
+        let freed = host.drop_replica(0).expect("replica hosted");
+        assert!(freed > 0, "GC reports the bytes it freed");
+        assert!(host.replica_of(0).is_none(), "copy gone");
+        assert_eq!(host.drop_replica(0), None, "double GC is a no-op");
     }
 }

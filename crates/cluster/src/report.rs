@@ -3,6 +3,7 @@
 
 use pmem_serve::{Percentiles, ServeReport};
 use pmem_sim::fleet::FailSlowWindow;
+use pmem_ssb::columnar::AntiEntropyReport;
 
 use crate::detector::DetectorMode;
 
@@ -97,6 +98,20 @@ impl ClusterReport {
     /// Completed-bytes goodput in GiB/s.
     pub fn goodput_gib_s(&self) -> f64 {
         self.goodput_bytes_per_sec / (1u64 << 30) as f64
+    }
+
+    /// Goodput over the sub-window `(from, until]` only — the recovery
+    /// gates compare fleets over the *post-rejoin* tail, where a rejoined
+    /// fleet is back to strength and a written-off one stays pinned.
+    pub fn goodput_in_window(&self, from: f64, until: f64) -> f64 {
+        let bytes: u64 = self
+            .per_shard
+            .iter()
+            .flat_map(|r| r.jobs.iter())
+            .filter(|j| j.outcome.is_completed() && j.finished_at > from && j.finished_at <= until)
+            .map(|j| j.bytes)
+            .sum();
+        bytes as f64 / (until - from).max(1e-9)
     }
 }
 
@@ -256,6 +271,315 @@ impl std::fmt::Display for GrayReport {
             "  ingest: goodput {:.2} GiB/s, e2e p99 {:.3}s",
             self.ingest_goodput_bytes_per_sec / (1u64 << 30) as f64,
             self.ingest_e2e.p99,
+        )
+    }
+}
+
+/// The outcome of one rejoin experiment ([`crate::recovery`]): the full
+/// blackout → scrub → anti-entropy → hand-back arc, with the serve
+/// plane's fleet rollup alongside the recovery-plane accounting.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Shards in the fleet.
+    pub shards: u32,
+    /// The machine that blacked out and rejoined.
+    pub victim: u32,
+    /// Detector mode the run routed under.
+    pub mode: DetectorMode,
+    /// Whether the catch-up verified landed blocks (off = the planted
+    /// regression).
+    pub verified: bool,
+    /// Blackout window open.
+    pub blackout_at: f64,
+    /// Blackout window close — the rejoin instant.
+    pub blackout_until: f64,
+    /// When the router detected the loss and failed over.
+    pub detect_at: f64,
+    /// XPLines of media damage the blackout left on the victim's shard.
+    pub poisoned_lines: u64,
+    /// Blocks the rejoin scrub found bad.
+    pub scrub_bad_blocks: u64,
+    /// Virtual seconds the local scrub took.
+    pub scrub_seconds: f64,
+    /// The anti-entropy catch-up's own accounting (hash bytes, shipped
+    /// blocks/bytes, refetches, verification verdict).
+    pub catch_up: AntiEntropyReport,
+    /// Total bytes of the victim's shard (the denominator for the
+    /// shipped-bytes ≪ full-shard assertion).
+    pub full_shard_bytes: u64,
+    /// Virtual seconds the hash exchange + block shipping took over the
+    /// (jittered) interconnect.
+    pub catch_up_seconds: f64,
+    /// When the victim finished scrub + catch-up and offered itself back.
+    pub ready_at: f64,
+    /// Whether the catch-up verified fully — the hand-back precondition.
+    pub caught_up: bool,
+    /// When the victim re-earned full router weight (probe-cleared), if
+    /// it did within the replayed window. `None` = never handed back.
+    pub full_weight_at: Option<f64>,
+    /// Victim arrivals failed over to the replica host.
+    pub rerouted_jobs: u64,
+    /// Victim arrivals routed back to it after `ready_at` (demoted-span
+    /// keeps + post-full-weight hand-backs).
+    pub handed_back_jobs: u64,
+    /// Bytes re-replication copied at detection.
+    pub rereplicated_bytes: u64,
+    /// Bytes of the extra replica garbage-collected after the verified
+    /// hand-back.
+    pub replica_gc_bytes: u64,
+    /// Per-shard serve reports, fan-out roles attached (the victim is
+    /// `Rejoining`).
+    pub per_shard: Vec<ServeReport>,
+    /// Longest shard makespan.
+    pub makespan: f64,
+    /// Whole-window goodput (completed bytes in `[0, horizon]` / horizon).
+    pub goodput_bytes_per_sec: f64,
+    /// End-to-end latency percentiles over completed jobs fleet-wide.
+    pub e2e: Percentiles,
+    /// Jobs routed across the fleet.
+    pub jobs: u64,
+    /// Jobs completed fleet-wide.
+    pub completed: u64,
+    /// Jobs shed fleet-wide.
+    pub shed: u64,
+    /// The guarded scatter-gather verification query after the run.
+    pub query: ScatterGather,
+    /// Ground-truth committed aggregate.
+    pub reference: i64,
+}
+
+impl RecoveryReport {
+    /// Zero committed-data loss: every key range served by a verified
+    /// source and the aggregate matches the committed ground truth.
+    pub fn data_intact(&self) -> bool {
+        self.query.lost_rows == 0 && self.query.aggregate == self.reference
+    }
+
+    /// Whole-window goodput in GiB/s.
+    pub fn goodput_gib_s(&self) -> f64 {
+        self.goodput_bytes_per_sec / (1u64 << 30) as f64
+    }
+
+    /// Goodput over the sub-window `(from, until]` only (see
+    /// [`ClusterReport::goodput_in_window`]).
+    pub fn goodput_in_window(&self, from: f64, until: f64) -> f64 {
+        let bytes: u64 = self
+            .per_shard
+            .iter()
+            .flat_map(|r| r.jobs.iter())
+            .filter(|j| j.outcome.is_completed() && j.finished_at > from && j.finished_at <= until)
+            .map(|j| j.bytes)
+            .sum();
+        bytes as f64 / (until - from).max(1e-9)
+    }
+
+    /// Seconds from the rejoin instant to full router weight, if the
+    /// shard got there.
+    pub fn time_to_full_weight(&self) -> Option<f64> {
+        self.full_weight_at.map(|t| t - self.blackout_until)
+    }
+
+    /// Shipped bytes as a fraction of the full shard — the anti-entropy
+    /// protocol's reason to exist is keeping this ≪ 1.
+    pub fn shipped_fraction(&self) -> f64 {
+        self.catch_up.bytes_shipped as f64 / self.full_shard_bytes.max(1) as f64
+    }
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "recovery report: {} shards, victim {} dark [{:.3}, {:.3})s, {:?} detector, verification {}",
+            self.shards,
+            self.victim,
+            self.blackout_at,
+            self.blackout_until,
+            self.mode,
+            if self.verified { "on" } else { "OFF" },
+        )?;
+        writeln!(
+            f,
+            "  rejoin: detected {:.3}s; scrub {:.1} ms found {} bad blocks ({} poisoned lines); catch-up shipped {}/{} blocks ({:.1} KiB of {:.1} MiB shard, {:.2}% ) in {:.1} ms, {} refetched, {} unrepairable",
+            self.detect_at,
+            self.scrub_seconds * 1e3,
+            self.scrub_bad_blocks,
+            self.poisoned_lines,
+            self.catch_up.blocks_shipped,
+            self.catch_up.blocks_examined,
+            self.catch_up.bytes_shipped as f64 / 1024.0,
+            self.full_shard_bytes as f64 / (1 << 20) as f64,
+            self.shipped_fraction() * 100.0,
+            self.catch_up_seconds * 1e3,
+            self.catch_up.refetched_blocks,
+            self.catch_up.unrepairable,
+        )?;
+        writeln!(
+            f,
+            "  hand-back: {}; ready {:.3}s, full weight {}, {} jobs rerouted, {} handed back; re-replicated {:.1} MiB, GC'd {:.1} MiB",
+            if self.caught_up {
+                "verified caught up"
+            } else {
+                "REFUSED (stays failed over)"
+            },
+            self.ready_at,
+            match self.full_weight_at {
+                Some(t) => format!("{t:.3}s"),
+                None => "never".to_string(),
+            },
+            self.rerouted_jobs,
+            self.handed_back_jobs,
+            self.rereplicated_bytes as f64 / (1 << 20) as f64,
+            self.replica_gc_bytes as f64 / (1 << 20) as f64,
+        )?;
+        writeln!(
+            f,
+            "  fleet: {} jobs ({} done, {} shed), goodput {:.2} GiB/s, e2e p50/p99 {:.3}/{:.3}s, makespan {:.3}s, data {}",
+            self.jobs,
+            self.completed,
+            self.shed,
+            self.goodput_gib_s(),
+            self.e2e.p50,
+            self.e2e.p99,
+            self.makespan,
+            if self.data_intact() {
+                "intact".to_string()
+            } else {
+                format!(
+                    "LOST (aggregate {} != reference {}, {} rows unreachable)",
+                    self.query.aggregate, self.reference, self.query.lost_rows
+                )
+            },
+        )
+    }
+}
+
+/// The outcome of one chaos schedule ([`crate::recovery`]'s
+/// `run_chaos`): the serve/cluster stack under a stacked multi-fault
+/// schedule, with the standing invariants accounted.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Seed of the schedule that ran.
+    pub seed: u64,
+    /// Events in the schedule.
+    pub events: usize,
+    /// Shards in the fleet.
+    pub shards: u32,
+    /// The blackout/rejoin window, if the schedule stacked one:
+    /// `(machine, at, until)`.
+    pub blackout: Option<(usize, f64, f64)>,
+    /// Whether the blackout victim verified its catch-up and took its
+    /// range back.
+    pub rejoined: bool,
+    /// The victim's anti-entropy accounting, if a catch-up ran.
+    pub catch_up: Option<AntiEntropyReport>,
+    /// Checksum-invalid blocks left on *serving* primaries at the end of
+    /// the run. Invariant: 0 — an unverified block must never be handed
+    /// back.
+    pub handed_back_dirty_blocks: u64,
+    /// Longest fault window in the schedule (bounds legitimate latency
+    /// inflation).
+    pub worst_window: f64,
+    /// Per-job deadline the cluster ran under.
+    pub deadline: f64,
+    /// Jobs submitted across the fleet after routing.
+    pub jobs: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs shed (terminal, accounted).
+    pub shed: u64,
+    /// Submitted jobs minus terminal records. Invariant: 0 — the ledger
+    /// drains, nothing is silently dropped.
+    pub ledger_outstanding: i64,
+    /// End-to-end latency percentiles over completed jobs.
+    pub e2e: Percentiles,
+    /// Partials the verification query counted. Invariant: exactly one
+    /// per key range.
+    pub partials_counted: u64,
+    /// The guarded scatter-gather verification query.
+    pub query: ScatterGather,
+    /// Ground-truth committed aggregate.
+    pub reference: i64,
+}
+
+impl ChaosReport {
+    /// Check the standing invariants against a healthy-fleet p99
+    /// baseline; one human-readable line per violation, empty = clean.
+    pub fn violations(&self, healthy_p99: f64) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.query.lost_rows > 0 || self.query.aggregate != self.reference {
+            v.push(format!(
+                "committed-data loss: aggregate {} != reference {} ({} rows unreachable)",
+                self.query.aggregate, self.reference, self.query.lost_rows
+            ));
+        }
+        if self.handed_back_dirty_blocks > 0 {
+            v.push(format!(
+                "{} unverified blocks handed back to serving primaries",
+                self.handed_back_dirty_blocks
+            ));
+        }
+        if self.partials_counted != u64::from(self.shards) {
+            v.push(format!(
+                "partial count {} != one per key range ({})",
+                self.partials_counted, self.shards
+            ));
+        }
+        if self.ledger_outstanding != 0 {
+            v.push(format!(
+                "ledger failed to drain: {} submitted jobs missing a terminal record",
+                self.ledger_outstanding
+            ));
+        }
+        // Bounded p99 inflation: stacked fault windows legitimately park
+        // jobs for their span plus queueing slack; anything past that is
+        // an unexplained stall.
+        let bound = self.worst_window + self.deadline + 5.0 * healthy_p99.max(1e-6);
+        if self.e2e.p99 > bound {
+            v.push(format!(
+                "p99 {:.4}s above the fault-window bound {:.4}s",
+                self.e2e.p99, bound
+            ));
+        }
+        v
+    }
+}
+
+impl std::fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "chaos report: seed {}, {} events, {} shards{}",
+            self.seed,
+            self.events,
+            self.shards,
+            match self.blackout {
+                Some((m, at, until)) => format!(
+                    ", machine {m} dark [{at:.3}, {until:.3})s ({})",
+                    if self.rejoined {
+                        "rejoined"
+                    } else {
+                        "written off"
+                    }
+                ),
+                None => String::new(),
+            },
+        )?;
+        writeln!(
+            f,
+            "  {} jobs ({} done, {} shed, ledger {:+}), e2e p99 {:.4}s; {} dirty handed back, {} partials, aggregate {}",
+            self.jobs,
+            self.completed,
+            self.shed,
+            self.ledger_outstanding,
+            self.e2e.p99,
+            self.handed_back_dirty_blocks,
+            self.partials_counted,
+            if self.query.aggregate == self.reference {
+                "matches".to_string()
+            } else {
+                format!("{} != {}", self.query.aggregate, self.reference)
+            },
         )
     }
 }

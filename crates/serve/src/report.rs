@@ -336,6 +336,11 @@ pub enum ShardRole {
     /// at reduced router weight — most new arrivals rebalance to the
     /// replica host until the health score clears.
     Demoted,
+    /// Back from a blackout window: shard scrubbed and caught up from
+    /// its replica via anti-entropy, re-earning traffic through the
+    /// detector's probe path (demoted weight until the score clears,
+    /// then the replica-served range is handed back).
+    Rejoining,
 }
 
 impl ShardRole {
@@ -345,6 +350,7 @@ impl ShardRole {
             ShardRole::Primary => "primary",
             ShardRole::Failover => "failover",
             ShardRole::Demoted => "demoted",
+            ShardRole::Rejoining => "rejoining",
         }
     }
 }

@@ -293,6 +293,19 @@ impl FleetFaultPlans {
         self
     }
 
+    /// Overlay one extra fault event on machine `victim`'s plan — the
+    /// composition hook the chaos scheduler uses to stack power losses
+    /// and media errors onto blackout/fail-slow fleets. A no-op for
+    /// out-of-range machines, like the other overlays.
+    pub fn with_machine_event(mut self, victim: usize, event: FaultEvent) -> Self {
+        if let Some(plan) = self.plans.get_mut(victim) {
+            let mut events = plan.events().to_vec();
+            events.push(event);
+            *plan = FaultPlan::from_events(events);
+        }
+        self
+    }
+
     /// Machine `m`'s plan. Out-of-range machines are healthy.
     pub fn plan(&self, machine: usize) -> FaultPlan {
         self.plans.get(machine).cloned().unwrap_or_default()
@@ -368,6 +381,71 @@ mod tests {
             assert_eq!(a.plan(m), b.plan(m), "machine {m} replays exactly");
         }
         assert_ne!(a.plan(0), a.plan(1), "machines fail independently");
+    }
+
+    #[test]
+    fn blackout_stack_constants_are_pinned() {
+        // The blackout stack is built in exactly one place
+        // (`blackout_events`); `with_lost_machine` and every test and
+        // rejoin window must route through it. Pin the constants so a
+        // drift in either direction (stack composition or rejoin window
+        // interpretation) fails loudly here.
+        assert_eq!(BLACKOUT_THROTTLE, 1e-3, "pinned: >10^3 collapse");
+        let stack = blackout_events(0.2, 1.0);
+        assert_eq!(stack.len(), 6, "3 kinds x 2 sockets");
+        for socket in [SocketId(0), SocketId(1)] {
+            let expect = [
+                FaultKind::DimmDropout { socket, dimms: 255 },
+                FaultKind::WriteThrottle {
+                    socket,
+                    factor: BLACKOUT_THROTTLE,
+                },
+                FaultKind::QueueStall { socket },
+            ];
+            for kind in expect {
+                assert!(
+                    stack
+                        .iter()
+                        .any(|e| e.start == 0.2 && e.end == 1.0 && e.kind == kind),
+                    "stack carries {kind:?} over the exact window"
+                );
+            }
+        }
+        // `with_lost_machine` is the same stack, event for event: the
+        // overlaid plan equals `from_events(blackout_events(..))`.
+        let fleet = FleetFaultPlans::healthy(2).with_lost_machine(1, 0.2, 1.0);
+        assert_eq!(fleet.plan(1), FaultPlan::from_events(stack));
+    }
+
+    #[test]
+    fn extra_machine_events_compose_with_the_blackout_stack() {
+        let fleet = FleetFaultPlans::healthy(2)
+            .with_lost_machine(0, 0.2, 0.4)
+            .with_machine_event(
+                0,
+                FaultEvent {
+                    start: 0.25,
+                    end: 0.25,
+                    kind: FaultKind::PowerLoss {
+                        socket: SocketId(0),
+                    },
+                },
+            );
+        assert_eq!(fleet.plan(0).power_losses_in(0.0, 1.0).len(), 1);
+        let machine = Machine::paper_default();
+        assert!(fleet.plan(0).state_at(&machine, 0.3).is_degraded());
+        // Out-of-range machines stay healthy, like the other overlays.
+        let noop = FleetFaultPlans::healthy(1).with_machine_event(
+            5,
+            FaultEvent {
+                start: 0.1,
+                end: 0.1,
+                kind: FaultKind::PowerLoss {
+                    socket: SocketId(0),
+                },
+            },
+        );
+        assert!(noop.plan(5).is_empty());
     }
 
     #[test]

@@ -50,6 +50,7 @@
 
 pub mod analytic;
 pub mod bandwidth;
+pub mod chaos;
 pub mod coherence;
 pub mod des;
 pub mod faults;

@@ -363,6 +363,180 @@ impl ColumnarFact {
         Ok(repair)
     }
 
+    /// Anti-entropy hash exchange: recompute this table's per-block
+    /// content hashes from its *current* bytes and compare them against
+    /// the replica's sealed checksums, block by block. A block diverges
+    /// when it no longer reads (`Poisoned`) or its hash disagrees with
+    /// the replica's sum. Only the hash tables cross the wire (8 bytes
+    /// per [`SCRUB_BLOCK`] both ways, see [`BlockDiff::hash_bytes`]) —
+    /// the data itself ships later, and only for the divergent blocks
+    /// ([`ColumnarFact::apply_diff`]).
+    ///
+    /// Fails with [`StoreError::OutOfBounds`] if the replica holds fewer
+    /// rows than this table.
+    pub fn diff_blocks(&self, replica: &ColumnarFact) -> Result<BlockDiff> {
+        if replica.rows() < self.rows {
+            return Err(StoreError::OutOfBounds {
+                offset: 0,
+                len: self.rows,
+                capacity: replica.rows(),
+            });
+        }
+        let mut diff = BlockDiff::default();
+        for (((column, region), checks), theirs) in self
+            .columns
+            .iter()
+            .zip(self.checks.iter())
+            .zip(replica.checks.iter())
+        {
+            let mut divergent = Vec::new();
+            for block in 0..checks.blocks() {
+                diff.blocks_examined += 1;
+                // Both sides ship their 8-byte sum for this block.
+                diff.hash_bytes += 16;
+                let (offset, n) = checks.block_range(block);
+                let diverges = match region.try_read(offset, n, AccessHint::Sequential) {
+                    Err(_) => true, // unreadable here — must be re-shipped
+                    Ok(bytes) => {
+                        pmem_store::scrub::fnv64(pmem_store::scrub::FNV_OFFSET, bytes)
+                            != theirs.block_sum(block)
+                    }
+                };
+                if diverges {
+                    divergent.push(block);
+                }
+            }
+            if !divergent.is_empty() {
+                diff.per_column.push((*column, divergent));
+            }
+        }
+        Ok(diff)
+    }
+
+    /// Ship the divergent blocks of `diff` from `replica` into this
+    /// table: each block is read from the replica with checked reads and
+    /// rewritten here with `ntstore` (clearing poison), the
+    /// [`ColumnarFact::repair_from_replica`]-style verified copy. A
+    /// replica block that cannot be read is *refused* — counted
+    /// `unrepairable`, this table's block left untouched — never written
+    /// blind.
+    ///
+    /// With `verify` on, every landed block is checked against this
+    /// table's sealed checksum, and a final scrub pass re-fetches any
+    /// block that went bad *after* the diff was computed (media errors
+    /// land mid-catch-up too); [`AntiEntropyReport::clean`] then reports
+    /// the verified end state. With `verify` off the copy is trusted
+    /// blindly — `clean` claims success without evidence, which is
+    /// exactly the regression the chaos fuzzer exists to catch.
+    pub fn apply_diff(
+        &mut self,
+        replica: &ColumnarFact,
+        diff: &BlockDiff,
+        verify: bool,
+    ) -> Result<AntiEntropyReport> {
+        if replica.rows() < self.rows {
+            return Err(StoreError::OutOfBounds {
+                offset: 0,
+                len: self.rows,
+                capacity: replica.rows(),
+            });
+        }
+        let mut report = AntiEntropyReport {
+            blocks_examined: diff.blocks_examined,
+            hash_bytes_exchanged: diff.hash_bytes,
+            ..AntiEntropyReport::default()
+        };
+        for (column, blocks) in &diff.per_column {
+            self.ship_blocks(replica, *column, blocks, verify, &mut report)?;
+        }
+        if verify {
+            // Catch-all pass: blocks that diverged after the hash
+            // exchange (or failed their landing check) are re-fetched.
+            for pass in 0..2 {
+                let bad: Vec<(Column, Vec<u64>)> = self
+                    .columns
+                    .iter()
+                    .zip(self.checks.iter())
+                    .map(|((c, region), checks)| (*c, checks.scrub(region).bad_blocks()))
+                    .filter(|(_, bad)| !bad.is_empty())
+                    .collect();
+                if bad.is_empty() {
+                    break;
+                }
+                if pass == 1 {
+                    // Still dirty after a re-fetch: the replica cannot
+                    // supply good bytes. Refuse to claim success.
+                    break;
+                }
+                for (column, blocks) in &bad {
+                    report.refetched_blocks += blocks.len() as u64;
+                    self.ship_blocks(replica, *column, blocks, true, &mut report)?;
+                }
+            }
+            report.clean = self
+                .columns
+                .iter()
+                .zip(self.checks.iter())
+                .all(|((_, region), checks)| checks.scrub(region).is_clean());
+        } else {
+            // Verification disabled: the protocol asserts cleanliness it
+            // never checked.
+            report.clean = true;
+        }
+        Ok(report)
+    }
+
+    /// One-shot incremental anti-entropy: hash exchange, then verified
+    /// shipping of only the divergent blocks. See
+    /// [`ColumnarFact::diff_blocks`] / [`ColumnarFact::apply_diff`].
+    pub fn catch_up_from_replica(
+        &mut self,
+        replica: &ColumnarFact,
+        verify: bool,
+    ) -> Result<AntiEntropyReport> {
+        let diff = self.diff_blocks(replica)?;
+        self.apply_diff(replica, &diff, verify)
+    }
+
+    fn ship_blocks(
+        &mut self,
+        replica: &ColumnarFact,
+        column: Column,
+        blocks: &[u64],
+        verify: bool,
+        report: &mut AntiEntropyReport,
+    ) -> Result<()> {
+        let source = replica.region(column).clone();
+        let (region, checks) = self
+            .columns
+            .iter_mut()
+            .zip(self.checks.iter())
+            .find(|((c, _), _)| *c == column)
+            .map(|((_, r), checks)| (r, checks))
+            .expect("column stored");
+        let region = Arc::get_mut(region).expect("no scan in flight during catch-up");
+        for &block in blocks {
+            let (offset, n) = checks.block_range(block);
+            let good = match source.try_read(offset, n, AccessHint::Sequential) {
+                Ok(bytes) => bytes,
+                Err(_) => {
+                    // The replica's copy of this block is itself bad:
+                    // refuse rather than launder unverifiable bytes.
+                    report.unrepairable += 1;
+                    continue;
+                }
+            };
+            region.try_ntstore(offset, good, AccessHint::Sequential)?;
+            report.blocks_shipped += 1;
+            report.bytes_shipped += n;
+            if verify && !checks.verify_block(region, block).unwrap_or(false) {
+                report.unrepairable += 1;
+            }
+        }
+        region.sfence();
+        Ok(())
+    }
+
     /// FNV-1a content hash over every column's bytes (untracked — a
     /// fingerprint for byte-exactness assertions, not device traffic).
     pub fn content_hash(&self) -> u64 {
@@ -556,6 +730,66 @@ impl ColumnarRepair {
     /// Whether every bad block was restored.
     pub fn is_fully_repaired(&self) -> bool {
         self.unrepairable == 0
+    }
+}
+
+/// The outcome of an anti-entropy hash exchange
+/// ([`ColumnarFact::diff_blocks`]): which blocks of which columns
+/// diverge between a rejoining table and its replica, plus the wire
+/// cost of finding out.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockDiff {
+    /// Divergent blocks per column, in [`Column::ALL`] order; columns
+    /// with no divergence are omitted.
+    pub per_column: Vec<(Column, Vec<u64>)>,
+    /// Blocks compared across all columns.
+    pub blocks_examined: u64,
+    /// Bytes of checksums exchanged (8 per block each way).
+    pub hash_bytes: u64,
+}
+
+impl BlockDiff {
+    /// Total divergent blocks across all columns.
+    pub fn divergent_blocks(&self) -> u64 {
+        self.per_column.iter().map(|(_, b)| b.len() as u64).sum()
+    }
+
+    /// Whether the two copies agreed everywhere.
+    pub fn is_empty(&self) -> bool {
+        self.per_column.is_empty()
+    }
+}
+
+/// The outcome of an incremental anti-entropy catch-up
+/// ([`ColumnarFact::apply_diff`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AntiEntropyReport {
+    /// Blocks compared during the hash exchange.
+    pub blocks_examined: u64,
+    /// Checksum bytes exchanged to find the divergence.
+    pub hash_bytes_exchanged: u64,
+    /// Divergent blocks shipped from the replica.
+    pub blocks_shipped: u64,
+    /// Data bytes shipped (the incremental transfer the protocol exists
+    /// to keep small).
+    pub bytes_shipped: u64,
+    /// Blocks the final verification pass had to fetch a second time
+    /// (they went bad after the hash exchange).
+    pub refetched_blocks: u64,
+    /// Blocks that could not be restored to a checksum-valid state (a
+    /// bad replica source, or a landing check that kept failing).
+    pub unrepairable: u64,
+    /// Whether the table ended the catch-up clean. Verified by a final
+    /// scrub when verification is on; *asserted without evidence* when
+    /// verification is off.
+    pub clean: bool,
+}
+
+impl AntiEntropyReport {
+    /// Whether the catch-up may hand the shard back: nothing
+    /// unrepairable and the end state (claims to be) clean.
+    pub fn is_fully_caught_up(&self) -> bool {
+        self.unrepairable == 0 && self.clean
     }
 }
 
@@ -872,5 +1106,108 @@ mod tests {
         assert_eq!(Column::Quantity.width(), 1);
         assert_eq!(Column::Revenue.width(), 4);
         assert_eq!(Column::tuple_bytes(&Column::ALL), 30);
+    }
+
+    #[test]
+    fn anti_entropy_ships_only_divergent_blocks() {
+        let (_data, mut fact, _ns) = setup();
+        let peer = Namespace::devdax(SocketId(1), 64 << 20);
+        let replica = fact.replicate_to(&peer).unwrap();
+        let hash_before = fact.content_hash();
+
+        // Identical copies diverge nowhere, and a no-op catch-up ships
+        // nothing.
+        let clean = fact.diff_blocks(&replica).unwrap();
+        assert!(clean.is_empty());
+        assert_eq!(clean.divergent_blocks(), 0);
+        let noop = fact.apply_diff(&replica, &clean, true).unwrap();
+        assert_eq!(noop.bytes_shipped, 0);
+        assert!(noop.is_fully_caught_up());
+
+        // Two media errors in different columns: the diff names exactly
+        // those blocks, and the shipped bytes are a tiny fraction of the
+        // table.
+        fact.inject_poison(Column::Revenue, 4096, 16);
+        fact.inject_poison(Column::OrderDate, 0, 16);
+        let diff = fact.diff_blocks(&replica).unwrap();
+        assert_eq!(diff.divergent_blocks(), 2);
+        assert_eq!(diff.hash_bytes, 16 * diff.blocks_examined);
+        let report = fact.apply_diff(&replica, &diff, true).unwrap();
+        assert_eq!(report.blocks_shipped, 2);
+        assert!(report.is_fully_caught_up() && report.clean);
+        assert!(
+            report.bytes_shipped <= 2 * SCRUB_BLOCK,
+            "incremental, not a full copy: {} bytes",
+            report.bytes_shipped
+        );
+        assert!(report.bytes_shipped * 10 < fact.total_bytes());
+        assert_eq!(fact.content_hash(), hash_before, "byte-exact catch-up");
+        for (_, r) in fact.scrub() {
+            assert!(r.is_clean());
+        }
+    }
+
+    #[test]
+    fn poison_landing_mid_catch_up_is_refetched_or_refused_never_served() {
+        let (_data, mut fact, _ns) = setup();
+        let peer = Namespace::devdax(SocketId(1), 64 << 20);
+        let replica = fact.replicate_to(&peer).unwrap();
+        fact.inject_poison(Column::Revenue, 4096, 16);
+        let diff = fact.diff_blocks(&replica).unwrap();
+        // A second media error lands *after* the hash exchange: the diff
+        // does not name it.
+        fact.inject_poison(Column::Quantity, 0, 8);
+
+        // Verified catch-up: the final scrub pass finds the late block
+        // and re-fetches it — the table still ends byte-exact.
+        let report = fact.apply_diff(&replica, &diff, true).unwrap();
+        assert!(report.refetched_blocks >= 1, "late poison re-fetched");
+        assert!(report.is_fully_caught_up());
+        assert_eq!(fact.content_hash(), replica.content_hash());
+
+        // Unverified catch-up (the planted regression): the same late
+        // poison is silently handed back — the report *claims* clean
+        // while the table is dirty.
+        fact.inject_poison(Column::Revenue, 8192, 16);
+        let diff = fact.diff_blocks(&replica).unwrap();
+        fact.inject_poison(Column::Quantity, 4096, 8);
+        let blind = fact.apply_diff(&replica, &diff, false).unwrap();
+        assert!(blind.clean && blind.is_fully_caught_up(), "blind trust");
+        assert!(
+            fact.scrub().iter().any(|(_, r)| !r.is_clean()),
+            "…but the shard is dirty: the bug verification exists to stop"
+        );
+        // Clean up with a verified pass and confirm byte-exactness again.
+        let repair = fact.catch_up_from_replica(&replica, true).unwrap();
+        assert!(repair.is_fully_caught_up());
+        assert_eq!(fact.content_hash(), replica.content_hash());
+    }
+
+    #[test]
+    fn catch_up_refuses_a_bad_replica_block() {
+        let (_data, mut fact, _ns) = setup();
+        let peer = Namespace::devdax(SocketId(1), 64 << 20);
+        let mut replica = fact.replicate_to(&peer).unwrap();
+        fact.inject_poison(Column::Revenue, 4096, 16);
+        // The replica's copy of the very block we need is itself bad.
+        replica.inject_poison(Column::Revenue, 4096, 1);
+        let report = fact.catch_up_from_replica(&replica, true).unwrap();
+        assert!(report.unrepairable >= 1, "bad source refused");
+        assert!(!report.is_fully_caught_up(), "hand-back must be refused");
+        // Unlike `repair_from_replica` (whole-source scrub up front),
+        // anti-entropy refuses per block — but never serves the bad one.
+        assert!(fact.scrub().iter().any(|(_, r)| !r.is_clean()));
+    }
+
+    #[test]
+    fn diff_requires_enough_rows() {
+        let (_data, fact, _ns) = setup();
+        let small = generate(0.001, 5);
+        let peer = Namespace::devdax(SocketId(1), 64 << 20);
+        let short = ColumnarFact::load(&peer, &small).unwrap();
+        assert!(matches!(
+            fact.diff_blocks(&short),
+            Err(StoreError::OutOfBounds { .. })
+        ));
     }
 }

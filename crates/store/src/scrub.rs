@@ -109,6 +109,18 @@ impl BlockChecksums {
         (offset, self.block_bytes.min(self.len - offset))
     }
 
+    /// The sealed checksum of one block.
+    pub fn block_sum(&self, block: u64) -> u64 {
+        self.sums[block as usize]
+    }
+
+    /// All sealed per-block checksums, in block order. This is the hash
+    /// table an anti-entropy exchange ships instead of the data: 8 bytes
+    /// per block against [`SCRUB_BLOCK`] bytes of content.
+    pub fn sums(&self) -> &[u64] {
+        &self.sums
+    }
+
     /// Re-hash one block and compare with the sealed sum. Returns
     /// `Err(Poisoned)` when the block cannot even be read.
     pub fn verify_block(&self, region: &Region, block: u64) -> Result<bool> {
@@ -286,6 +298,19 @@ mod tests {
         let before = checks.clone();
         checks.reseal_block(&r, 0).unwrap();
         assert_eq!(checks, before);
+    }
+
+    #[test]
+    fn exported_sums_match_recomputed_hashes() {
+        let r = region(10_000);
+        let checks = BlockChecksums::seal(&r, SCRUB_BLOCK).unwrap();
+        assert_eq!(checks.sums().len() as u64, checks.blocks());
+        for block in 0..checks.blocks() {
+            let (offset, n) = checks.block_range(block);
+            let bytes = &r.untracked_slice()[offset as usize..(offset + n) as usize];
+            assert_eq!(checks.block_sum(block), fnv64(FNV_OFFSET, bytes));
+            assert_eq!(checks.sums()[block as usize], checks.block_sum(block));
+        }
     }
 
     #[test]
